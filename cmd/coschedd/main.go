@@ -1,0 +1,333 @@
+// Command coschedd runs one scheduling domain as a live daemon: the same
+// resource manager the simulator uses, paced against the wall clock,
+// serving the coscheduling peer protocol on one TCP port and an admin
+// (submit/status) interface on another.
+//
+// Two daemons coordinate paired jobs exactly as the paper's coupled
+// systems do — no global portal, no shared configuration, just the
+// lightweight protocol:
+//
+//	coschedd -name intrepid -nodes 40960 -listen :7001 -admin :7101 \
+//	         -peer eureka=localhost:7002 -scheme hold
+//	coschedd -name eureka -nodes 100 -listen :7002 -admin :7102 \
+//	         -peer intrepid=localhost:7001 -scheme yield
+//
+// Then submit a pair with cmd/cosubmit. The -speedup flag accelerates
+// virtual time for demos (60 = one virtual minute per wall second).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"cosched/internal/cluster"
+	"cosched/internal/cosched"
+	"cosched/internal/eventlog"
+	"cosched/internal/job"
+	"cosched/internal/live"
+	"cosched/internal/policy"
+	"cosched/internal/proto"
+	"cosched/internal/resmgr"
+	"cosched/internal/sim"
+)
+
+// peerFlags collects repeated -peer name=addr flags.
+type peerFlags map[string]string
+
+func (p peerFlags) String() string { return fmt.Sprintf("%v", map[string]string(p)) }
+
+func (p peerFlags) Set(v string) error {
+	name, addr, ok := strings.Cut(v, "=")
+	if !ok || name == "" || addr == "" {
+		return fmt.Errorf("want name=addr, got %q", v)
+	}
+	p[name] = addr
+	return nil
+}
+
+// logObserver prints job lifecycle events.
+type logObserver struct{ l *log.Logger }
+
+func (o logObserver) JobSubmitted(now sim.Time, j *job.Job) {
+	o.l.Printf("t=%d submit %s", now, j)
+}
+func (o logObserver) JobStarted(now sim.Time, j *job.Job) {
+	o.l.Printf("t=%d START job %d (wait %ds, sync %ds)", now, j.ID, j.WaitTime(), j.SyncTime())
+}
+func (o logObserver) JobCompleted(now sim.Time, j *job.Job) {
+	o.l.Printf("t=%d done job %d", now, j.ID)
+}
+func (o logObserver) JobHeld(now sim.Time, j *job.Job) {
+	o.l.Printf("t=%d HOLD job %d (%d nodes) waiting for mate", now, j.ID, j.Nodes)
+}
+func (o logObserver) JobYielded(now sim.Time, j *job.Job) {
+	o.l.Printf("t=%d YIELD job %d (count %d)", now, j.ID, j.YieldCount)
+}
+func (o logObserver) JobReleased(now sim.Time, j *job.Job, requeued bool) {
+	o.l.Printf("t=%d RELEASE job %d (requeued=%v)", now, j.ID, requeued)
+}
+func (o logObserver) JobCancelled(now sim.Time, j *job.Job) {
+	o.l.Printf("t=%d CANCEL job %d", now, j.ID)
+}
+
+func main() {
+	peers := peerFlags{}
+	var (
+		name       = flag.String("name", "domain", "this domain's name")
+		nodes      = flag.Int("nodes", 64, "node count")
+		minPart    = flag.Int("min-partition", 0, "BG/P-style minimum partition (0 = plain pool)")
+		listen     = flag.String("listen", ":7001", "peer-protocol listen address")
+		admin      = flag.String("admin", ":7101", "admin (submit/status) listen address")
+		scheme     = flag.String("scheme", "hold", "coscheduling scheme: hold or yield")
+		releaseMin = flag.Int64("release-minutes", 20, "hold release interval in virtual minutes (0 = off)")
+		maxHeld    = flag.Float64("max-held-fraction", 1.0, "max fraction of nodes in hold state")
+		maxYields  = flag.Int("max-yields", 0, "yields before escalating to hold (0 = never)")
+		polName    = flag.String("policy", "wfp", "queue policy: wfp, fcfs, sjf, largest")
+		backfill   = flag.Bool("backfill", true, "enable EASY backfilling")
+		speedup    = flag.Float64("speedup", 1.0, "virtual seconds per wall second")
+		timeout    = flag.Duration("peer-timeout", 2*time.Second, "peer RPC timeout")
+		logPath    = flag.String("log", "", "append a JSONL event log to this path (verifiable with cosim -verify-log)")
+		statusAddr = flag.String("status", "", "serve an HTML/JSON status page on this address (e.g. :8080)")
+	)
+	flag.Var(peers, "peer", "remote domain as name=addr (repeatable)")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, fmt.Sprintf("[%s] ", *name), log.LstdFlags)
+
+	sch, err := cosched.ParseScheme(*scheme)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	pol, ok := policy.ByName(*polName)
+	if !ok {
+		logger.Fatalf("unknown policy %q", *polName)
+	}
+
+	var pool *cluster.Pool
+	if *minPart > 0 {
+		pool = cluster.NewPartitioned(*name, *nodes, *minPart)
+	} else {
+		pool = cluster.New(*name, *nodes)
+	}
+
+	var obs resmgr.Observer = logObserver{logger}
+	if *logPath != "" {
+		lf, err := os.OpenFile(*logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			logger.Fatalf("event log: %v", err)
+		}
+		defer lf.Close()
+		elog := eventlog.New(lf)
+		defer elog.Flush()
+		obs = teeObserver{logObserver{logger}, elog.Observer(*name)}
+	}
+
+	eng := sim.NewEngine()
+	mgr := resmgr.New(eng, resmgr.Options{
+		Name:        *name,
+		Pool:        pool,
+		Policy:      pol,
+		Backfilling: *backfill,
+		Cosched: cosched.Config{
+			Enabled:         true,
+			Scheme:          sch,
+			ReleaseInterval: sim.Duration(*releaseMin) * sim.Minute,
+			MaxHeldFraction: *maxHeld,
+			MaxYields:       *maxYields,
+		},
+		Observer: obs,
+	})
+	driver := live.NewDriver(eng, *speedup)
+
+	// Peer protocol server: remote domains coordinate against our manager.
+	peerSrv := proto.NewServer(mgr, driver, logger)
+	peerAddr, err := peerSrv.Listen(*listen)
+	if err != nil {
+		logger.Fatalf("peer listen: %v", err)
+	}
+	defer peerSrv.Close()
+	logger.Printf("peer protocol on %s", peerAddr)
+
+	// Outbound peers: lazy-dialing so daemons can start in any order.
+	for pname, addr := range peers {
+		mgr.AddPeer(pname, newLazyPeer(pname, addr, *timeout, logger))
+	}
+
+	// Admin interface.
+	adminSrv := live.NewAdminServer(mgr, driver, logger)
+	adminAddr, err := adminSrv.Listen(*admin)
+	if err != nil {
+		logger.Fatalf("admin listen: %v", err)
+	}
+	defer adminSrv.Close()
+	logger.Printf("admin interface on %s", adminAddr)
+	logger.Printf("domain %s: %d nodes, scheme=%s, policy=%s, speedup=%.0fx",
+		*name, *nodes, sch, pol.Name(), *speedup)
+
+	if *statusAddr != "" {
+		statusSrv := live.NewStatusServer(mgr, driver)
+		sa, err := statusSrv.Listen(*statusAddr)
+		if err != nil {
+			logger.Fatalf("status listen: %v", err)
+		}
+		defer statusSrv.Close()
+		logger.Printf("status page on http://%s/", sa)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	driver.Run(ctx)
+	logger.Print("shutting down")
+}
+
+// teeObserver fans lifecycle events out to several observers.
+type teeObserver []resmgr.Observer
+
+func (t teeObserver) JobSubmitted(now sim.Time, j *job.Job) {
+	for _, o := range t {
+		o.JobSubmitted(now, j)
+	}
+}
+
+func (t teeObserver) JobStarted(now sim.Time, j *job.Job) {
+	for _, o := range t {
+		o.JobStarted(now, j)
+	}
+}
+
+func (t teeObserver) JobCompleted(now sim.Time, j *job.Job) {
+	for _, o := range t {
+		o.JobCompleted(now, j)
+	}
+}
+
+func (t teeObserver) JobHeld(now sim.Time, j *job.Job) {
+	for _, o := range t {
+		o.JobHeld(now, j)
+	}
+}
+
+func (t teeObserver) JobYielded(now sim.Time, j *job.Job) {
+	for _, o := range t {
+		o.JobYielded(now, j)
+	}
+}
+
+func (t teeObserver) JobReleased(now sim.Time, j *job.Job, requeued bool) {
+	for _, o := range t {
+		o.JobReleased(now, j, requeued)
+	}
+}
+
+func (t teeObserver) JobCancelled(now sim.Time, j *job.Job) {
+	for _, o := range t {
+		o.JobCancelled(now, j)
+	}
+}
+
+// lazyPeer dials on first use and redials after failures, so a daemon can
+// come up before its peers and survive peer restarts. Every error is
+// surfaced to the caller, which Algorithm 1 treats as "status unknown".
+type lazyPeer struct {
+	name    string
+	addr    string
+	timeout time.Duration
+	logger  *log.Logger
+	client  *proto.Client
+}
+
+func newLazyPeer(name, addr string, timeout time.Duration, logger *log.Logger) *lazyPeer {
+	return &lazyPeer{name: name, addr: addr, timeout: timeout, logger: logger}
+}
+
+func (p *lazyPeer) get() (*proto.Client, error) {
+	if p.client != nil {
+		return p.client, nil
+	}
+	c, err := proto.Dial(p.addr, p.timeout)
+	if err != nil {
+		return nil, err
+	}
+	p.client = c
+	return c, nil
+}
+
+// drop discards the cached client after a failure so the next call redials.
+func (p *lazyPeer) drop(err error) {
+	if p.client != nil {
+		p.client.Close()
+		p.client = nil
+	}
+	if p.logger != nil {
+		p.logger.Printf("peer %s (%s): %v (will redial)", p.name, p.addr, err)
+	}
+}
+
+func (p *lazyPeer) PeerName() string { return p.name }
+
+func (p *lazyPeer) GetMateJob(id job.ID) (bool, error) {
+	c, err := p.get()
+	if err != nil {
+		return false, err
+	}
+	ok, err := c.GetMateJob(id)
+	if err != nil {
+		p.drop(err)
+	}
+	return ok, err
+}
+
+func (p *lazyPeer) GetMateStatus(id job.ID) (cosched.MateStatus, error) {
+	c, err := p.get()
+	if err != nil {
+		return cosched.StatusUnknown, err
+	}
+	st, err := c.GetMateStatus(id)
+	if err != nil {
+		p.drop(err)
+	}
+	return st, err
+}
+
+func (p *lazyPeer) CanStartMate(id job.ID) (bool, error) {
+	c, err := p.get()
+	if err != nil {
+		return false, err
+	}
+	ok, err := c.CanStartMate(id)
+	if err != nil {
+		p.drop(err)
+	}
+	return ok, err
+}
+
+func (p *lazyPeer) TryStartMate(id job.ID) (bool, error) {
+	c, err := p.get()
+	if err != nil {
+		return false, err
+	}
+	ok, err := c.TryStartMate(id)
+	if err != nil {
+		p.drop(err)
+	}
+	return ok, err
+}
+
+func (p *lazyPeer) StartMate(id job.ID) error {
+	c, err := p.get()
+	if err != nil {
+		return err
+	}
+	if err := c.StartMate(id); err != nil {
+		p.drop(err)
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestPeerFlagParsing(t *testing.T) {
+	p := peerFlags{}
+	if err := p.Set("eureka=localhost:7002"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Set("lens=10.1.2.3:7003"); err != nil {
+		t.Fatal(err)
+	}
+	if p["eureka"] != "localhost:7002" || p["lens"] != "10.1.2.3:7003" {
+		t.Fatalf("peers = %v", p)
+	}
+	if p.String() == "" {
+		t.Fatal("String() empty")
+	}
+	for _, in := range []string{"", "noequals", "=addr", "name="} {
+		if err := p.Set(in); err == nil {
+			t.Errorf("Set(%q) accepted", in)
+		}
+	}
+}

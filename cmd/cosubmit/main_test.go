@@ -1,0 +1,47 @@
+package main
+
+import "testing"
+
+func TestMemberFlagParsing(t *testing.T) {
+	var m memberFlags
+	cases := []struct {
+		in      string
+		domain  string
+		addr    string
+		nodes   int
+		runtime int64
+	}{
+		{"hpc=localhost:7101:512:600", "hpc", "localhost:7101", 512, 600},
+		{"viz=10.0.0.2:9000:8:3600", "viz", "10.0.0.2:9000", 8, 3600},
+		{"a=sock:4:60", "a", "sock", 4, 60}, // addr without port
+	}
+	for _, c := range cases {
+		if err := m.Set(c.in); err != nil {
+			t.Fatalf("Set(%q): %v", c.in, err)
+		}
+		got := m[len(m)-1]
+		if got.domain != c.domain || got.addr != c.addr ||
+			got.nodes != c.nodes || got.runtime != c.runtime {
+			t.Fatalf("Set(%q) = %+v", c.in, got)
+		}
+	}
+	if m.String() == "" {
+		t.Fatal("String() empty")
+	}
+}
+
+func TestMemberFlagRejectsMalformed(t *testing.T) {
+	var m memberFlags
+	for _, in := range []string{
+		"",               // nothing
+		"hpc",            // no '='
+		"hpc=addr",       // too few segments
+		"hpc=a:b:c:d:e",  // too many segments
+		"hpc=addr:x:600", // bad node count
+		"hpc=addr:512:y", // bad runtime
+	} {
+		if err := m.Set(in); err == nil {
+			t.Errorf("Set(%q) accepted", in)
+		}
+	}
+}

@@ -1,0 +1,207 @@
+// Command experiments reproduces the evaluation of Tang et al. (ICPP 2011):
+// the §V-B capability validation and Figures 3–10.
+//
+// Usage:
+//
+//	experiments -exp all                 # everything at paper scale
+//	experiments -exp fig3 -factor 0.1    # one figure at 10% job count
+//	experiments -exp validate -reps 3
+//
+// Figures come in pairs that share simulations (3–6 share the load sweep,
+// 7–10 the proportion sweep); asking for any figure in a group runs the
+// whole group's simulations once and prints only the requested tables.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"cosched/internal/experiments"
+	"cosched/internal/metrics"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment: validate, fig3..fig10, load, prop, reservation, nway, ablations, or all")
+		seed   = flag.Uint64("seed", 1, "workload random seed")
+		factor = flag.Float64("factor", 1.0, "job-count scale factor (1.0 = paper scale)")
+		reps   = flag.Int("reps", 1, "repetitions per cell (paper used 10)")
+		svgDir = flag.String("svg", "", "also render each figure as an SVG into this directory")
+	)
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig(*seed, *factor)
+	cfg.Reps = *reps
+
+	want := map[string]bool{}
+	for _, w := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(w)] = true
+	}
+	all := want["all"]
+	anyOf := func(names ...string) bool {
+		if all {
+			return true
+		}
+		for _, n := range names {
+			if want[n] {
+				return true
+			}
+		}
+		return false
+	}
+
+	ran := false
+	if anyOf("validate") {
+		ran = true
+		run("capability validation", func() error {
+			v, err := experiments.RunValidation(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println(v.Table().Render())
+			if v.Passed() {
+				fmt.Println("VALIDATION PASSED: all combinations coschedule; deadlock only without the release enhancement")
+			} else {
+				fmt.Println("VALIDATION FAILED")
+			}
+			return nil
+		})
+	}
+	if anyOf("load", "fig3", "fig4", "fig5", "fig6") {
+		ran = true
+		run("load sweep (Figures 3-6)", func() error {
+			sweep, err := experiments.RunLoadSweep(cfg)
+			if err != nil {
+				return err
+			}
+			for util, frac := range sweep.PairedFraction {
+				fmt.Printf("paired fraction at eureka_util %.2f: %.1f%%\n", util, frac*100)
+			}
+			fmt.Println()
+			if err := writeCharts(*svgDir, sweep.Charts()); err != nil {
+				return err
+			}
+			printPair := func(a, b *metrics.Table) {
+				fmt.Println(a.Render())
+				fmt.Println(b.Render())
+			}
+			if anyOf("load", "fig3") {
+				printPair(sweep.Fig3Table())
+			}
+			if anyOf("load", "fig4") {
+				printPair(sweep.Fig4Table())
+			}
+			if anyOf("load", "fig5") {
+				printPair(sweep.Fig5Table())
+			}
+			if anyOf("load", "fig6") {
+				printPair(sweep.Fig6Table())
+			}
+			return nil
+		})
+	}
+	if anyOf("prop", "fig7", "fig8", "fig9", "fig10") {
+		ran = true
+		run("proportion sweep (Figures 7-10)", func() error {
+			sweep, err := experiments.RunProportionSweep(cfg)
+			if err != nil {
+				return err
+			}
+			if err := writeCharts(*svgDir, sweep.Charts()); err != nil {
+				return err
+			}
+			printPair := func(a, b *metrics.Table) {
+				fmt.Println(a.Render())
+				fmt.Println(b.Render())
+			}
+			if anyOf("prop", "fig7") {
+				printPair(sweep.Fig7Table())
+			}
+			if anyOf("prop", "fig8") {
+				printPair(sweep.Fig8Table())
+			}
+			if anyOf("prop", "fig9") {
+				printPair(sweep.Fig9Table())
+			}
+			if anyOf("prop", "fig10") {
+				printPair(sweep.Fig10Table())
+			}
+			return nil
+		})
+	}
+	if anyOf("reservation") {
+		ran = true
+		run("co-reservation comparison (§III)", func() error {
+			c, err := experiments.RunReservationComparison(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println(c.Table().Render())
+			return nil
+		})
+	}
+	if anyOf("nway") {
+		ran = true
+		run("N-way extension sweep (§VI)", func() error {
+			s, err := experiments.RunNWaySweep(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println(s.Table().Render())
+			return writeCharts(*svgDir, []experiments.NamedChart{s.Chart()})
+		})
+	}
+	if anyOf("ablations") {
+		ran = true
+		run("design ablations", func() error {
+			a, err := experiments.RunAblations(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println(a.Table().Render())
+			return nil
+		})
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want validate, fig3..fig10, load, prop, reservation, nway, ablations, all)\n", *exp)
+		os.Exit(2)
+	}
+}
+
+// writeCharts renders the named charts as SVG files under dir (no-op when
+// dir is empty).
+func writeCharts(dir string, charts []experiments.NamedChart) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, nc := range charts {
+		svg, err := nc.Chart.SVG()
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(dir, nc.Name+".svg")
+		if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	return nil
+}
+
+// run times one experiment group and exits on error.
+func run(name string, f func() error) {
+	fmt.Printf("=== %s ===\n", name)
+	start := time.Now()
+	if err := f(); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+		os.Exit(1)
+	}
+	fmt.Printf("(%s completed in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+}

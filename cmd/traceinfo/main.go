@@ -1,0 +1,71 @@
+// Command traceinfo summarizes a job trace the way scheduler papers report
+// workloads: counts, span, offered load, and the size/runtime/interarrival
+// distributions. It reads the extended SWF format written by cmd/tracegen
+// (or any standard SWF trace).
+//
+// Usage:
+//
+//	traceinfo -nodes 40960 intrepid.swf
+//	tracegen -system eureka -util 0.5 | traceinfo -nodes 100 -
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cosched/internal/job"
+	"cosched/internal/trace"
+	"cosched/internal/workload"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 0, "machine size for offered-load computation (required)")
+	flag.Parse()
+	if *nodes <= 0 {
+		fmt.Fprintln(os.Stderr, "traceinfo: -nodes is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "traceinfo: exactly one trace path (or -) expected")
+		os.Exit(2)
+	}
+
+	path := flag.Arg(0)
+	var hdr *trace.Header
+	var jobs []*job.Job
+	skipped := 0
+	if path == "-" {
+		h, recs, err := trace.Read(os.Stdin)
+		if err != nil {
+			fatal(err)
+		}
+		hdr = h
+		jobs, skipped = trace.ToJobs(recs)
+		path = "stdin"
+	} else {
+		h, js, err := trace.LoadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		hdr, jobs = h, js
+	}
+
+	if hdr != nil && len(hdr.Order) > 0 {
+		fmt.Println("header:")
+		for _, k := range hdr.Order {
+			fmt.Printf("  %s: %s\n", k, hdr.Fields[k])
+		}
+	}
+	if skipped > 0 {
+		fmt.Printf("skipped %d records with unknown runtime/size\n", skipped)
+	}
+	st := workload.Analyze(jobs, *nodes)
+	fmt.Print(st.Render(path, *nodes))
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "traceinfo: %v\n", err)
+	os.Exit(1)
+}

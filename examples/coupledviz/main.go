@@ -1,0 +1,143 @@
+// Coupledviz: a FLASH-style simulation + covisualization campaign on an
+// Intrepid/Eureka-like coupled system (the paper's §II-B motivating
+// scenario).
+//
+// A month of background load runs on both machines. On top of it, a
+// science campaign submits eight large simulation jobs, each paired with a
+// visualization job on the analysis cluster so the output can be processed
+// at run time and streamed over the network instead of the file system.
+//
+// The example runs the campaign twice — compute side configured with
+// "hold" and then with "yield" — and contrasts the two schemes' pair
+// synchronization time and service-unit loss, the central trade-off of the
+// paper.
+//
+// Run with:
+//
+//	go run ./examples/coupledviz
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cosched/internal/cosched"
+	"cosched/internal/coupled"
+	"cosched/internal/job"
+	"cosched/internal/sim"
+	"cosched/internal/workload"
+)
+
+// buildCampaign returns the two domain traces with the paired campaign
+// jobs appended, freshly generated so each run mutates its own copy.
+func buildCampaign() (compute, viz []*job.Job, campaignIDs []job.ID) {
+	computeSpec := workload.Spec{
+		Name: "bgp", Jobs: 400, Span: 7 * sim.Day,
+		Sizes: []workload.SizeClass{
+			{Nodes: 512, Weight: 0.5}, {Nodes: 1024, Weight: 0.3}, {Nodes: 2048, Weight: 0.2},
+		},
+		RuntimeMu: 7.2, RuntimeSigma: 1.0,
+		MinRuntime: 5 * sim.Minute, MaxRuntime: 6 * sim.Hour,
+		WallFactorMin: 1.2, WallFactorMax: 2.5,
+		Seed: 1001,
+	}
+	vizSpec := workload.Spec{
+		Name: "viz", Jobs: 300, Span: 7 * sim.Day,
+		Sizes: []workload.SizeClass{
+			{Nodes: 2, Weight: 0.4}, {Nodes: 8, Weight: 0.3},
+			{Nodes: 16, Weight: 0.2}, {Nodes: 32, Weight: 0.1},
+		},
+		RuntimeMu: 6.5, RuntimeSigma: 1.0,
+		MinRuntime: 2 * sim.Minute, MaxRuntime: 2 * sim.Hour,
+		WallFactorMin: 1.2, WallFactorMax: 2.0,
+		Seed: 1002,
+	}
+	var err error
+	compute, err = workload.Generate(computeSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	viz, err = workload.Generate(vizSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := workload.ScaleToUtilization(compute, 8192, 0.65); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := workload.ScaleToUtilization(viz, 100, 0.45); err != nil {
+		log.Fatal(err)
+	}
+
+	// The campaign: 8 runs, every 18 hours, each a 2048-node / 3-hour
+	// simulation paired with a 32-node visualization of the same length.
+	nextID := job.ID(10000)
+	for i := 0; i < 8; i++ {
+		submit := sim.Time(i) * 18 * sim.Hour
+		simJob := job.New(nextID, 2048, submit, 3*sim.Hour, 4*sim.Hour)
+		simJob.Name = fmt.Sprintf("flash-run-%d", i)
+		vizJob := job.New(nextID, 32, submit+2*sim.Minute, 3*sim.Hour, 4*sim.Hour)
+		vizJob.Name = fmt.Sprintf("vl3-covis-%d", i)
+		simJob.Mates = []job.MateRef{{Domain: "eureka", Job: vizJob.ID}}
+		vizJob.Mates = []job.MateRef{{Domain: "intrepid", Job: simJob.ID}}
+		compute = append(compute, simJob)
+		viz = append(viz, vizJob)
+		campaignIDs = append(campaignIDs, nextID)
+		nextID++
+	}
+	return compute, viz, campaignIDs
+}
+
+// runScheme simulates the campaign under one compute-side scheme.
+func runScheme(scheme cosched.Scheme) (res *coupled.Result, s *coupled.Sim, ids []job.ID) {
+	compute, viz, ids := buildCampaign()
+	s, err := coupled.New(coupled.Options{
+		Domains: []coupled.DomainConfig{
+			{
+				Name: "intrepid", Nodes: 8192, MinPartition: 512,
+				Backfilling: true,
+				Cosched:     cosched.DefaultConfig(scheme),
+				Trace:       compute,
+			},
+			{
+				Name: "eureka", Nodes: 100,
+				Backfilling: true,
+				Cosched:     cosched.DefaultConfig(cosched.Yield),
+				Trace:       viz,
+			},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return s.Run(), s, ids
+}
+
+func main() {
+	fmt.Println("coupledviz: FLASH-style co-visualization campaign (8 paired runs over a week)")
+	for _, scheme := range []cosched.Scheme{cosched.Hold, cosched.Yield} {
+		res, s, ids := runScheme(scheme)
+		intr := s.Manager("intrepid")
+		fmt.Printf("\n=== compute scheme: %s (analysis side always yields) ===\n", scheme)
+		var worstSync, totalSync sim.Duration
+		for _, id := range ids {
+			j, _ := intr.Job(id)
+			totalSync += j.SyncTime()
+			if j.SyncTime() > worstSync {
+				worstSync = j.SyncTime()
+			}
+			fmt.Printf("  %-13s start t=%7.2fh sync %5.1f min (held %6.0f node-min)\n",
+				j.Name, float64(j.StartTime)/3600,
+				float64(j.SyncTime())/60, float64(j.HeldNodeSeconds)/60)
+		}
+		ri := res.Reports["intrepid"]
+		re := res.Reports["eureka"]
+		fmt.Printf("  campaign: avg sync %.1f min, worst %.1f min\n",
+			float64(totalSync)/float64(len(ids))/60, float64(worstSync)/60)
+		fmt.Printf("  intrepid: avg wait %.1f min, service-unit loss %.0f node-hours (%.2f%%)\n",
+			ri.Wait.Mean, ri.LostNodeHours, 100*ri.LostUtilization)
+		fmt.Printf("  eureka:   avg wait %.1f min, co-start violations %d, stuck %d\n",
+			re.Wait.Mean, res.CoStartViolations, res.StuckJobs)
+	}
+	fmt.Println("\nhold minimizes pair sync time; yield eliminates the node-hour loss —")
+	fmt.Println("the trade-off system owners balance per §IV-B of the paper.")
+}

@@ -1,0 +1,151 @@
+// Package backfill implements EASY (aggressive) backfilling: when the
+// highest-priority queued job cannot start, it receives a reservation at the
+// earliest time enough nodes will be free (the shadow time), and
+// lower-priority jobs may jump ahead only if doing so cannot delay that
+// reservation.
+//
+// The planner is pure: it consumes an ordered queue plus a snapshot of free
+// nodes and future releases, and returns which jobs may start now. The
+// resource manager owns all state changes.
+package backfill
+
+import (
+	"math"
+	"sort"
+
+	"cosched/internal/job"
+	"cosched/internal/sim"
+)
+
+// Release describes nodes that will return to the pool no later than EndBy
+// (running jobs release at start + walltime; the walltime bound is what the
+// real schedulers plan with, since actual runtimes are unknown in advance).
+// Held coscheduling allocations have no bounded end and must NOT be listed;
+// the planner then correctly treats their nodes as unavailable forever.
+type Release struct {
+	Nodes int
+	EndBy sim.Time
+}
+
+// ChargeFunc maps a job's requested nodes to the nodes actually consumed
+// (partition rounding). cluster.Pool.ChargeFor satisfies it.
+type ChargeFunc func(int) int
+
+// EstimateFunc supplies the planning runtime for a queued job (walltime,
+// or a system-generated prediction — predict.Estimator.Estimate satisfies
+// it). nil means walltime.
+type EstimateFunc func(*job.Job) sim.Duration
+
+// Decision is one planned start. HoldSafe reports whether the job could
+// occupy its nodes indefinitely without delaying the protected head-job
+// reservation: true for jobs admitted in priority order (they outrank the
+// blocked job) and for backfills that fit in the reservation's spare
+// nodes; false for backfills admitted only because their walltime ends
+// before the shadow time. The coscheduling layer uses it to decide whether
+// a "hold" — an unbounded occupation — is permissible where a bounded
+// backfill was.
+type Decision struct {
+	Job      *job.Job
+	HoldSafe bool
+}
+
+// Plan returns the jobs from ordered (a queue already sorted by descending
+// priority) that may start at time now, in start order.
+//
+// With backfilling disabled the plan is the strict prefix of the queue that
+// fits. With it enabled, the first non-fitting job gets a shadow-time
+// reservation and later jobs may backfill subject to the EASY rule.
+// Only the single highest-priority blocked job is protected (classic EASY);
+// subsequent blocked jobs may be overtaken.
+func Plan(ordered []*job.Job, free int, charge ChargeFunc, releases []Release, now sim.Time, backfilling bool, estimate EstimateFunc) []Decision {
+	if charge == nil {
+		charge = func(n int) int { return n }
+	}
+	if estimate == nil {
+		estimate = func(j *job.Job) sim.Duration { return j.Walltime }
+	}
+	var plan []Decision
+	avail := free
+
+	i := 0
+	// Greedy prefix: start jobs in priority order while they fit. They
+	// outrank everything behind them, so indefinite occupation is safe.
+	for ; i < len(ordered); i++ {
+		c := charge(ordered[i].Nodes)
+		if c > avail {
+			break
+		}
+		plan = append(plan, Decision{Job: ordered[i], HoldSafe: true})
+		avail -= c
+	}
+	if i >= len(ordered) || !backfilling {
+		return plan
+	}
+
+	// ordered[i] is the blocked head job. Compute its reservation.
+	head := ordered[i]
+	headCharge := charge(head.Nodes)
+	shadow, extra := reservation(avail, headCharge, releases, now)
+
+	// Backfill the remaining jobs: each must fit now, and must either end
+	// (by walltime) at or before the shadow time, or fit within the extra
+	// nodes that remain free at the shadow time even with the head job
+	// started.
+	for k := i + 1; k < len(ordered); k++ {
+		j := ordered[k]
+		c := charge(j.Nodes)
+		if c > avail {
+			continue
+		}
+		if c <= extra {
+			plan = append(plan, Decision{Job: j, HoldSafe: true})
+			avail -= c
+			extra -= c
+			continue
+		}
+		if endsBy := now + estimate(j); endsBy <= shadow {
+			plan = append(plan, Decision{Job: j, HoldSafe: false})
+			avail -= c
+		}
+	}
+	return plan
+}
+
+// reservation computes the shadow time (earliest instant avail plus future
+// releases reaches need) and the extra nodes spare at that instant after
+// reserving need. When the releases can never satisfy need (e.g. held nodes
+// block it), shadow is +inf represented by math.MaxInt64 and extra is the
+// nodes currently available (backfill then only requires fitting now).
+func reservation(avail, need int, releases []Release, now sim.Time) (shadow sim.Time, extra int) {
+	if need <= avail {
+		return now, avail - need
+	}
+	rel := append([]Release(nil), releases...)
+	sort.Slice(rel, func(a, b int) bool {
+		if rel[a].EndBy != rel[b].EndBy {
+			return rel[a].EndBy < rel[b].EndBy
+		}
+		return rel[a].Nodes < rel[b].Nodes
+	})
+	acc := avail
+	for i, r := range rel {
+		acc += r.Nodes
+		if acc >= need {
+			// Everything releasing at the same instant frees together:
+			// absorb the rest of the equal-EndBy run so `extra` doesn't
+			// depend on the order equal-time releases were listed in.
+			for k := i + 1; k < len(rel) && rel[k].EndBy == r.EndBy; k++ {
+				acc += rel[k].Nodes
+			}
+			return maxTime(r.EndBy, now), acc - need
+		}
+	}
+	return math.MaxInt64, avail
+}
+
+func maxTime(a, b sim.Time) sim.Time {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,186 @@
+package backfill
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cosched/internal/job"
+	"cosched/internal/sim"
+)
+
+func mkjob(id job.ID, nodes int, wall sim.Duration) *job.Job {
+	return job.New(id, nodes, 0, wall, wall)
+}
+
+func idsOf(ds []Decision) []job.ID {
+	out := make([]job.ID, len(ds))
+	for i, d := range ds {
+		out[i] = d.Job.ID
+	}
+	return out
+}
+
+func TestPlanPrefixWithoutBackfill(t *testing.T) {
+	q := []*job.Job{
+		mkjob(1, 40, sim.Hour),
+		mkjob(2, 80, sim.Hour), // blocked: only 60 left
+		mkjob(3, 10, sim.Hour), // would fit, but backfilling off
+	}
+	got := Plan(q, 100, nil, nil, 0, false, nil)
+	if len(got) != 1 || got[0].Job.ID != 1 {
+		t.Fatalf("plan = %v, want [1]", idsOf(got))
+	}
+}
+
+func TestPlanBackfillShortJob(t *testing.T) {
+	// 100 nodes; 60 busy until t=1000. Head job wants 80 → shadow at 1000.
+	// Job 3 (30 nodes, ends at 500 < 1000) may backfill.
+	q := []*job.Job{
+		mkjob(2, 80, sim.Hour),
+		mkjob(3, 30, 500),
+	}
+	rel := []Release{{Nodes: 60, EndBy: 1000}}
+	got := Plan(q, 40, nil, rel, 0, true, nil)
+	if len(got) != 1 || got[0].Job.ID != 3 {
+		t.Fatalf("plan = %v, want [3]", idsOf(got))
+	}
+	if got[0].HoldSafe {
+		t.Fatal("walltime-bounded backfill must not be hold-safe")
+	}
+}
+
+func TestPlanBackfillRespectsShadow(t *testing.T) {
+	// Job 3 is long (ends after shadow) and would steal nodes the head
+	// job needs at the shadow time → must NOT backfill.
+	q := []*job.Job{
+		mkjob(2, 80, sim.Hour),
+		mkjob(3, 30, 10*sim.Hour),
+	}
+	rel := []Release{{Nodes: 60, EndBy: 1000}}
+	got := Plan(q, 40, nil, rel, 0, true, nil)
+	if len(got) != 0 {
+		t.Fatalf("plan = %v, want [] (job 3 would delay the reservation)", idsOf(got))
+	}
+}
+
+func TestPlanBackfillExtraNodes(t *testing.T) {
+	// Head needs 80; at shadow (t=1000) 40+60=100 free, extra = 20.
+	// A long 20-node job fits in the extra and may backfill despite
+	// running past the shadow.
+	q := []*job.Job{
+		mkjob(2, 80, sim.Hour),
+		mkjob(3, 20, 100*sim.Hour),
+	}
+	rel := []Release{{Nodes: 60, EndBy: 1000}}
+	got := Plan(q, 40, nil, rel, 0, true, nil)
+	if len(got) != 1 || got[0].Job.ID != 3 {
+		t.Fatalf("plan = %v, want [3]", idsOf(got))
+	}
+	if !got[0].HoldSafe {
+		t.Fatal("extra-node backfill is hold-safe (never delays the reservation)")
+	}
+}
+
+func TestPlanHeadFitsImmediately(t *testing.T) {
+	q := []*job.Job{
+		mkjob(1, 30, sim.Hour),
+		mkjob(2, 30, sim.Hour),
+		mkjob(3, 50, sim.Hour), // blocked after 1 and 2 take 60
+	}
+	got := Plan(q, 100, nil, nil, 0, true, nil)
+	if len(got) != 2 || got[0].Job.ID != 1 || got[1].Job.ID != 2 {
+		t.Fatalf("plan = %v, want [1 2]", idsOf(got))
+	}
+	for _, d := range got {
+		if !d.HoldSafe {
+			t.Fatalf("prefix job %d must be hold-safe", d.Job.ID)
+		}
+	}
+}
+
+func TestPlanNoReleasesMeansInfiniteShadow(t *testing.T) {
+	// All other nodes are held by coscheduling (no bounded release).
+	// Backfill candidates only need to fit in the free nodes.
+	q := []*job.Job{
+		mkjob(1, 80, sim.Hour),      // blocked forever
+		mkjob(2, 20, 1000*sim.Hour), // fits now → may run
+	}
+	got := Plan(q, 40, nil, nil, 0, true, nil)
+	if len(got) != 1 || got[0].Job.ID != 2 {
+		t.Fatalf("plan = %v, want [2]", idsOf(got))
+	}
+}
+
+func TestPlanChargeFunction(t *testing.T) {
+	// Partition charging: a 600-node request charges 1024.
+	charge := func(n int) int {
+		size := 512
+		for size < n {
+			size *= 2
+		}
+		return size
+	}
+	q := []*job.Job{mkjob(1, 600, sim.Hour)}
+	if got := Plan(q, 1000, charge, nil, 0, true, nil); len(got) != 0 {
+		t.Fatalf("plan = %v, want [] (charge 1024 > 1000 free)", idsOf(got))
+	}
+	if got := Plan(q, 1024, charge, nil, 0, true, nil); len(got) != 1 {
+		t.Fatalf("plan = %v, want [1]", idsOf(got))
+	}
+}
+
+func TestPlanEmptyQueue(t *testing.T) {
+	if got := Plan(nil, 100, nil, nil, 0, true, nil); len(got) != 0 {
+		t.Fatalf("plan over empty queue = %v", idsOf(got))
+	}
+}
+
+// Property: the plan never over-commits free nodes, preserves queue order
+// for the jobs it selects, and with backfilling off is always a prefix.
+func TestPlanInvariantsProperty(t *testing.T) {
+	f := func(sizes []uint8, freeSeed uint8, bf bool) bool {
+		free := int(freeSeed)%128 + 1
+		var q []*job.Job
+		for i, s := range sizes {
+			n := int(s)%128 + 1
+			q = append(q, mkjob(job.ID(i+1), n, sim.Duration(s+1)*60))
+		}
+		var rel []Release
+		if len(sizes) > 0 {
+			rel = []Release{{Nodes: int(sizes[0]) + 1, EndBy: 5000}}
+		}
+		got := Plan(q, free, nil, rel, 0, bf, nil)
+		sum := 0
+		pos := -1
+		for _, g := range got {
+			sum += g.Job.Nodes
+			// selected jobs appear in queue order
+			found := -1
+			for qi, qq := range q {
+				if qq.ID == g.Job.ID {
+					found = qi
+					break
+				}
+			}
+			if found <= pos {
+				return false
+			}
+			pos = found
+		}
+		if sum > free {
+			return false
+		}
+		if !bf {
+			// prefix property, all hold-safe
+			for i, g := range got {
+				if q[i].ID != g.Job.ID || !g.HoldSafe {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

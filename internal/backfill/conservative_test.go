@@ -1,0 +1,151 @@
+package backfill
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cosched/internal/job"
+	"cosched/internal/sim"
+)
+
+// The classic EASY-vs-conservative distinction: a backfill candidate that
+// cannot delay the head job's reservation but would delay the SECOND
+// blocked job's. EASY admits it; conservative must not.
+//
+// total 100; running: 40 nodes until t=50, 30 nodes until t=100 → free 30.
+// j1 needs 100 → reservation at t=100.
+// j2 needs 60  → conservative reserves it at t=50 (fits beside the
+//
+//	remaining 30-node runner).
+//
+// j3 needs 30 for 60 s → ends before j1's shadow (EASY admits), but its
+//
+//	[50,60) tail overlaps j2's reservation (conservative
+//	rejects).
+func conservativeScenario() (q []*job.Job, rel []Release) {
+	j1 := job.New(1, 100, 0, 500, 500)
+	j2 := job.New(2, 60, 1, 40, 40)
+	j3 := job.New(3, 30, 2, 60, 60)
+	return []*job.Job{j1, j2, j3}, []Release{
+		{Nodes: 40, EndBy: 50},
+		{Nodes: 30, EndBy: 100},
+	}
+}
+
+func TestConservativeProtectsSecondBlockedJob(t *testing.T) {
+	q, rel := conservativeScenario()
+
+	easy := Plan(q, 30, nil, rel, 0, true, nil)
+	if len(easy) != 1 || easy[0].Job.ID != 3 {
+		t.Fatalf("EASY plan = %v, want [3] (backfills past the unprotected j2)", idsOf(easy))
+	}
+
+	cons := PlanConservative(q, 100, 30, nil, rel, 0, nil)
+	for _, d := range cons {
+		if d.Job.ID == 3 {
+			t.Fatal("conservative admitted j3, which delays j2's reservation")
+		}
+	}
+}
+
+func TestConservativeStartsFittingJobs(t *testing.T) {
+	// Fitting jobs start in priority order; the blocked third job gets a
+	// reservation instead.
+	q := []*job.Job{
+		job.New(1, 40, 0, 100, 100),
+		job.New(2, 40, 1, 100, 100),
+		job.New(3, 40, 2, 100, 100), // blocked: only 100 total
+	}
+	got := PlanConservative(q, 100, 100, nil, nil, 0, nil)
+	if len(got) != 2 || got[0].Job.ID != 1 || got[1].Job.ID != 2 {
+		t.Fatalf("plan = %v, want [1 2]", idsOf(got))
+	}
+	// Holding j1 (40 nodes) forever still leaves 60 ≥ j3's 40 when j2
+	// ends, so the individual holds are safe here.
+	for _, d := range got {
+		if !d.HoldSafe {
+			t.Fatalf("job %d not hold-safe though j3 fits beside it", d.Job.ID)
+		}
+	}
+}
+
+func TestConservativeHoldUnsafeWhenReservationNeedsTheNodes(t *testing.T) {
+	// j1 starts now; j2 (60 nodes) is reserved right after j1's window.
+	// Holding j1's 60 nodes forever would push j2 out indefinitely.
+	q := []*job.Job{
+		job.New(1, 60, 0, 100, 100),
+		job.New(2, 60, 1, 100, 100),
+	}
+	got := PlanConservative(q, 100, 100, nil, nil, 0, nil)
+	if len(got) != 1 || got[0].Job.ID != 1 {
+		t.Fatalf("plan = %v, want [1]", idsOf(got))
+	}
+	if got[0].HoldSafe {
+		t.Fatal("j1 marked hold-safe although j2's reservation needs its nodes")
+	}
+}
+
+func TestConservativeHoldSafeWhenNoReservationTouched(t *testing.T) {
+	// A single small job on an empty machine can hold forever.
+	q := []*job.Job{job.New(1, 10, 0, 100, 100)}
+	got := PlanConservative(q, 100, 100, nil, nil, 0, nil)
+	if len(got) != 1 || !got[0].HoldSafe {
+		t.Fatalf("plan = %+v, want one hold-safe start", got)
+	}
+}
+
+func TestConservativeSkipsImpossibleJobs(t *testing.T) {
+	q := []*job.Job{
+		job.New(1, 200, 0, 100, 100), // larger than the machine
+		job.New(2, 10, 1, 100, 100),
+	}
+	got := PlanConservative(q, 100, 100, nil, nil, 0, nil)
+	if len(got) != 1 || got[0].Job.ID != 2 {
+		t.Fatalf("plan = %v, want [2]", idsOf(got))
+	}
+}
+
+func TestConservativeHeldNodesNeverRelease(t *testing.T) {
+	// 60 of 100 nodes busy with NO bounded release (coscheduling holds):
+	// a 50-node job must not be planned now or ever counted as startable.
+	q := []*job.Job{job.New(1, 50, 0, 100, 100)}
+	got := PlanConservative(q, 100, 40, nil, nil, 0, nil)
+	if len(got) != 0 {
+		t.Fatalf("plan = %v, want [] (held nodes never free)", idsOf(got))
+	}
+}
+
+// Property: conservative plans never start more nodes than are free, and
+// always start jobs in queue order.
+func TestConservativeInvariantsProperty(t *testing.T) {
+	f := func(sizes []uint8, freeSeed uint8) bool {
+		free := int(freeSeed)%128 + 1
+		total := free + 64
+		var q []*job.Job
+		for i, s := range sizes {
+			n := int(s)%128 + 1
+			q = append(q, job.New(job.ID(i+1), n, 0, sim.Duration(s+1)*60, sim.Duration(s+1)*60))
+		}
+		rel := []Release{{Nodes: 64, EndBy: 5000}}
+		got := PlanConservative(q, total, free, nil, rel, 0, nil)
+		sum, pos := 0, -1
+		for _, d := range got {
+			sum += d.Job.Nodes
+			found := -1
+			for qi, qq := range q {
+				if qq.ID == d.Job.ID {
+					found = qi
+					break
+				}
+			}
+			if found <= pos {
+				return false
+			}
+			pos = found
+		}
+		return sum <= free
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,208 @@
+package chart
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleChart() *BarChart {
+	return &BarChart{
+		Title:       "Figure X: sample",
+		YLabel:      "minutes",
+		Series:      []string{"HH", "HY", "YH", "YY"},
+		HasBaseline: true,
+		ValueFmt:    "%.1f",
+		Groups: []Group{
+			{Label: "0.25", Values: []float64{4, 5, 3, 6}, Baseline: 2},
+			{Label: "0.50", Values: []float64{10, 12, 9, 11}, Baseline: 8},
+			{Label: "0.75", Values: []float64{42, 30, 25, 20}, Baseline: 15},
+		},
+	}
+}
+
+func TestSVGBasicStructure(t *testing.T) {
+	svg, err := sampleChart().SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"<svg", "</svg>", "Figure X: sample", "minutes",
+		"HH", "YY", "0.25", "0.75", "base",
+		seriesColors[0], seriesColors[3],
+		"<title>", "stroke-dasharray", // tooltips + baseline dashes
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("svg missing %q", want)
+		}
+	}
+	// 3 groups × 4 series = 12 bars.
+	if got := strings.Count(svg, "<path d="); got != 12 {
+		t.Errorf("bar count = %d, want 12", got)
+	}
+	// One dashed baseline per group + one legend sample.
+	if got := strings.Count(svg, "stroke-dasharray"); got != 4 {
+		t.Errorf("dashed lines = %d, want 4", got)
+	}
+}
+
+// barTops extracts each bar path's top y coordinate (the M command's y
+// minus the vertical segment), which must order inversely with the value.
+var pathRe = regexp.MustCompile(`<path d="M([0-9.]+) ([0-9.]+) v(-?[0-9.]+)`)
+
+func TestSVGGeometryWithinBounds(t *testing.T) {
+	svg, err := sampleChart().SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := pathRe.FindAllStringSubmatch(svg, -1)
+	if len(ms) != 12 {
+		t.Fatalf("parsed %d bar paths", len(ms))
+	}
+	for _, m := range ms {
+		x, _ := strconv.ParseFloat(m[1], 64)
+		yBase, _ := strconv.ParseFloat(m[2], 64)
+		v, _ := strconv.ParseFloat(m[3], 64)
+		if x < marginLeft || x > chartWidth-marginRight {
+			t.Errorf("bar x=%g outside plot", x)
+		}
+		if yBase < marginTop || yBase > chartHeight-marginBottom+1 {
+			t.Errorf("bar base y=%g outside plot", yBase)
+		}
+		if v > 0 {
+			t.Errorf("bar rises downward: v=%g", v)
+		}
+	}
+}
+
+func TestSVGTallerValueTallerBar(t *testing.T) {
+	c := &BarChart{
+		Title:  "t",
+		Series: []string{"a", "b"},
+		Groups: []Group{{Label: "g", Values: []float64{10, 40}}},
+	}
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := pathRe.FindAllStringSubmatch(svg, -1)
+	if len(ms) != 2 {
+		t.Fatalf("bars = %d", len(ms))
+	}
+	h1, _ := strconv.ParseFloat(ms[0][3], 64)
+	h2, _ := strconv.ParseFloat(ms[1][3], 64)
+	// v segments are negative (drawn upward); the larger value has the
+	// more negative segment. Heights must scale ~4:1.
+	if !(h2 < h1) {
+		t.Fatalf("larger value not taller: %g vs %g", h1, h2)
+	}
+	ratio := h2 / h1
+	if ratio < 3.5 || ratio > 4.5 {
+		t.Fatalf("height ratio %.2f, want ≈4 (linear, zero-based scale)", ratio)
+	}
+}
+
+func TestSVGErrors(t *testing.T) {
+	if _, err := (&BarChart{Title: "x", Series: []string{"a"}}).SVG(); err == nil {
+		t.Fatal("no groups accepted")
+	}
+	if _, err := (&BarChart{Title: "x", Groups: []Group{{Label: "g"}}}).SVG(); err == nil {
+		t.Fatal("no series accepted")
+	}
+	c := &BarChart{Title: "x", Series: []string{"a", "b", "c", "d", "e"},
+		Groups: []Group{{Label: "g", Values: []float64{1, 2, 3, 4, 5}}}}
+	if _, err := c.SVG(); err == nil {
+		t.Fatal("5 series accepted (palette has 4 slots)")
+	}
+	c = &BarChart{Title: "x", Series: []string{"a"},
+		Groups: []Group{{Label: "g", Values: []float64{1, 2}}}}
+	if _, err := c.SVG(); err == nil {
+		t.Fatal("value/series mismatch accepted")
+	}
+}
+
+func TestSVGEscapesText(t *testing.T) {
+	c := &BarChart{
+		Title:  `<script>&"attack"`,
+		Series: []string{"a<b"},
+		Groups: []Group{{Label: "g&g", Values: []float64{1}}},
+	}
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(svg, "<script>") {
+		t.Fatal("unescaped markup in output")
+	}
+	if !strings.Contains(svg, "&lt;script&gt;") {
+		t.Fatal("escaped title missing")
+	}
+}
+
+func TestSingleSeriesOmitsLegend(t *testing.T) {
+	c := &BarChart{Title: "solo", Series: []string{"only"},
+		Groups: []Group{{Label: "g", Values: []float64{3}}}}
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No legend swatch rects (rx="3" is the swatch signature).
+	if strings.Contains(svg, `rx="3"`) {
+		t.Fatal("single-series chart rendered a legend swatch")
+	}
+}
+
+func TestNiceCeil(t *testing.T) {
+	cases := map[float64]float64{
+		0.5: 0.5, 1: 1, 1.2: 2, 3: 5, 7: 10, 11: 20, 26: 50,
+		99: 100, 101: 200, 240: 250, 7e5: 1e6,
+	}
+	for in, want := range cases {
+		if got := niceCeil(in); got != want {
+			t.Errorf("niceCeil(%g) = %g, want %g", in, got, want)
+		}
+	}
+}
+
+// Property: any non-negative data renders to well-formed SVG with every
+// bar inside the plot box.
+func TestSVGProperty(t *testing.T) {
+	f := func(vals []uint16, nGroups uint8) bool {
+		g := int(nGroups)%6 + 1
+		ns := 3
+		if len(vals) < g*ns {
+			return true
+		}
+		c := &BarChart{Title: "p", Series: []string{"a", "b", "c"}}
+		k := 0
+		for i := 0; i < g; i++ {
+			grp := Group{Label: fmt.Sprintf("g%d", i)}
+			for s := 0; s < ns; s++ {
+				grp.Values = append(grp.Values, float64(vals[k]))
+				k++
+			}
+			c.Groups = append(c.Groups, grp)
+		}
+		svg, err := c.SVG()
+		if err != nil {
+			return false
+		}
+		ms := pathRe.FindAllStringSubmatch(svg, -1)
+		if len(ms) != g*ns {
+			return false
+		}
+		for _, m := range ms {
+			x, _ := strconv.ParseFloat(m[1], 64)
+			if x < marginLeft-1 || x > chartWidth-marginRight {
+				return false
+			}
+		}
+		return strings.HasSuffix(svg, "</svg>")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

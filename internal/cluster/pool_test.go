@@ -1,0 +1,190 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocateRelease(t *testing.T) {
+	p := New("test", 100)
+	a, err := p.Allocate(0, 40, AllocRun)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Free() != 60 || p.Busy() != 40 || p.Running() != 40 || p.Held() != 0 {
+		t.Fatalf("after allocate: %s", p)
+	}
+	if err := p.Release(10, a.ID); err != nil {
+		t.Fatal(err)
+	}
+	if p.Free() != 100 || p.Allocations() != 0 {
+		t.Fatalf("after release: %s", p)
+	}
+}
+
+func TestAllocateInsufficient(t *testing.T) {
+	p := New("test", 10)
+	if _, err := p.Allocate(0, 8, AllocRun); err != nil {
+		t.Fatal(err)
+	}
+	_, err := p.Allocate(0, 3, AllocRun)
+	if !errors.Is(err, ErrInsufficientNodes) {
+		t.Fatalf("err = %v, want ErrInsufficientNodes", err)
+	}
+}
+
+func TestAllocateBadRequest(t *testing.T) {
+	p := New("test", 10)
+	for _, n := range []int{0, -1, 11} {
+		if _, err := p.Allocate(0, n, AllocRun); !errors.Is(err, ErrBadRequest) {
+			t.Errorf("Allocate(%d) err = %v, want ErrBadRequest", n, err)
+		}
+	}
+}
+
+func TestReleaseUnknown(t *testing.T) {
+	p := New("test", 10)
+	if err := p.Release(0, 42); !errors.Is(err, ErrUnknownAlloc) {
+		t.Fatalf("err = %v, want ErrUnknownAlloc", err)
+	}
+}
+
+func TestHeldAccounting(t *testing.T) {
+	p := New("test", 100)
+	h, err := p.Allocate(0, 30, AllocHold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Held() != 30 || p.Running() != 0 || p.Busy() != 30 {
+		t.Fatalf("after hold: %s", p)
+	}
+	if got := p.HeldFraction(); got != 0.3 {
+		t.Fatalf("held fraction = %g, want 0.3", got)
+	}
+	// Convert hold → run (mate became ready).
+	if _, err := p.Convert(50, h.ID, AllocRun); err != nil {
+		t.Fatal(err)
+	}
+	if p.Held() != 0 || p.Running() != 30 {
+		t.Fatalf("after convert: %s", p)
+	}
+	p.Sync(100)
+	// Held for 50s × 30 nodes = 1500 held node-seconds.
+	if got := p.HeldNodeSeconds(); got != 1500 {
+		t.Fatalf("held integral = %d, want 1500", got)
+	}
+	// Busy the whole 100s × 30 nodes = 3000.
+	if got := p.BusyNodeSeconds(); got != 3000 {
+		t.Fatalf("busy integral = %d, want 3000", got)
+	}
+	// Utilization excludes the held time: (3000-1500)/(100*100) = 0.15.
+	if got := p.Utilization(100); got != 0.15 {
+		t.Fatalf("utilization = %g, want 0.15", got)
+	}
+}
+
+func TestConvertIdempotentAndUnknown(t *testing.T) {
+	p := New("test", 10)
+	a, _ := p.Allocate(0, 4, AllocRun)
+	if _, err := p.Convert(0, a.ID, AllocRun); err != nil {
+		t.Fatalf("same-kind convert: %v", err)
+	}
+	if _, err := p.Convert(0, 999, AllocHold); !errors.Is(err, ErrUnknownAlloc) {
+		t.Fatalf("err = %v, want ErrUnknownAlloc", err)
+	}
+}
+
+func TestPartitionedChargeFor(t *testing.T) {
+	p := NewPartitioned("intrepid", 40960, 512)
+	cases := map[int]int{
+		1:     512,
+		512:   512,
+		513:   1024,
+		1024:  1024,
+		2049:  4096,
+		40960: 40960,
+		33000: 40960, // next pow2 is 65536 > total, clamp to total
+	}
+	for req, want := range cases {
+		if got := p.ChargeFor(req); got != want {
+			t.Errorf("ChargeFor(%d) = %d, want %d", req, got, want)
+		}
+	}
+}
+
+func TestPartitionedAllocation(t *testing.T) {
+	p := NewPartitioned("bgp", 4096, 512)
+	a, err := p.Allocate(0, 700, AllocRun) // charges 1024
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Allocated != 1024 || a.Requested != 700 {
+		t.Fatalf("alloc = %+v", a)
+	}
+	if p.Free() != 4096-1024 {
+		t.Fatalf("free = %d", p.Free())
+	}
+	if !p.CanAllocate(3000) { // charges 4096 > 3072? No: ChargeFor(3000)=4096 > free 3072.
+		// 3000 rounds to 4096 which exceeds free capacity — CanAllocate
+		// must be false; flip the assertion.
+		t.Log("CanAllocate(3000) correctly false")
+	} else {
+		t.Fatal("CanAllocate(3000) = true, want false (charge 4096 > free 3072)")
+	}
+}
+
+// Property: any sequence of allocate/release keeps invariants:
+// 0 ≤ free ≤ total, held ≤ busy, and conservation free + busy = total.
+func TestPoolInvariantsProperty(t *testing.T) {
+	type op struct {
+		N    uint8
+		Hold bool
+		Rel  bool
+	}
+	f := func(ops []op) bool {
+		p := New("q", 64)
+		var live []int64
+		now := int64(0)
+		for _, o := range ops {
+			now++
+			if o.Rel && len(live) > 0 {
+				id := live[0]
+				live = live[1:]
+				if err := p.Release(now, id); err != nil {
+					return false
+				}
+			} else {
+				n := int(o.N%64) + 1
+				kind := AllocRun
+				if o.Hold {
+					kind = AllocHold
+				}
+				a, err := p.Allocate(now, n, kind)
+				if err == nil {
+					live = append(live, a.ID)
+				}
+			}
+			if p.Free() < 0 || p.Free() > p.Total() {
+				return false
+			}
+			if p.Held() > p.Busy() || p.Held() < 0 {
+				return false
+			}
+			if p.Free()+p.Busy() != p.Total() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUtilizationZeroSpan(t *testing.T) {
+	p := New("x", 10)
+	if got := p.Utilization(0); got != 0 {
+		t.Fatalf("utilization with zero span = %g, want 0", got)
+	}
+}

@@ -1,0 +1,202 @@
+// Package cosched defines the coscheduling vocabulary from Tang et al.
+// (ICPP 2011): the hold/yield schemes, the mate-status values exchanged
+// between scheduling domains, the per-domain configuration (including the
+// deadlock-breaking release interval and the performance-impact
+// thresholds), and the Peer interface — the lightweight coordination
+// protocol Algorithm 1 speaks against a remote resource manager.
+//
+// The algorithm itself lives in internal/resmgr, which extends the
+// resource manager's Run_Job function exactly as the paper describes.
+package cosched
+
+import (
+	"fmt"
+
+	"cosched/internal/job"
+	"cosched/internal/sim"
+)
+
+// Scheme selects what a ready job does when its remote mate cannot start:
+// hold its assigned nodes, or yield the slot.
+type Scheme int
+
+const (
+	// Hold keeps the assigned nodes busy (invisible to other jobs) until
+	// the mate becomes ready. Minimizes pair synchronization time at the
+	// cost of wasted service units.
+	Hold Scheme = iota
+	// Yield gives the slot back to the scheduler and returns the job to
+	// the queue. Costs nothing in service units but the job may yield
+	// repeatedly before the pair aligns.
+	Yield
+)
+
+// String returns "hold" or "yield".
+func (s Scheme) String() string {
+	if s == Yield {
+		return "yield"
+	}
+	return "hold"
+}
+
+// Short returns the single-letter form used in the paper's figures (H/Y).
+func (s Scheme) Short() string {
+	if s == Yield {
+		return "Y"
+	}
+	return "H"
+}
+
+// ParseScheme parses "hold"/"h" or "yield"/"y" (case-sensitive lower).
+func ParseScheme(s string) (Scheme, error) {
+	switch s {
+	case "hold", "h", "H":
+		return Hold, nil
+	case "yield", "y", "Y":
+		return Yield, nil
+	default:
+		return Hold, fmt.Errorf("cosched: unknown scheme %q", s)
+	}
+}
+
+// MateStatus is the answer to a GetMateStatus query, mirroring the status
+// switch in Algorithm 1 plus terminal states needed for fault tolerance.
+type MateStatus int
+
+const (
+	// StatusUnknown means the remote manager has no record of the job or
+	// the query failed; Algorithm 1 starts the local job normally.
+	StatusUnknown MateStatus = iota
+	// StatusUnsubmitted means the remote expects the job (it appears in
+	// the registered workload) but it has not arrived in the queue.
+	StatusUnsubmitted
+	// StatusQueuing means the mate is waiting in the remote queue.
+	StatusQueuing
+	// StatusHolding means the mate holds its nodes waiting for us: both
+	// sides can start immediately.
+	StatusHolding
+	// StatusRunning means the mate already started (only possible after a
+	// fault-tolerance fallback start).
+	StatusRunning
+	// StatusCompleted means the mate already finished.
+	StatusCompleted
+)
+
+var statusNames = map[MateStatus]string{
+	StatusUnknown:     "unknown",
+	StatusUnsubmitted: "unsubmitted",
+	StatusQueuing:     "queuing",
+	StatusHolding:     "holding",
+	StatusRunning:     "running",
+	StatusCompleted:   "completed",
+}
+
+// String returns the wire name of the status.
+func (m MateStatus) String() string {
+	if n, ok := statusNames[m]; ok {
+		return n
+	}
+	return fmt.Sprintf("matestatus(%d)", int(m))
+}
+
+// ParseMateStatus inverts String.
+func ParseMateStatus(s string) (MateStatus, error) {
+	for k, v := range statusNames {
+		if v == s {
+			return k, nil
+		}
+	}
+	return StatusUnknown, fmt.Errorf("cosched: unknown mate status %q", s)
+}
+
+// FromJobState maps a locally observed job state to the status reported to
+// a peer.
+func FromJobState(s job.State) MateStatus {
+	switch s {
+	case job.Unsubmitted:
+		return StatusUnsubmitted
+	case job.Queued:
+		return StatusQueuing
+	case job.Holding:
+		return StatusHolding
+	case job.Running:
+		return StatusRunning
+	case job.Completed:
+		return StatusCompleted
+	default:
+		// Cancelled (and anything unexpected) imposes no co-start
+		// constraint: the partner starts normally.
+		return StatusUnknown
+	}
+}
+
+// Config is one domain's coscheduling configuration. The zero value is a
+// disabled coscheduler; DefaultConfig matches the paper's experiments.
+type Config struct {
+	// Enabled gates the whole mechanism (Algorithm 1's cosched_enabled).
+	Enabled bool
+	// Scheme is the locally configured behaviour when the mate is not
+	// ready. Schemes are purely local: no domain needs to know its
+	// peer's configuration (§IV-E1).
+	Scheme Scheme
+	// ReleaseInterval is the deadlock-breaking enhancement (§IV-E1): a
+	// holding job releases its nodes every interval and is ranked last
+	// for one scheduling iteration; 0 disables the enhancement (hold-hold
+	// may then deadlock). The paper's experiments use 20 minutes.
+	ReleaseInterval sim.Duration
+	// MaxHeldFraction caps the proportion of the machine that may be in
+	// hold state; a job that would push the held fraction above the cap
+	// yields instead (§IV-E2). 1.0 (or 0, treated as 1.0) = no cap.
+	MaxHeldFraction float64
+	// MaxYields, when positive, lets a job that has yielded this many
+	// times start holding instead (§IV-E2's anti-starvation escalation).
+	MaxYields int
+	// YieldBoost, when true, raises a job's queue priority after every
+	// yield (§IV-E2's alternative enhancement).
+	YieldBoost bool
+}
+
+// DefaultConfig returns the configuration used throughout the paper's
+// evaluation: enabled, 20-minute release interval, no held-fraction cap, no
+// yield escalation.
+func DefaultConfig(s Scheme) Config {
+	return Config{
+		Enabled:         true,
+		Scheme:          s,
+		ReleaseInterval: 20 * sim.Minute,
+		MaxHeldFraction: 1.0,
+	}
+}
+
+// EffectiveMaxHeldFraction normalizes the cap (0 means uncapped).
+func (c Config) EffectiveMaxHeldFraction() float64 {
+	if c.MaxHeldFraction <= 0 || c.MaxHeldFraction > 1 {
+		return 1.0
+	}
+	return c.MaxHeldFraction
+}
+
+// Peer is the lightweight coordination protocol one resource manager speaks
+// to another. Implementations: resmgr.Manager (direct, in-process) and
+// proto.Client (length-prefixed JSON over a net.Conn). Every method's error
+// return maps to StatusUnknown semantics at the call site: the algorithm is
+// fault-tolerant and starts jobs normally when a peer cannot be reached.
+type Peer interface {
+	// PeerName returns the remote domain's name.
+	PeerName() string
+	// GetMateJob reports whether the remote manager knows the job
+	// (registered, queued, or finished) — Algorithm 1 line 2.
+	GetMateJob(id job.ID) (bool, error)
+	// GetMateStatus returns the mate's current status — line 4.
+	GetMateStatus(id job.ID) (MateStatus, error)
+	// CanStartMate probes whether TryStartMate would succeed, without
+	// side effects. Used by the N-way extension to avoid partial group
+	// starts.
+	CanStartMate(id job.ID) (bool, error)
+	// TryStartMate asks the remote manager to run one extra scheduling
+	// iteration on behalf of the mate and start it if resources allow —
+	// line 12. It returns true only if the mate is running afterwards.
+	TryStartMate(id job.ID) (bool, error)
+	// StartMate releases a holding mate into execution — line 8.
+	StartMate(id job.ID) error
+}

@@ -1,0 +1,102 @@
+package cosched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cosched/internal/job"
+	"cosched/internal/sim"
+)
+
+func TestSchemeStrings(t *testing.T) {
+	if Hold.String() != "hold" || Yield.String() != "yield" {
+		t.Fatalf("strings: %s / %s", Hold, Yield)
+	}
+	if Hold.Short() != "H" || Yield.Short() != "Y" {
+		t.Fatalf("shorts: %s / %s", Hold.Short(), Yield.Short())
+	}
+}
+
+func TestParseScheme(t *testing.T) {
+	cases := map[string]Scheme{
+		"hold": Hold, "h": Hold, "H": Hold,
+		"yield": Yield, "y": Yield, "Y": Yield,
+	}
+	for in, want := range cases {
+		got, err := ParseScheme(in)
+		if err != nil || got != want {
+			t.Errorf("ParseScheme(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseScheme("bogus"); err == nil {
+		t.Fatal("bogus scheme accepted")
+	}
+}
+
+func TestMateStatusRoundTrip(t *testing.T) {
+	all := []MateStatus{
+		StatusUnknown, StatusUnsubmitted, StatusQueuing,
+		StatusHolding, StatusRunning, StatusCompleted,
+	}
+	for _, st := range all {
+		got, err := ParseMateStatus(st.String())
+		if err != nil || got != st {
+			t.Errorf("round trip %v: got %v, %v", st, got, err)
+		}
+	}
+	if _, err := ParseMateStatus("nope"); err == nil {
+		t.Fatal("bogus status accepted")
+	}
+	if s := MateStatus(99).String(); s != "matestatus(99)" {
+		t.Fatalf("unknown status string = %q", s)
+	}
+}
+
+func TestFromJobState(t *testing.T) {
+	cases := map[job.State]MateStatus{
+		job.Unsubmitted: StatusUnsubmitted,
+		job.Queued:      StatusQueuing,
+		job.Holding:     StatusHolding,
+		job.Running:     StatusRunning,
+		job.Completed:   StatusCompleted,
+		job.State(42):   StatusUnknown,
+	}
+	for in, want := range cases {
+		if got := FromJobState(in); got != want {
+			t.Errorf("FromJobState(%v) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	c := DefaultConfig(Yield)
+	if !c.Enabled || c.Scheme != Yield || c.ReleaseInterval != 20*sim.Minute {
+		t.Fatalf("default config = %+v", c)
+	}
+	if c.EffectiveMaxHeldFraction() != 1.0 {
+		t.Fatalf("effective cap = %g", c.EffectiveMaxHeldFraction())
+	}
+}
+
+func TestEffectiveMaxHeldFraction(t *testing.T) {
+	cases := map[float64]float64{0: 1.0, -1: 1.0, 0.5: 0.5, 1.0: 1.0, 1.5: 1.0}
+	for in, want := range cases {
+		c := Config{MaxHeldFraction: in}
+		if got := c.EffectiveMaxHeldFraction(); got != want {
+			t.Errorf("cap %g → %g, want %g", in, got, want)
+		}
+	}
+}
+
+// Property: parse∘string is the identity for both schemes and all named
+// statuses.
+func TestStringParseProperty(t *testing.T) {
+	f := func(raw uint8) bool {
+		st := MateStatus(raw % 6)
+		got, err := ParseMateStatus(st.String())
+		return err == nil && got == st
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,329 @@
+// Package coupled simulates a coupled HEC installation: two (or more)
+// scheduling domains, each with its own resource manager, node pool,
+// policy, and coscheduling configuration, driven by one shared virtual
+// clock — the multi-domain extension of Qsim the paper built for its
+// evaluation (§V-A).
+//
+// Domains coordinate only through the cosched.Peer interface. By default
+// managers are wired to each other directly (in-process); with
+// UseWireProtocol the calls travel through the length-prefixed JSON
+// protocol over an in-memory pipe, exercising the exact code path the live
+// daemons use.
+package coupled
+
+import (
+	"fmt"
+	"net"
+
+	"cosched/internal/cluster"
+	"cosched/internal/cosched"
+	"cosched/internal/job"
+	"cosched/internal/metrics"
+	"cosched/internal/policy"
+	"cosched/internal/predict"
+	"cosched/internal/proto"
+	"cosched/internal/resmgr"
+	"cosched/internal/sim"
+)
+
+// DomainConfig describes one scheduling domain.
+type DomainConfig struct {
+	Name string
+	// Nodes is the pool size (e.g. 40960 for Intrepid, 100 for Eureka).
+	Nodes int
+	// MinPartition, when positive, enables BG/P-style power-of-two
+	// partition allocation with this minimum size.
+	MinPartition int
+	// Policy names the queue policy ("wfp", "fcfs", "sjf", "largest",
+	// "fairshare"); empty selects WFP.
+	Policy string
+	// PolicyImpl, when non-nil, overrides Policy with a concrete
+	// implementation (e.g. a queue-routing wrapper from internal/queues).
+	PolicyImpl policy.Policy
+	// Backfilling enables backfill (the paper's setting: WFP plus EASY).
+	Backfilling bool
+	// BackfillMode optionally selects the planner when Backfilling is on:
+	// "easy" (default) or "conservative".
+	BackfillMode string
+	// Estimator names the backfill planning-runtime source: "walltime"
+	// (default) or "user-average" (Tsafrir-style prediction).
+	Estimator string
+	// Cosched is the domain's coscheduling configuration.
+	Cosched cosched.Config
+	// Trace is the domain's workload, sorted by submit time. Jobs are
+	// mutated during the run; pass workload.Clone copies to reuse traces.
+	Trace []*job.Job
+	// Observer, when non-nil, receives lifecycle callbacks.
+	Observer resmgr.Observer
+}
+
+// Options configures a coupled simulation.
+type Options struct {
+	Domains []DomainConfig
+	// UseWireProtocol routes every peer call through proto over net.Pipe
+	// instead of direct method calls.
+	UseWireProtocol bool
+	// Horizon bounds virtual time; 0 derives a generous bound from the
+	// traces. Hitting the horizon marks remaining jobs stuck.
+	Horizon sim.Time
+	// FaultRate, when positive, wraps every peer in a deterministic fault
+	// injector failing that fraction of coordination calls (seeded by
+	// FaultSeed) — chaos testing for the §IV-C fault-tolerance path. Jobs
+	// whose coordination fails start uncoordinated, so co-start
+	// violations become expected.
+	FaultRate float64
+	FaultSeed uint64
+}
+
+// Result summarizes a completed simulation.
+type Result struct {
+	// Reports holds one metrics report per domain, keyed by name.
+	Reports map[string]metrics.DomainReport
+	// Makespan is the virtual time when the simulation stopped.
+	Makespan sim.Time
+	// TotalJobs and CompletedJobs aggregate across domains.
+	TotalJobs, CompletedJobs int
+	// StuckJobs counts jobs that never completed — the observable
+	// signature of the hold-hold deadlock when the release enhancement is
+	// off (§V-B).
+	StuckJobs int
+	// Deadlocked is true when the run ended with stuck jobs.
+	Deadlocked bool
+	// HitHorizon is true when the run was cut off at the horizon rather
+	// than draining naturally.
+	HitHorizon bool
+	// CoStartViolations counts paired jobs that started at a different
+	// instant than a started mate — must be 0 unless faults were
+	// injected.
+	CoStartViolations int
+	// Iterations sums scheduling iterations across domains.
+	Iterations uint64
+}
+
+// Sim is a configured coupled simulation. Create with New, inspect or
+// adjust, then Run.
+type Sim struct {
+	eng      *sim.Engine
+	managers map[string]*resmgr.Manager
+	order    []string
+	traces   map[string][]*job.Job
+	horizon  sim.Time
+	cleanup  []func()
+}
+
+// New builds the engine, domains, and peer wiring, and schedules every
+// trace job's submission.
+func New(opt Options) (*Sim, error) {
+	if len(opt.Domains) < 1 {
+		return nil, fmt.Errorf("coupled: need at least one domain")
+	}
+	eng := sim.NewEngine()
+	s := &Sim{
+		eng:      eng,
+		managers: make(map[string]*resmgr.Manager),
+		traces:   make(map[string][]*job.Job),
+	}
+	for _, dc := range opt.Domains {
+		if dc.Name == "" {
+			return nil, fmt.Errorf("coupled: domain with empty name")
+		}
+		if _, dup := s.managers[dc.Name]; dup {
+			return nil, fmt.Errorf("coupled: duplicate domain %q", dc.Name)
+		}
+		pol, ok := policy.ByName(dc.Policy)
+		if !ok {
+			return nil, fmt.Errorf("coupled: domain %q: unknown policy %q", dc.Name, dc.Policy)
+		}
+		if dc.PolicyImpl != nil {
+			pol = dc.PolicyImpl
+		}
+		est, ok := predict.ByName(dc.Estimator)
+		if !ok {
+			return nil, fmt.Errorf("coupled: domain %q: unknown estimator %q", dc.Name, dc.Estimator)
+		}
+		mode, ok := resmgr.ParseBackfillMode(dc.BackfillMode)
+		if !ok {
+			return nil, fmt.Errorf("coupled: domain %q: unknown backfill mode %q", dc.Name, dc.BackfillMode)
+		}
+		var pool *cluster.Pool
+		if dc.MinPartition > 0 {
+			pool = cluster.NewPartitioned(dc.Name, dc.Nodes, dc.MinPartition)
+		} else {
+			pool = cluster.New(dc.Name, dc.Nodes)
+		}
+		obs := dc.Observer
+		if obs == nil {
+			obs = resmgr.NullObserver{}
+		}
+		m := resmgr.New(eng, resmgr.Options{
+			Name:        dc.Name,
+			Pool:        pool,
+			Policy:      pol,
+			Backfilling: dc.Backfilling,
+			Mode:        mode,
+			Estimator:   est,
+			Cosched:     dc.Cosched,
+			Observer:    obs,
+		})
+		s.managers[dc.Name] = m
+		s.order = append(s.order, dc.Name)
+		s.traces[dc.Name] = dc.Trace
+	}
+
+	// Wire every domain to every other.
+	seed := opt.FaultSeed
+	for _, a := range s.order {
+		for _, b := range s.order {
+			if a == b {
+				continue
+			}
+			peer, err := s.makePeer(s.managers[b], opt.UseWireProtocol)
+			if err != nil {
+				return nil, err
+			}
+			if opt.FaultRate > 0 {
+				seed++
+				peer = proto.NewFaultInjector(peer, opt.FaultRate, seed)
+			}
+			s.managers[a].AddPeer(b, peer)
+		}
+	}
+
+	// Schedule submissions and derive the default horizon.
+	var lastSubmit sim.Time
+	var maxRuntime sim.Duration
+	for name, tr := range s.traces {
+		m := s.managers[name]
+		for _, j := range tr {
+			if j.Nodes > m.Pool().Total() {
+				return nil, fmt.Errorf("coupled: domain %q: job %d requests %d nodes but the pool has %d — it could never start",
+					name, j.ID, j.Nodes, m.Pool().Total())
+			}
+			if err := m.SubmitAt(j); err != nil {
+				return nil, fmt.Errorf("coupled: domain %q: %w", name, err)
+			}
+			if j.SubmitTime > lastSubmit {
+				lastSubmit = j.SubmitTime
+			}
+			if j.Runtime > maxRuntime {
+				maxRuntime = j.Runtime
+			}
+		}
+	}
+	s.horizon = opt.Horizon
+	if s.horizon == 0 {
+		// Generous: all submitted work could drain serially many times
+		// over before this bound matters in a non-pathological run.
+		s.horizon = lastSubmit + 100*maxRuntime + 365*sim.Day
+	}
+	return s, nil
+}
+
+// makePeer wires a direct or wire-protocol peer for manager m.
+func (s *Sim) makePeer(m *resmgr.Manager, wire bool) (cosched.Peer, error) {
+	if !wire {
+		return m, nil
+	}
+	server := proto.NewServer(m, nil, nil)
+	clientEnd, serverEnd := net.Pipe()
+	go server.ServeConn(serverEnd)
+	client := proto.NewClient(clientEnd, 0)
+	if _, err := client.Ping(); err != nil {
+		return nil, fmt.Errorf("coupled: pipe peer ping: %w", err)
+	}
+	s.cleanup = append(s.cleanup, func() {
+		client.Close()
+		server.Close()
+	})
+	return client, nil
+}
+
+// Engine exposes the shared engine (for tests that co-schedule extra
+// events, e.g. fault injection).
+func (s *Sim) Engine() *sim.Engine { return s.eng }
+
+// Manager returns the named domain's resource manager.
+func (s *Sim) Manager(name string) *resmgr.Manager { return s.managers[name] }
+
+// Run executes the simulation to completion (all jobs done, events
+// drained, or horizon reached) and collects the result.
+func (s *Sim) Run() *Result {
+	defer func() {
+		for _, f := range s.cleanup {
+			f()
+		}
+		s.cleanup = nil
+	}()
+
+	total := 0
+	for _, tr := range s.traces {
+		total += len(tr)
+	}
+	res := &Result{Reports: make(map[string]metrics.DomainReport), TotalJobs: total}
+
+	done := func() int {
+		n := 0
+		for _, m := range s.managers {
+			n += m.CompletedCount() + m.CancelledCount()
+		}
+		return n
+	}
+	for done() < total {
+		if !s.eng.Step() {
+			break // drained with incomplete jobs: deadlock/starvation
+		}
+		if s.eng.Now() > s.horizon {
+			res.HitHorizon = true
+			break
+		}
+	}
+	res.Makespan = s.eng.Now()
+	res.CompletedJobs = done()
+	res.StuckJobs = total - res.CompletedJobs
+	res.Deadlocked = res.StuckJobs > 0
+
+	for name, m := range s.managers {
+		m.Pool().Sync(res.Makespan)
+		res.Iterations += m.Iterations()
+		span := res.Makespan
+		res.Reports[name] = metrics.Collect(name, m.Jobs(), m.Pool().Total(), span)
+	}
+	res.CoStartViolations = s.verifyCoStarts()
+	return res
+}
+
+// verifyCoStarts checks the paper's core guarantee: every pair (or N-way
+// group) of jobs that both started did so at the same virtual instant.
+func (s *Sim) verifyCoStarts() int {
+	violations := 0
+	for name, m := range s.managers {
+		for _, j := range m.Jobs() {
+			if !j.Paired() || !started(j) {
+				continue
+			}
+			for _, ref := range j.Mates {
+				rm, ok := s.managers[ref.Domain]
+				if !ok {
+					continue
+				}
+				mate, ok := rm.Job(ref.Job)
+				if !ok || !started(mate) {
+					continue
+				}
+				// Count each violating pair once (from the lexically
+				// smaller domain, or smaller ID within a domain).
+				if name > ref.Domain {
+					continue
+				}
+				if j.StartTime != mate.StartTime {
+					violations++
+				}
+			}
+		}
+	}
+	return violations
+}
+
+func started(j *job.Job) bool {
+	return j.State == job.Running || j.State == job.Completed
+}

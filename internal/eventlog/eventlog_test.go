@@ -1,0 +1,146 @@
+package eventlog
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"cosched/internal/cosched"
+	"cosched/internal/coupled"
+	"cosched/internal/job"
+	"cosched/internal/sim"
+	"cosched/internal/workload"
+)
+
+// runLogged simulates a small paired workload with event logging and
+// returns the raw log bytes.
+func runLogged(t *testing.T, schemeA, schemeB cosched.Scheme) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	log := New(&buf)
+
+	spec := workload.Spec{
+		Name: "a", Jobs: 50, Span: 4 * sim.Hour,
+		Sizes:     []workload.SizeClass{{Nodes: 8, Weight: 0.7}, {Nodes: 16, Weight: 0.3}},
+		RuntimeMu: 6.0, RuntimeSigma: 0.8,
+		MinRuntime: sim.Minute, MaxRuntime: sim.Hour,
+		WallFactorMin: 1.2, WallFactorMax: 2.0, Seed: 5,
+	}
+	a, err := workload.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Seed = 6
+	spec.Sizes = []workload.SizeClass{{Nodes: 2, Weight: 1}}
+	b, err := workload.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	workload.PairNearest(workload.NewRNG(7), a, b, "A", "B", 15, sim.Hour)
+
+	s, err := coupled.New(coupled.Options{Domains: []coupled.DomainConfig{
+		{Name: "A", Nodes: 64, Backfilling: true, Cosched: cosched.DefaultConfig(schemeA),
+			Trace: a, Observer: log.Observer("A")},
+		{Name: "B", Nodes: 16, Backfilling: true, Cosched: cosched.DefaultConfig(schemeB),
+			Trace: b, Observer: log.Observer("B")},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run()
+	if res.StuckJobs != 0 {
+		t.Fatalf("stuck = %d", res.StuckJobs)
+	}
+	if err := log.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if log.Records() == 0 {
+		t.Fatal("no records logged")
+	}
+	return buf.Bytes()
+}
+
+func TestLogRoundTripAndVerify(t *testing.T) {
+	raw := runLogged(t, cosched.Hold, cosched.Yield)
+	recs, err := Read(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := Summarize(recs)
+	if stats.Submits != 100 || stats.Starts != 100 || stats.Completes != 100 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if len(stats.Domains) != 2 {
+		t.Fatalf("domains = %v", stats.Domains)
+	}
+	// The §V-B validation, from the log alone.
+	if v := VerifyCoStarts(recs); len(v) != 0 {
+		t.Fatalf("co-start violations from log: %v", v)
+	}
+}
+
+func TestVerifyDetectsDivergentStarts(t *testing.T) {
+	recs := []Record{
+		{Time: 0, Domain: "A", Kind: KindSubmit, JobID: 1,
+			Mates: []job.MateRef{{Domain: "B", Job: 1}}},
+		{Time: 0, Domain: "B", Kind: KindSubmit, JobID: 1,
+			Mates: []job.MateRef{{Domain: "A", Job: 1}}},
+		{Time: 100, Domain: "A", Kind: KindStart, JobID: 1},
+		{Time: 250, Domain: "B", Kind: KindStart, JobID: 1},
+	}
+	v := VerifyCoStarts(recs)
+	if len(v) != 1 {
+		t.Fatalf("violations = %v", v)
+	}
+	if v[0].Reason != "start instants differ" || v[0].Start != 100 || v[0].MateAt != 250 {
+		t.Fatalf("violation = %+v", v[0])
+	}
+	if !strings.Contains(v[0].String(), "start instants differ") {
+		t.Fatal("String() missing reason")
+	}
+}
+
+func TestVerifyDetectsLonelyStart(t *testing.T) {
+	recs := []Record{
+		{Time: 0, Domain: "A", Kind: KindSubmit, JobID: 1,
+			Mates: []job.MateRef{{Domain: "B", Job: 9}}},
+		{Time: 100, Domain: "A", Kind: KindStart, JobID: 1},
+	}
+	v := VerifyCoStarts(recs)
+	if len(v) != 1 || v[0].Reason != "mate never started" || v[0].MateAt != -1 {
+		t.Fatalf("violations = %v", v)
+	}
+}
+
+func TestVerifyIgnoresUnstartedPairs(t *testing.T) {
+	recs := []Record{
+		{Time: 0, Domain: "A", Kind: KindSubmit, JobID: 1,
+			Mates: []job.MateRef{{Domain: "B", Job: 1}}},
+	}
+	if v := VerifyCoStarts(recs); len(v) != 0 {
+		t.Fatalf("violations = %v", v)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("{not json\n")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// Blank lines are fine.
+	recs, err := Read(strings.NewReader("\n\n"))
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("blank log: %v %v", recs, err)
+	}
+}
+
+func TestHoldAndYieldEventsLogged(t *testing.T) {
+	raw := runLogged(t, cosched.Hold, cosched.Hold)
+	recs, err := Read(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := Summarize(recs)
+	if stats.Holds == 0 {
+		t.Fatal("hold-hold run logged no hold events")
+	}
+}

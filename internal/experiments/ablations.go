@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cosched/internal/cosched"
+	"cosched/internal/coupled"
+	"cosched/internal/job"
+	"cosched/internal/metrics"
+	"cosched/internal/sim"
+	"cosched/internal/workload"
+)
+
+// AblationRow is one configuration variant's outcome on the shared
+// hold-hold, 10%-paired, medium-Eureka-load workload.
+type AblationRow struct {
+	Group   string // which knob is being swept
+	Variant string // the knob's value
+
+	IntrepidWait float64 // minutes
+	EurekaWait   float64
+	SyncMin      float64 // paired-job sync, both domains averaged
+	LossNH       float64 // node-hours lost to holds, summed
+	Stuck        int
+	CoStartViol  int
+}
+
+// Ablations sweeps the design knobs DESIGN.md §5 calls out — release
+// interval, held-fraction cap, yield escalation, backfill mode, runtime
+// estimator — holding everything else at the §V defaults.
+type Ablations struct {
+	Config Config
+	Rows   []AblationRow
+}
+
+// ablationVariant describes one cell.
+type ablationVariant struct {
+	group, name string
+	mutate      func(*ablationSetup)
+}
+
+// ablationSetup carries the mutable knobs.
+type ablationSetup struct {
+	intrepid, eureka cosched.Config
+	backfillMode     string
+	estimator        string
+}
+
+// RunAblations executes every variant.
+func RunAblations(cfg Config) (*Ablations, error) {
+	cfg = cfg.normalized()
+	out := &Ablations{Config: cfg}
+
+	variants := []ablationVariant{}
+	for _, min := range []int64{5, 10, 20, 40, 80} {
+		min := min
+		variants = append(variants, ablationVariant{
+			group: "release_interval", name: fmt.Sprintf("%dmin", min),
+			mutate: func(s *ablationSetup) {
+				s.intrepid.ReleaseInterval = sim.Duration(min) * sim.Minute
+				s.eureka.ReleaseInterval = sim.Duration(min) * sim.Minute
+			},
+		})
+	}
+	for _, frac := range []float64{0.1, 0.2, 0.5, 1.0} {
+		frac := frac
+		variants = append(variants, ablationVariant{
+			group: "max_held_fraction", name: fmt.Sprintf("%.0f%%", frac*100),
+			mutate: func(s *ablationSetup) {
+				s.intrepid.MaxHeldFraction = frac
+				s.eureka.MaxHeldFraction = frac
+			},
+		})
+	}
+	variants = append(variants,
+		ablationVariant{group: "yield_escalation", name: "plain_yield",
+			mutate: func(s *ablationSetup) {
+				s.intrepid.Scheme, s.eureka.Scheme = cosched.Yield, cosched.Yield
+			}},
+		ablationVariant{group: "yield_escalation", name: "max_yields_3",
+			mutate: func(s *ablationSetup) {
+				s.intrepid.Scheme, s.eureka.Scheme = cosched.Yield, cosched.Yield
+				s.intrepid.MaxYields, s.eureka.MaxYields = 3, 3
+			}},
+		ablationVariant{group: "yield_escalation", name: "yield_boost",
+			mutate: func(s *ablationSetup) {
+				s.intrepid.Scheme, s.eureka.Scheme = cosched.Yield, cosched.Yield
+				s.intrepid.YieldBoost, s.eureka.YieldBoost = true, true
+			}},
+		ablationVariant{group: "backfill", name: "easy",
+			mutate: func(s *ablationSetup) { s.backfillMode = "easy" }},
+		ablationVariant{group: "backfill", name: "conservative",
+			mutate: func(s *ablationSetup) { s.backfillMode = "conservative" }},
+		ablationVariant{group: "estimator", name: "walltime",
+			mutate: func(s *ablationSetup) { s.estimator = "walltime" }},
+		ablationVariant{group: "estimator", name: "user-average",
+			mutate: func(s *ablationSetup) { s.estimator = "user-average" }},
+	)
+
+	for _, v := range variants {
+		row := AblationRow{Group: v.group, Variant: v.name}
+		for rep := 0; rep < cfg.Reps; rep++ {
+			intr, eur, err := ablationTraces(cfg, cfg.Seed+uint64(rep*271))
+			if err != nil {
+				return nil, err
+			}
+			setup := ablationSetup{
+				intrepid:     cosched.DefaultConfig(cosched.Hold),
+				eureka:       cosched.DefaultConfig(cosched.Hold),
+				backfillMode: "easy",
+				estimator:    "walltime",
+			}
+			setup.intrepid.ReleaseInterval = cfg.ReleaseInterval
+			setup.eureka.ReleaseInterval = cfg.ReleaseInterval
+			v.mutate(&setup)
+
+			s, err := coupled.New(coupled.Options{Domains: []coupled.DomainConfig{
+				{Name: DomIntrepid, Nodes: IntrepidNodes, Backfilling: true,
+					BackfillMode: setup.backfillMode, Estimator: setup.estimator,
+					Cosched: setup.intrepid, Trace: intr},
+				{Name: DomEureka, Nodes: EurekaNodes, Backfilling: true,
+					BackfillMode: setup.backfillMode, Estimator: setup.estimator,
+					Cosched: setup.eureka, Trace: eur},
+			}})
+			if err != nil {
+				return nil, err
+			}
+			res := s.Run()
+			ri, re := res.Reports[DomIntrepid], res.Reports[DomEureka]
+			row.IntrepidWait += ri.Wait.Mean
+			row.EurekaWait += re.Wait.Mean
+			row.SyncMin += (ri.PairedSync.Mean + re.PairedSync.Mean) / 2
+			row.LossNH += ri.LostNodeHours + re.LostNodeHours
+			row.Stuck += res.StuckJobs
+			row.CoStartViol += res.CoStartViolations
+		}
+		f := 1.0 / float64(cfg.Reps)
+		row.IntrepidWait *= f
+		row.EurekaWait *= f
+		row.SyncMin *= f
+		row.LossNH *= f
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// ablationTraces builds the shared ablation workload: Intrepid high load,
+// Eureka medium, 10% pairs.
+func ablationTraces(cfg Config, seed uint64) (intr, eur []*job.Job, err error) {
+	intr, err = intrepidTrace(cfg, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	eur, err = eurekaTraceAtUtil(cfg, seed+1, 0.5)
+	if err != nil {
+		return nil, nil, err
+	}
+	workload.PairNearest(workload.NewRNG(seed+2),
+		workload.Eligible(intr, MaxPairedIntrepidNodes),
+		workload.Eligible(eur, MaxPairedEurekaNodes),
+		DomIntrepid, DomEureka, len(intr)/10, PairMaxGap)
+	return intr, eur, nil
+}
+
+// Rows returns the variants within one group.
+func (a *Ablations) Group(name string) []AblationRow {
+	var out []AblationRow
+	for _, r := range a.Rows {
+		if r.Group == name {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Table renders the ablation sweep.
+func (a *Ablations) Table() *metrics.Table {
+	t := metrics.NewTable("Design ablations (hold-hold, 10% pairs, Eureka util 0.50)",
+		"knob", "variant", "intrepid_wait_min", "eureka_wait_min",
+		"pair_sync_min", "hold_loss_nh", "viol", "stuck")
+	for _, r := range a.Rows {
+		t.AddRow(r.Group, r.Variant,
+			fmt.Sprintf("%.1f", r.IntrepidWait),
+			fmt.Sprintf("%.1f", r.EurekaWait),
+			fmt.Sprintf("%.1f", r.SyncMin),
+			fmt.Sprintf("%.0f", r.LossNH),
+			fmt.Sprintf("%d", r.CoStartViol),
+			fmt.Sprintf("%d", r.Stuck))
+	}
+	t.Caption = "yield_escalation variants run yield-yield; all others hold-hold"
+	return t
+}

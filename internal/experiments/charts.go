@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cosched/internal/chart"
+	"cosched/internal/cosched"
+)
+
+// NamedChart pairs a file stem ("fig3a") with a renderable chart.
+type NamedChart struct {
+	Name  string
+	Chart *chart.BarChart
+}
+
+// comboNames is the fixed series order for figure charts (matches Combos).
+var comboNames = []string{"HH", "HY", "YH", "YY"}
+
+// Charts renders the load sweep as Figures 3–6 (a and b panels each).
+func (s *LoadSweep) Charts() []NamedChart {
+	utilLabel := func(u float64) string { return fmt.Sprintf("%.2f", u) }
+	var out []NamedChart
+	out = append(out,
+		NamedChart{"fig3a", s.waitChart("Figure 3(a): Intrepid avg. wait by Eureka load",
+			utilLabel, func(c *Cell) float64 { return c.IntrepidWait },
+			func(b *Baseline) float64 { return b.IntrepidWait }, "minutes")},
+		NamedChart{"fig3b", s.waitChart("Figure 3(b): Eureka avg. wait by Eureka load",
+			utilLabel, func(c *Cell) float64 { return c.EurekaWait },
+			func(b *Baseline) float64 { return b.EurekaWait }, "minutes")},
+		NamedChart{"fig4a", s.waitChart("Figure 4(a): Intrepid avg. slowdown by Eureka load",
+			utilLabel, func(c *Cell) float64 { return c.IntrepidSlowdown },
+			func(b *Baseline) float64 { return b.IntrepidSlowdown }, "slowdown")},
+		NamedChart{"fig4b", s.waitChart("Figure 4(b): Eureka avg. slowdown by Eureka load",
+			utilLabel, func(c *Cell) float64 { return c.EurekaSlowdown },
+			func(b *Baseline) float64 { return b.EurekaSlowdown }, "slowdown")},
+	)
+	out = append(out,
+		NamedChart{"fig5a", s.syncChart("Figure 5(a): Intrepid paired-job sync time", true)},
+		NamedChart{"fig5b", s.syncChart("Figure 5(b): Eureka paired-job sync time", false)},
+		NamedChart{"fig6a", s.lossChart("Figure 6(a): Intrepid service-unit loss (hold side)", true)},
+		NamedChart{"fig6b", s.lossChart("Figure 6(b): Eureka service-unit loss (hold side)", false)},
+	)
+	return out
+}
+
+// waitChart builds a combos-by-sweep-point grouped bar chart with the
+// baseline reference.
+func (s *LoadSweep) waitChart(title string, label func(float64) string,
+	cell func(*Cell) float64, base func(*Baseline) float64, ylabel string) *chart.BarChart {
+	c := &chart.BarChart{
+		Title: title, YLabel: ylabel, Series: comboNames,
+		HasBaseline: true, ValueFmt: "%.1f",
+	}
+	for _, x := range s.Utils {
+		g := chart.Group{Label: label(x), Baseline: base(s.Baselines[x])}
+		for _, combo := range Combos {
+			g.Values = append(g.Values, cell(s.Cell(x, combo)))
+		}
+		c.Groups = append(c.Groups, g)
+	}
+	return c
+}
+
+// syncChart builds the Figure 5 shape: (load, remote scheme) groups with
+// local hold/yield bars.
+func (s *LoadSweep) syncChart(title string, intrepid bool) *chart.BarChart {
+	c := &chart.BarChart{
+		Title: title, YLabel: "minutes",
+		Series: []string{"local=hold", "local=yield"}, ValueFmt: "%.1f",
+	}
+	for _, u := range s.Utils {
+		for _, remote := range []cosched.Scheme{cosched.Hold, cosched.Yield} {
+			var h, y float64
+			if intrepid {
+				h = s.Cell(u, Combo{Intrepid: cosched.Hold, Eureka: remote}).IntrepidSync
+				y = s.Cell(u, Combo{Intrepid: cosched.Yield, Eureka: remote}).IntrepidSync
+			} else {
+				h = s.Cell(u, Combo{Intrepid: remote, Eureka: cosched.Hold}).EurekaSync
+				y = s.Cell(u, Combo{Intrepid: remote, Eureka: cosched.Yield}).EurekaSync
+			}
+			c.Groups = append(c.Groups, chart.Group{
+				Label:  fmt.Sprintf("%.2f/%s", u, remote.Short()),
+				Values: []float64{h, y},
+			})
+		}
+	}
+	return c
+}
+
+// lossChart builds the Figure 6 shape: single node-hour series per
+// (load, remote) group.
+func (s *LoadSweep) lossChart(title string, intrepid bool) *chart.BarChart {
+	c := &chart.BarChart{
+		Title: title, YLabel: "node-hours",
+		Series: []string{"node-hours"}, ValueFmt: "%.0f",
+	}
+	for _, u := range s.Utils {
+		for _, remote := range []cosched.Scheme{cosched.Hold, cosched.Yield} {
+			var v float64
+			var lbl string
+			if intrepid {
+				v = s.Cell(u, Combo{Intrepid: cosched.Hold, Eureka: remote}).IntrepidLossNH
+				lbl = fmt.Sprintf("%.2f/%s", u, remote.Short())
+			} else {
+				v = s.Cell(u, Combo{Intrepid: remote, Eureka: cosched.Hold}).EurekaLossNH
+				lbl = fmt.Sprintf("%.2f/%s", u, remote.Short())
+			}
+			c.Groups = append(c.Groups, chart.Group{Label: lbl, Values: []float64{v}})
+		}
+	}
+	return c
+}
+
+// Charts renders the proportion sweep as Figures 7–10.
+func (s *ProportionSweep) Charts() []NamedChart {
+	var out []NamedChart
+	mk := func(name, title, ylabel, fmtStr string,
+		cell func(*Cell) float64, base func(*Baseline) float64) NamedChart {
+		c := &chart.BarChart{
+			Title: title, YLabel: ylabel, Series: comboNames,
+			HasBaseline: base != nil, ValueFmt: fmtStr,
+		}
+		for _, p := range s.Proportions {
+			g := chart.Group{Label: propLabel(p)}
+			if base != nil {
+				g.Baseline = base(s.Baselines[p])
+			}
+			for _, combo := range Combos {
+				g.Values = append(g.Values, cell(s.Cell(p, combo)))
+			}
+			c.Groups = append(c.Groups, g)
+		}
+		return NamedChart{name, c}
+	}
+	out = append(out,
+		mk("fig7a", "Figure 7(a): Intrepid avg. wait by paired proportion", "minutes", "%.1f",
+			func(c *Cell) float64 { return c.IntrepidWait },
+			func(b *Baseline) float64 { return b.IntrepidWait }),
+		mk("fig7b", "Figure 7(b): Eureka avg. wait by paired proportion", "minutes", "%.1f",
+			func(c *Cell) float64 { return c.EurekaWait },
+			func(b *Baseline) float64 { return b.EurekaWait }),
+		mk("fig8a", "Figure 8(a): Intrepid avg. slowdown by paired proportion", "slowdown", "%.2f",
+			func(c *Cell) float64 { return c.IntrepidSlowdown },
+			func(b *Baseline) float64 { return b.IntrepidSlowdown }),
+		mk("fig8b", "Figure 8(b): Eureka avg. slowdown by paired proportion", "slowdown", "%.2f",
+			func(c *Cell) float64 { return c.EurekaSlowdown },
+			func(b *Baseline) float64 { return b.EurekaSlowdown }),
+		mk("fig9a", "Figure 9(a): Intrepid paired-job sync time by proportion", "minutes", "%.1f",
+			func(c *Cell) float64 { return c.IntrepidSync }, nil),
+		mk("fig9b", "Figure 9(b): Eureka paired-job sync time by proportion", "minutes", "%.1f",
+			func(c *Cell) float64 { return c.EurekaSync }, nil),
+		mk("fig10a", "Figure 10(a): Intrepid service-unit loss by proportion", "node-hours", "%.0f",
+			func(c *Cell) float64 { return c.IntrepidLossNH }, nil),
+		mk("fig10b", "Figure 10(b): Eureka service-unit loss by proportion", "node-hours", "%.0f",
+			func(c *Cell) float64 { return c.EurekaLossNH }, nil),
+	)
+	return out
+}
+
+// Chart renders the N-way sweep as a grouped bar chart (group sync by
+// width and scheme).
+func (s *NWaySweep) Chart() NamedChart {
+	c := &chart.BarChart{
+		Title:  "N-way extension: group sync time by width",
+		YLabel: "minutes", Series: []string{"hold", "yield"}, ValueFmt: "%.1f",
+	}
+	for _, w := range NWayWidths {
+		g := chart.Group{Label: fmt.Sprintf("width %d", w)}
+		for _, scheme := range []cosched.Scheme{cosched.Hold, cosched.Yield} {
+			for _, r := range s.Rows {
+				if r.Width == w && r.Scheme == scheme {
+					g.Values = append(g.Values, r.GroupSync)
+				}
+			}
+		}
+		c.Groups = append(c.Groups, g)
+	}
+	return NamedChart{"nway", c}
+}

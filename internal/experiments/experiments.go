@@ -1,0 +1,317 @@
+// Package experiments reproduces the evaluation of Tang et al. (ICPP 2011)
+// §V: the capability validation (§V-B), the Eureka-load sweep behind
+// Figures 3–6, and the paired-proportion sweep behind Figures 7–10.
+//
+// Each experiment builds calibrated synthetic traces (see
+// internal/workload for the calibration method and the substitution note
+// in DESIGN.md), runs the coupled simulator across the four scheme
+// combinations plus a no-coscheduling baseline, and returns typed rows
+// that cmd/experiments renders as tables and bench_test.go asserts shapes
+// over.
+package experiments
+
+import (
+	"fmt"
+
+	"cosched/internal/cosched"
+	"cosched/internal/coupled"
+	"cosched/internal/job"
+	"cosched/internal/metrics"
+	"cosched/internal/sim"
+	"cosched/internal/workload"
+)
+
+// Domain names used throughout the evaluation.
+const (
+	DomIntrepid = "intrepid"
+	DomEureka   = "eureka"
+)
+
+// System sizes (§V-A: "real system configurations").
+const (
+	IntrepidNodes = 40960
+	EurekaNodes   = 100
+)
+
+// Pairing-eligibility caps: only small-to-moderate jobs participate in
+// cross-domain pairs. The real traces pair simulations with their
+// analysis/visualization counterparts, which are moderate-sized runs — a
+// full-machine capability job has no live viz mate, and a full-Eureka job
+// cannot coexist with held analysis nodes. Without the caps the synthetic
+// uniform-over-size pairing lets multi-ten-thousand-node holds accumulate
+// and drives the hold schemes into a regime the paper never measured (see
+// DESIGN.md substitutions).
+const (
+	MaxPairedIntrepidNodes = 4096
+	MaxPairedEurekaNodes   = 32
+)
+
+// Combo is one scheme configuration pair: Intrepid's local scheme and
+// Eureka's local scheme. The paper labels combos by (Intrepid, Eureka),
+// e.g. HY = hold on Intrepid, yield on Eureka.
+type Combo struct {
+	Intrepid cosched.Scheme
+	Eureka   cosched.Scheme
+}
+
+// Label returns the paper's two-letter combo name (HH, HY, YH, YY).
+func (c Combo) Label() string { return c.Intrepid.Short() + c.Eureka.Short() }
+
+// Combos lists the four combinations in the paper's figure order.
+var Combos = []Combo{
+	{cosched.Hold, cosched.Hold},
+	{cosched.Hold, cosched.Yield},
+	{cosched.Yield, cosched.Hold},
+	{cosched.Yield, cosched.Yield},
+}
+
+// Config holds the sweep-independent experiment parameters.
+type Config struct {
+	// Seed selects the workload random streams.
+	Seed uint64
+	// JobFactor scales every trace's job count; 1.0 is paper scale
+	// (9,219 Intrepid jobs/month). Tests and benches use smaller factors
+	// for speed; relative shapes are stable under scaling.
+	JobFactor float64
+	// Reps runs each cell this many times with distinct seeds and
+	// averages the scalar metrics (the paper ran 10).
+	Reps int
+	// ReleaseInterval is the hold-release period (paper: 20 minutes).
+	ReleaseInterval sim.Duration
+	// IntrepidUtil is the fixed Intrepid offered load (§V-D: "current
+	// Intrepid system load is high and stable").
+	IntrepidUtil float64
+	// MaxHeldFraction is the §IV-E2 held-nodes threshold ("avoid having
+	// most of the computing nodes in hold status"): a job whose hold
+	// would push the held fraction above it yields instead. The paper's
+	// experiments ran with the whole system holdable (§V-B), which is the
+	// default here (1.0); the threshold is exercised by the ablation
+	// bench.
+	MaxHeldFraction float64
+}
+
+// DefaultConfig returns the paper's experiment parameters at the given
+// scale factor.
+func DefaultConfig(seed uint64, jobFactor float64) Config {
+	return Config{
+		Seed:            seed,
+		JobFactor:       jobFactor,
+		Reps:            1,
+		ReleaseInterval: 20 * sim.Minute,
+		IntrepidUtil:    0.68,
+		MaxHeldFraction: 1.0,
+	}
+}
+
+func (c Config) normalized() Config {
+	if c.JobFactor <= 0 {
+		c.JobFactor = 1
+	}
+	if c.Reps <= 0 {
+		c.Reps = 1
+	}
+	if c.ReleaseInterval == 0 {
+		c.ReleaseInterval = 20 * sim.Minute
+	}
+	if c.IntrepidUtil <= 0 {
+		c.IntrepidUtil = 0.68
+	}
+	if c.MaxHeldFraction <= 0 {
+		c.MaxHeldFraction = 1.0
+	}
+	return c
+}
+
+// intrepidTrace builds one month of Intrepid-like workload at the
+// configured utilization.
+func intrepidTrace(cfg Config, seed uint64) ([]*job.Job, error) {
+	spec := workload.IntrepidSpec(seed)
+	spec.Jobs = scaleCount(spec.Jobs, cfg.JobFactor)
+	jobs, err := workload.Generate(spec)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := workload.ScaleToUtilization(jobs, IntrepidNodes, cfg.IntrepidUtil); err != nil {
+		return nil, err
+	}
+	return jobs, nil
+}
+
+// eurekaTraceAtUtil builds a month-like Eureka workload at the target
+// utilization using the paper's method: the job count tracks the target
+// load (packing more months of arrivals into the span) and one constant
+// arrival-interval factor fine-tunes the offered load.
+func eurekaTraceAtUtil(cfg Config, seed uint64, util float64) ([]*job.Job, error) {
+	spec := workload.EurekaSpec(seed)
+	base, err := workload.Generate(spec)
+	if err != nil {
+		return nil, err
+	}
+	offered := workload.OfferedLoad(base, EurekaNodes)
+	// Re-generate with a job count proportional to the target so the
+	// span stays near one month after fine-tuning.
+	spec.Jobs = scaleCount(int(float64(spec.Jobs)*util/offered+0.5), cfg.JobFactor)
+	jobs, err := workload.Generate(spec)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := workload.ScaleToUtilization(jobs, EurekaNodes, util); err != nil {
+		return nil, err
+	}
+	return jobs, nil
+}
+
+// eurekaProportionTrace builds the §V-E special workload: the same job
+// count and span as the Intrepid trace at medium (≈0.5) utilization, so
+// pair proportions can be tuned rank-wise on both traces.
+func eurekaProportionTrace(cfg Config, seed uint64, intrepidJobs int) ([]*job.Job, error) {
+	spec := workload.EurekaSpec(seed)
+	spec.Jobs = intrepidJobs
+	// Shorter runtimes keep 9,219 jobs at ≈0.5 load within one month.
+	spec.RuntimeMu = 6.05
+	spec.RuntimeSigma = 1.10
+	spec.MaxRuntime = 3 * sim.Hour
+	jobs, err := workload.Generate(spec)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := workload.ScaleToUtilization(jobs, EurekaNodes, 0.5); err != nil {
+		return nil, err
+	}
+	return jobs, nil
+}
+
+func scaleCount(n int, factor float64) int {
+	s := int(float64(n)*factor + 0.5)
+	if s < 10 {
+		s = 10
+	}
+	return s
+}
+
+// Cell is one simulated configuration cell, averaged over Reps runs.
+type Cell struct {
+	Combo Combo
+	// X is the sweep variable: Eureka utilization (load sweep) or paired
+	// proportion (proportion sweep).
+	X float64
+
+	// Per-domain averaged metrics (minutes / ratios / node-hours).
+	IntrepidWait, EurekaWait         float64
+	IntrepidSlowdown, EurekaSlowdown float64
+	IntrepidSync, EurekaSync         float64
+	IntrepidLossNH, EurekaLossNH     float64
+	IntrepidLossPct, EurekaLossPct   float64
+
+	PairedJobs  int
+	Stuck       int
+	CoStartViol int
+
+	// Per-repetition samples of the headline wait metrics, for
+	// run-to-run error bars in the tables (empty with Reps == 1).
+	IntrepidWaitSamples, EurekaWaitSamples []float64
+}
+
+// Baseline is the no-coscheduling reference for one sweep point.
+type Baseline struct {
+	X                                float64
+	IntrepidWait, EurekaWait         float64
+	IntrepidSlowdown, EurekaSlowdown float64
+	IntrepidUtil, EurekaUtil         float64
+}
+
+// runCell executes one (combo, traces) cell and accumulates into c.
+func runCell(c *Cell, cfg Config, combo Combo, intrepid, eureka []*job.Job) error {
+	intrCfg := cosched.DefaultConfig(combo.Intrepid)
+	intrCfg.ReleaseInterval = cfg.ReleaseInterval
+	intrCfg.MaxHeldFraction = cfg.MaxHeldFraction
+	eurCfg := cosched.DefaultConfig(combo.Eureka)
+	eurCfg.ReleaseInterval = cfg.ReleaseInterval
+	eurCfg.MaxHeldFraction = cfg.MaxHeldFraction
+
+	s, err := coupled.New(coupled.Options{Domains: []coupled.DomainConfig{
+		{Name: DomIntrepid, Nodes: IntrepidNodes, Backfilling: true, Cosched: intrCfg, Trace: intrepid},
+		{Name: DomEureka, Nodes: EurekaNodes, Backfilling: true, Cosched: eurCfg, Trace: eureka},
+	}})
+	if err != nil {
+		return err
+	}
+	res := s.Run()
+	ri := res.Reports[DomIntrepid]
+	re := res.Reports[DomEureka]
+	c.IntrepidWait += ri.Wait.Mean
+	c.EurekaWait += re.Wait.Mean
+	c.IntrepidWaitSamples = append(c.IntrepidWaitSamples, ri.Wait.Mean)
+	c.EurekaWaitSamples = append(c.EurekaWaitSamples, re.Wait.Mean)
+	c.IntrepidSlowdown += ri.Slowdown.Mean
+	c.EurekaSlowdown += re.Slowdown.Mean
+	c.IntrepidSync += ri.PairedSync.Mean
+	c.EurekaSync += re.PairedSync.Mean
+	c.IntrepidLossNH += ri.LostNodeHours
+	c.EurekaLossNH += re.LostNodeHours
+	c.IntrepidLossPct += 100 * ri.LostUtilization
+	c.EurekaLossPct += 100 * re.LostUtilization
+	c.PairedJobs += ri.PairedCount
+	c.Stuck += res.StuckJobs
+	c.CoStartViol += res.CoStartViolations
+	return nil
+}
+
+func (c *Cell) average(reps int) {
+	f := 1.0 / float64(reps)
+	c.IntrepidWait *= f
+	c.EurekaWait *= f
+	c.IntrepidSlowdown *= f
+	c.EurekaSlowdown *= f
+	c.IntrepidSync *= f
+	c.EurekaSync *= f
+	c.IntrepidLossNH *= f
+	c.EurekaLossNH *= f
+	c.IntrepidLossPct *= f
+	c.EurekaLossPct *= f
+}
+
+// runBaseline executes the no-coscheduling reference for one trace pair.
+func runBaseline(b *Baseline, intrepid, eureka []*job.Job) error {
+	s, err := coupled.New(coupled.Options{Domains: []coupled.DomainConfig{
+		{Name: DomIntrepid, Nodes: IntrepidNodes, Backfilling: true, Trace: intrepid},
+		{Name: DomEureka, Nodes: EurekaNodes, Backfilling: true, Trace: eureka},
+	}})
+	if err != nil {
+		return err
+	}
+	res := s.Run()
+	ri := res.Reports[DomIntrepid]
+	re := res.Reports[DomEureka]
+	b.IntrepidWait += ri.Wait.Mean
+	b.EurekaWait += re.Wait.Mean
+	b.IntrepidSlowdown += ri.Slowdown.Mean
+	b.EurekaSlowdown += re.Slowdown.Mean
+	b.IntrepidUtil += ri.Utilization
+	b.EurekaUtil += re.Utilization
+	return nil
+}
+
+func (b *Baseline) average(reps int) {
+	f := 1.0 / float64(reps)
+	b.IntrepidWait *= f
+	b.EurekaWait *= f
+	b.IntrepidSlowdown *= f
+	b.EurekaSlowdown *= f
+	b.IntrepidUtil *= f
+	b.EurekaUtil *= f
+}
+
+// fmtMin renders minutes with one decimal for the tables.
+func fmtMin(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+// fmtSd renders slowdowns.
+func fmtSd(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// fmtErr renders a ± standard-error column ("-" with fewer than two reps).
+func fmtErr(samples []float64) string {
+	if len(samples) < 2 {
+		return "-"
+	}
+	return fmt.Sprintf("±%.1f", metrics.Stderr(samples))
+}

@@ -1,0 +1,212 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cosched/internal/cosched"
+	"cosched/internal/job"
+	"cosched/internal/metrics"
+	"cosched/internal/sim"
+	"cosched/internal/workload"
+)
+
+// LoadSweepUtils are the Eureka system-utilization points of Figures 3–6.
+var LoadSweepUtils = []float64{0.25, 0.50, 0.75}
+
+// PairWindow is the §V-D association rule: jobs submitted within 2 minutes
+// of each other on the two machines are paired.
+const PairWindow = 2 * sim.Minute
+
+// LoadSweep holds the data behind Figures 3–6: per Eureka load, a
+// baseline plus one cell per scheme combination.
+type LoadSweep struct {
+	Config    Config
+	Utils     []float64
+	Baselines map[float64]*Baseline
+	Cells     []*Cell // ordered: util-major, combo-minor
+	// PairedFraction records the resulting proportion of paired Intrepid
+	// jobs per util (the paper reports 5–10%).
+	PairedFraction map[float64]float64
+}
+
+// Cell returns the sweep cell for (util, combo), or nil.
+func (s *LoadSweep) Cell(util float64, combo Combo) *Cell {
+	for _, c := range s.Cells {
+		if c.X == util && c.Combo == combo {
+			return c
+		}
+	}
+	return nil
+}
+
+// RunLoadSweep reproduces the §V-D experiment: Intrepid's trace fixed at
+// high load, Eureka's load varied, pairs formed by the 2-minute submission
+// window, each (util, combo) cell simulated Reps times.
+func RunLoadSweep(cfg Config) (*LoadSweep, error) {
+	cfg = cfg.normalized()
+	sweep := &LoadSweep{
+		Config:         cfg,
+		Utils:          LoadSweepUtils,
+		Baselines:      make(map[float64]*Baseline),
+		PairedFraction: make(map[float64]float64),
+	}
+	for ui, util := range sweep.Utils {
+		base := &Baseline{X: util}
+		cells := make([]*Cell, len(Combos))
+		for ci, combo := range Combos {
+			cells[ci] = &Cell{Combo: combo, X: util}
+		}
+		for rep := 0; rep < cfg.Reps; rep++ {
+			seed := cfg.Seed + uint64(ui*1000+rep*7919)
+			intr, eur, frac, err := loadSweepTraces(cfg, seed, util)
+			if err != nil {
+				return nil, err
+			}
+			sweep.PairedFraction[util] += frac / float64(cfg.Reps)
+			if err := runBaseline(base, workload.Clone(intr), workload.Clone(eur)); err != nil {
+				return nil, err
+			}
+			for ci, combo := range Combos {
+				if err := runCell(cells[ci], cfg, combo, workload.Clone(intr), workload.Clone(eur)); err != nil {
+					return nil, err
+				}
+			}
+		}
+		base.average(cfg.Reps)
+		for _, c := range cells {
+			c.average(cfg.Reps)
+		}
+		sweep.Baselines[util] = base
+		sweep.Cells = append(sweep.Cells, cells...)
+	}
+	return sweep, nil
+}
+
+// loadSweepTraces builds one paired (Intrepid, Eureka) trace instance for
+// the load sweep and returns the paired fraction of Intrepid jobs.
+func loadSweepTraces(cfg Config, seed uint64, util float64) (intr, eur []*job.Job, frac float64, err error) {
+	intr, err = intrepidTrace(cfg, seed)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	eur, err = eurekaTraceAtUtil(cfg, seed+1, util)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	workload.PairByWindow(
+		workload.Eligible(intr, MaxPairedIntrepidNodes),
+		workload.Eligible(eur, MaxPairedEurekaNodes),
+		DomIntrepid, DomEureka, PairWindow)
+	return intr, eur, workload.PairedFraction(intr), nil
+}
+
+// Fig3Table renders "Scheduling performance (avg. wait) by Eureka system
+// load" — Figure 3(a) and 3(b).
+func (s *LoadSweep) Fig3Table() (intrepid, eureka *metrics.Table) {
+	intrepid = metrics.NewTable("Figure 3(a): Intrepid avg. wait (minutes) by Eureka load",
+		"eureka_util", "combo", "cosched", "stderr", "base", "difference")
+	eureka = metrics.NewTable("Figure 3(b): Eureka avg. wait (minutes) by Eureka load",
+		"eureka_util", "combo", "cosched", "stderr", "base", "difference")
+	for _, util := range s.Utils {
+		base := s.Baselines[util]
+		for _, combo := range Combos {
+			c := s.Cell(util, combo)
+			intrepid.AddRow(fmt.Sprintf("%.2f", util), combo.Label(),
+				fmtMin(c.IntrepidWait), fmtErr(c.IntrepidWaitSamples),
+				fmtMin(base.IntrepidWait),
+				fmtMin(c.IntrepidWait-base.IntrepidWait))
+			eureka.AddRow(fmt.Sprintf("%.2f", util), combo.Label(),
+				fmtMin(c.EurekaWait), fmtErr(c.EurekaWaitSamples),
+				fmtMin(base.EurekaWait),
+				fmtMin(c.EurekaWait-base.EurekaWait))
+		}
+	}
+	return intrepid, eureka
+}
+
+// Fig4Table renders "Scheduling performance (avg. slowdown) by Eureka
+// load" — Figure 4(a) and 4(b).
+func (s *LoadSweep) Fig4Table() (intrepid, eureka *metrics.Table) {
+	intrepid = metrics.NewTable("Figure 4(a): Intrepid avg. slowdown by Eureka load",
+		"eureka_util", "combo", "cosched", "base", "difference")
+	eureka = metrics.NewTable("Figure 4(b): Eureka avg. slowdown by Eureka load",
+		"eureka_util", "combo", "cosched", "base", "difference")
+	for _, util := range s.Utils {
+		base := s.Baselines[util]
+		for _, combo := range Combos {
+			c := s.Cell(util, combo)
+			intrepid.AddRow(fmt.Sprintf("%.2f", util), combo.Label(),
+				fmtSd(c.IntrepidSlowdown), fmtSd(base.IntrepidSlowdown),
+				fmtSd(c.IntrepidSlowdown-base.IntrepidSlowdown))
+			eureka.AddRow(fmt.Sprintf("%.2f", util), combo.Label(),
+				fmtSd(c.EurekaSlowdown), fmtSd(base.EurekaSlowdown),
+				fmtSd(c.EurekaSlowdown-base.EurekaSlowdown))
+		}
+	}
+	return intrepid, eureka
+}
+
+// Fig5Table renders "Average paired job synchronization time by Eureka
+// load" — Figure 5(a)/(b). Rows are grouped by (Eureka util, remote
+// scheme) with one column per local scheme, matching the paper's x-axis.
+func (s *LoadSweep) Fig5Table() (intrepid, eureka *metrics.Table) {
+	intrepid = metrics.NewTable("Figure 5(a): Intrepid avg. paired-job sync time (minutes)",
+		"eureka_util/remote", "local=hold", "local=yield")
+	eureka = metrics.NewTable("Figure 5(b): Eureka avg. paired-job sync time (minutes)",
+		"eureka_util/remote", "local=hold", "local=yield")
+	for _, util := range s.Utils {
+		// Intrepid's remote machine is Eureka: group by Eureka's scheme,
+		// compare Intrepid's local hold vs yield.
+		for _, remote := range []cosched.Scheme{cosched.Hold, cosched.Yield} {
+			h := s.Cell(util, Combo{Intrepid: cosched.Hold, Eureka: remote})
+			y := s.Cell(util, Combo{Intrepid: cosched.Yield, Eureka: remote})
+			intrepid.AddRow(fmt.Sprintf("%.2f/%s", util, remote.Short()),
+				fmtMin(h.IntrepidSync), fmtMin(y.IntrepidSync))
+		}
+		// Eureka's remote machine is Intrepid.
+		for _, remote := range []cosched.Scheme{cosched.Hold, cosched.Yield} {
+			h := s.Cell(util, Combo{Intrepid: remote, Eureka: cosched.Hold})
+			y := s.Cell(util, Combo{Intrepid: remote, Eureka: cosched.Yield})
+			eureka.AddRow(fmt.Sprintf("%.2f/%s", util, remote.Short()),
+				fmtMin(h.EurekaSync), fmtMin(y.EurekaSync))
+		}
+	}
+	return intrepid, eureka
+}
+
+// Fig6Table renders "Service unit loss by Eureka load" — Figure 6(a)/(b):
+// node-hours lost to holding plus the corresponding lost utilization rate,
+// for the cells where the local machine uses hold.
+func (s *LoadSweep) Fig6Table() (intrepid, eureka *metrics.Table) {
+	intrepid = metrics.NewTable("Figure 6(a): Intrepid service-unit loss (local scheme = hold)",
+		"eureka_util/remote", "node_hours", "lost_util_%")
+	eureka = metrics.NewTable("Figure 6(b): Eureka service-unit loss (local scheme = hold)",
+		"eureka_util/remote", "node_hours", "lost_util_%")
+	for _, util := range s.Utils {
+		for _, remote := range []struct {
+			scheme string
+			combo  Combo // Intrepid local hold with this Eureka scheme
+		}{
+			{"H", Combo{Intrepid: cosched.Hold, Eureka: cosched.Hold}},
+			{"Y", Combo{Intrepid: cosched.Hold, Eureka: cosched.Yield}},
+		} {
+			c := s.Cell(util, remote.combo)
+			intrepid.AddRow(fmt.Sprintf("%.2f/%s", util, remote.scheme),
+				fmt.Sprintf("%.0f", c.IntrepidLossNH),
+				fmt.Sprintf("%.2f", c.IntrepidLossPct))
+		}
+		for _, remote := range []struct {
+			scheme string
+			combo  Combo // Eureka local hold with this Intrepid scheme
+		}{
+			{"H", Combo{Intrepid: cosched.Hold, Eureka: cosched.Hold}},
+			{"Y", Combo{Intrepid: cosched.Yield, Eureka: cosched.Hold}},
+		} {
+			c := s.Cell(util, remote.combo)
+			eureka.AddRow(fmt.Sprintf("%.2f/%s", util, remote.scheme),
+				fmt.Sprintf("%.0f", c.EurekaLossNH),
+				fmt.Sprintf("%.2f", c.EurekaLossPct))
+		}
+	}
+	return intrepid, eureka
+}

@@ -1,0 +1,212 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cosched/internal/cosched"
+	"cosched/internal/coupled"
+	"cosched/internal/job"
+	"cosched/internal/metasched"
+	"cosched/internal/metrics"
+	"cosched/internal/reserve"
+	"cosched/internal/workload"
+)
+
+// ReservationRow captures one system's results in the coscheduling-vs-
+// co-reservation comparison.
+type ReservationRow struct {
+	System string // "cosched(HY)", "cosched(YY)", "co-reservation", "baseline"
+
+	IntrepidWait, EurekaWait float64 // minutes, all jobs
+	IntrepidUtil, EurekaUtil float64
+	PairSync                 float64 // minutes: cosched sync / reservation latency
+	LossNH                   float64 // node-hours lost to holds (0 for reservation)
+	Stuck                    int
+	CoStartViolations        int
+}
+
+// ReservationComparison is the §III quantitative argument: advance
+// co-reservation also co-starts pairs, but planning every job onto a
+// walltime-sized window at submission fragments the machines and hurts
+// regular jobs, while coscheduling coordinates at start time only.
+type ReservationComparison struct {
+	Config Config
+	Rows   []ReservationRow
+}
+
+// RunReservationComparison runs the same paired workload (Intrepid at high
+// load, Eureka at medium, 10 % pairs) under (a) no coordination,
+// (b) coscheduling with hold-yield, (c) coscheduling with yield-yield,
+// (d) a metascheduler with a global submission portal (GridWay/Moab
+// style), and (e) the advance co-reservation baseline (HARC/GUR style).
+func RunReservationComparison(cfg Config) (*ReservationComparison, error) {
+	cfg = cfg.normalized()
+	out := &ReservationComparison{Config: cfg}
+
+	build := func(seed uint64) (intr, eur []*job.Job, err error) {
+		intr, err = intrepidTrace(cfg, seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		eur, err = eurekaProportionTrace(cfg, seed+1, len(intr))
+		if err != nil {
+			return nil, nil, err
+		}
+		want := len(intr) / 10
+		workload.PairNearest(workload.NewRNG(seed+2),
+			workload.Eligible(intr, MaxPairedIntrepidNodes),
+			workload.Eligible(eur, MaxPairedEurekaNodes),
+			DomIntrepid, DomEureka, want, PairMaxGap)
+		return intr, eur, nil
+	}
+
+	runCosched := func(label string, cc func() (cosched.Config, cosched.Config)) error {
+		row := ReservationRow{System: label}
+		for rep := 0; rep < cfg.Reps; rep++ {
+			intr, eur, err := build(cfg.Seed + uint64(rep*613))
+			if err != nil {
+				return err
+			}
+			ci, ce := cc()
+			s, err := coupled.New(coupled.Options{Domains: []coupled.DomainConfig{
+				{Name: DomIntrepid, Nodes: IntrepidNodes, Backfilling: true, Cosched: ci, Trace: intr},
+				{Name: DomEureka, Nodes: EurekaNodes, Backfilling: true, Cosched: ce, Trace: eur},
+			}})
+			if err != nil {
+				return err
+			}
+			res := s.Run()
+			ri, re := res.Reports[DomIntrepid], res.Reports[DomEureka]
+			row.IntrepidWait += ri.Wait.Mean
+			row.EurekaWait += re.Wait.Mean
+			row.IntrepidUtil += ri.Utilization
+			row.EurekaUtil += re.Utilization
+			row.PairSync += (ri.PairedSync.Mean + re.PairedSync.Mean) / 2
+			row.LossNH += ri.LostNodeHours + re.LostNodeHours
+			row.Stuck += res.StuckJobs
+			row.CoStartViolations += res.CoStartViolations
+		}
+		scaleRow(&row, cfg.Reps)
+		out.Rows = append(out.Rows, row)
+		return nil
+	}
+
+	// (a) uncoordinated baseline.
+	if err := runCosched("baseline", func() (cosched.Config, cosched.Config) {
+		return cosched.Config{}, cosched.Config{}
+	}); err != nil {
+		return nil, err
+	}
+	// (b) coscheduling hold-yield; (c) yield-yield.
+	if err := runCosched("cosched(HY)", func() (cosched.Config, cosched.Config) {
+		ci := cosched.DefaultConfig(cosched.Hold)
+		ce := cosched.DefaultConfig(cosched.Yield)
+		ci.ReleaseInterval, ce.ReleaseInterval = cfg.ReleaseInterval, cfg.ReleaseInterval
+		return ci, ce
+	}); err != nil {
+		return nil, err
+	}
+	if err := runCosched("cosched(YY)", func() (cosched.Config, cosched.Config) {
+		ci := cosched.DefaultConfig(cosched.Yield)
+		ce := cosched.DefaultConfig(cosched.Yield)
+		ci.ReleaseInterval, ce.ReleaseInterval = cfg.ReleaseInterval, cfg.ReleaseInterval
+		return ci, ce
+	}); err != nil {
+		return nil, err
+	}
+
+	// (d) metascheduler: a single global portal owning both machines.
+	meta := ReservationRow{System: "metascheduler"}
+	for rep := 0; rep < cfg.Reps; rep++ {
+		intr, eur, err := build(cfg.Seed + uint64(rep*613))
+		if err != nil {
+			return nil, err
+		}
+		tr := map[string][]*job.Job{DomIntrepid: intr, DomEureka: eur}
+		s, err := metasched.New(metasched.Options{Domains: []metasched.DomainConfig{
+			{Name: DomIntrepid, Nodes: IntrepidNodes, Trace: intr},
+			{Name: DomEureka, Nodes: EurekaNodes, Trace: eur},
+		}})
+		if err != nil {
+			return nil, err
+		}
+		res := s.Run(tr)
+		ri, re := res.Reports[DomIntrepid], res.Reports[DomEureka]
+		meta.IntrepidWait += ri.Wait.Mean
+		meta.EurekaWait += re.Wait.Mean
+		meta.IntrepidUtil += ri.Utilization
+		meta.EurekaUtil += re.Utilization
+		meta.PairSync += (ri.PairedSync.Mean + re.PairedSync.Mean) / 2
+		meta.Stuck += res.StuckJobs
+		meta.CoStartViolations += res.CoStartViolations
+	}
+	scaleRow(&meta, cfg.Reps)
+	out.Rows = append(out.Rows, meta)
+
+	// (e) advance co-reservation.
+	row := ReservationRow{System: "co-reservation"}
+	for rep := 0; rep < cfg.Reps; rep++ {
+		intr, eur, err := build(cfg.Seed + uint64(rep*613))
+		if err != nil {
+			return nil, err
+		}
+		s, err := reserve.New(reserve.Options{Domains: []reserve.DomainConfig{
+			{Name: DomIntrepid, Nodes: IntrepidNodes, Trace: intr},
+			{Name: DomEureka, Nodes: EurekaNodes, Trace: eur},
+		}})
+		if err != nil {
+			return nil, err
+		}
+		res := s.Run()
+		ri, re := res.Reports[DomIntrepid], res.Reports[DomEureka]
+		row.IntrepidWait += ri.Wait.Mean
+		row.EurekaWait += re.Wait.Mean
+		row.IntrepidUtil += ri.Utilization
+		row.EurekaUtil += re.Utilization
+		row.PairSync += res.PairLatency.Mean
+		row.Stuck += res.StuckJobs
+		row.CoStartViolations += res.CoStartViolations
+	}
+	scaleRow(&row, cfg.Reps)
+	out.Rows = append(out.Rows, row)
+	return out, nil
+}
+
+func scaleRow(r *ReservationRow, reps int) {
+	f := 1.0 / float64(reps)
+	r.IntrepidWait *= f
+	r.EurekaWait *= f
+	r.IntrepidUtil *= f
+	r.EurekaUtil *= f
+	r.PairSync *= f
+	r.LossNH *= f
+}
+
+// Row returns the named system's row, or nil.
+func (c *ReservationComparison) Row(system string) *ReservationRow {
+	for i := range c.Rows {
+		if c.Rows[i].System == system {
+			return &c.Rows[i]
+		}
+	}
+	return nil
+}
+
+// Table renders the comparison.
+func (c *ReservationComparison) Table() *metrics.Table {
+	t := metrics.NewTable("Coordination mechanisms compared (§III, 10% pairs)",
+		"system", "intrepid_wait_min", "eureka_wait_min", "pair_sync_min",
+		"hold_loss_nh", "intrepid_util", "co_start_viol", "stuck")
+	for _, r := range c.Rows {
+		t.AddRow(r.System,
+			fmt.Sprintf("%.1f", r.IntrepidWait),
+			fmt.Sprintf("%.1f", r.EurekaWait),
+			fmt.Sprintf("%.1f", r.PairSync),
+			fmt.Sprintf("%.0f", r.LossNH),
+			fmt.Sprintf("%.3f", r.IntrepidUtil),
+			fmt.Sprintf("%d", r.CoStartViolations),
+			fmt.Sprintf("%d", r.Stuck))
+	}
+	t.Caption = "pair_sync: extra wait imposed on paired jobs (cosched) / reservation lead time (co-reservation)"
+	return t
+}

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cosched/internal/cosched"
+	"cosched/internal/coupled"
+	"cosched/internal/job"
+	"cosched/internal/metrics"
+	"cosched/internal/sim"
+	"cosched/internal/workload"
+)
+
+// ValidationCase is one cell of the §V-B capability-validation grid.
+type ValidationCase struct {
+	Combo      Combo
+	EurekaUtil float64
+	PairProp   float64
+
+	TotalJobs, Completed int
+	CoStartViolations    int
+	Deadlocked           bool
+}
+
+// Validation is the full §V-B result: the grid plus the deadlock
+// demonstration with and without the release enhancement.
+type Validation struct {
+	Cases []ValidationCase
+	// DeadlockWithoutRelease reports whether the Figure 2 scenario wedged
+	// when the enhancement was disabled (the paper observed it does).
+	DeadlockWithoutRelease bool
+	// DeadlockWithRelease reports whether it wedged with the enhancement
+	// on (the paper observed it never does).
+	DeadlockWithRelease bool
+}
+
+// Passed reports whether every validation criterion of §V-B holds: all
+// cases complete all jobs with zero co-start violations, and the deadlock
+// appears exactly when the enhancement is off.
+func (v *Validation) Passed() bool {
+	for _, c := range v.Cases {
+		if c.Completed != c.TotalJobs || c.CoStartViolations != 0 || c.Deadlocked {
+			return false
+		}
+	}
+	return v.DeadlockWithoutRelease && !v.DeadlockWithRelease
+}
+
+// RunValidation executes the capability-validation grid: every scheme
+// combination × Eureka load × pair proportion, plus the deadlock
+// demonstration.
+func RunValidation(cfg Config) (*Validation, error) {
+	cfg = cfg.normalized()
+	v := &Validation{}
+	utils := []float64{0.25, 0.50, 0.75}
+	props := []float64{0.05, 0.10}
+	for ui, util := range utils {
+		for pi, prop := range props {
+			seed := cfg.Seed + uint64(ui*100+pi*10)
+			intr, err := intrepidTrace(cfg, seed)
+			if err != nil {
+				return nil, err
+			}
+			eur, err := eurekaTraceAtUtil(cfg, seed+1, util)
+			if err != nil {
+				return nil, err
+			}
+			rng := workload.NewRNG(seed + 2)
+			want := int(float64(len(intr))*prop + 0.5)
+			workload.PairNearest(rng,
+				workload.Eligible(intr, MaxPairedIntrepidNodes),
+				workload.Eligible(eur, MaxPairedEurekaNodes),
+				DomIntrepid, DomEureka, want, PairMaxGap)
+			for _, combo := range Combos {
+				vc := ValidationCase{Combo: combo, EurekaUtil: util, PairProp: prop}
+				cell := &Cell{Combo: combo, X: util}
+				if err := runCell(cell, cfg, combo, workload.Clone(intr), workload.Clone(eur)); err != nil {
+					return nil, err
+				}
+				vc.TotalJobs = len(intr) + len(eur)
+				vc.Completed = vc.TotalJobs - cell.Stuck
+				vc.CoStartViolations = cell.CoStartViol
+				vc.Deadlocked = cell.Stuck > 0
+				v.Cases = append(v.Cases, vc)
+			}
+		}
+	}
+	v.DeadlockWithoutRelease = runFig2Scenario(0)
+	v.DeadlockWithRelease = runFig2Scenario(cfg.ReleaseInterval)
+	return v, nil
+}
+
+// runFig2Scenario reproduces the paper's Figure 2 circular-wait scenario
+// and reports whether it deadlocked.
+func runFig2Scenario(release sim.Duration) bool {
+	a1 := job.New(1, 6, 0, 600, 600)
+	a2 := job.New(2, 6, 10, 600, 600)
+	b2 := job.New(2, 6, 0, 600, 600)
+	b1 := job.New(1, 6, 10, 600, 600)
+	a1.Mates = []job.MateRef{{Domain: "B", Job: 1}}
+	b1.Mates = []job.MateRef{{Domain: "A", Job: 1}}
+	a2.Mates = []job.MateRef{{Domain: "B", Job: 2}}
+	b2.Mates = []job.MateRef{{Domain: "A", Job: 2}}
+	cfg := cosched.DefaultConfig(cosched.Hold)
+	cfg.ReleaseInterval = release
+	s, err := coupled.New(coupled.Options{Domains: []coupled.DomainConfig{
+		{Name: "A", Nodes: 6, Cosched: cfg, Trace: []*job.Job{a1, a2}},
+		{Name: "B", Nodes: 6, Cosched: cfg, Trace: []*job.Job{b2, b1}},
+	}})
+	if err != nil {
+		panic(fmt.Sprintf("experiments: fig2 scenario: %v", err))
+	}
+	return s.Run().Deadlocked
+}
+
+// Table renders the validation grid.
+func (v *Validation) Table() *metrics.Table {
+	t := metrics.NewTable("Capability validation (§V-B)",
+		"combo", "eureka_util", "pair_prop", "jobs", "completed", "co_start_viol", "deadlock")
+	for _, c := range v.Cases {
+		t.AddRow(c.Combo.Label(),
+			fmt.Sprintf("%.2f", c.EurekaUtil),
+			fmt.Sprintf("%.0f%%", c.PairProp*100),
+			fmt.Sprintf("%d", c.TotalJobs),
+			fmt.Sprintf("%d", c.Completed),
+			fmt.Sprintf("%d", c.CoStartViolations),
+			fmt.Sprintf("%v", c.Deadlocked))
+	}
+	t.Caption = fmt.Sprintf(
+		"Figure 2 deadlock scenario: without release enhancement deadlocked=%v; with it deadlocked=%v",
+		v.DeadlockWithoutRelease, v.DeadlockWithRelease)
+	return t
+}

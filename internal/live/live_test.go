@@ -1,0 +1,372 @@
+package live
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"cosched/internal/cluster"
+	"cosched/internal/cosched"
+	"cosched/internal/job"
+	"cosched/internal/proto"
+	"cosched/internal/resmgr"
+	"cosched/internal/sim"
+)
+
+// testDomain spins up one live manager with peer+admin servers on loopback.
+type testDomain struct {
+	mgr    *resmgr.Manager
+	driver *Driver
+	peer   *proto.Server
+	admin  *AdminServer
+
+	peerAddr, adminAddr string
+}
+
+func startTestDomain(t *testing.T, name string, nodes int, scheme cosched.Scheme, speedup float64) *testDomain {
+	t.Helper()
+	eng := sim.NewEngine()
+	mgr := resmgr.New(eng, resmgr.Options{
+		Name:        name,
+		Pool:        cluster.New(name, nodes),
+		Backfilling: true,
+		Cosched:     cosched.DefaultConfig(scheme),
+	})
+	d := NewDriver(eng, speedup)
+	ps := proto.NewServer(mgr, d, nil)
+	pa, err := ps.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	as := NewAdminServer(mgr, d, nil)
+	aa, err := as.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ps.Close()
+		as.Close()
+	})
+	return &testDomain{mgr: mgr, driver: d, peer: ps, admin: as,
+		peerAddr: pa.String(), adminAddr: aa.String()}
+}
+
+func TestDriverPacesEvents(t *testing.T) {
+	eng := sim.NewEngine()
+	d := NewDriver(eng, 1000) // 1000 virtual seconds per wall second
+	fired := make(chan sim.Time, 1)
+	d.Do(func() {
+		eng.After(100, sim.PriorityDefault, func(now sim.Time) { fired <- now })
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go d.Run(ctx)
+	select {
+	case now := <-fired:
+		if now != 100 {
+			t.Fatalf("event fired at %d, want 100", now)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("event did not fire within 2s wall (should take ~0.1s)")
+	}
+}
+
+func TestDriverClockSyncOnLock(t *testing.T) {
+	eng := sim.NewEngine()
+	d := NewDriver(eng, 1000)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go d.Run(ctx)
+	time.Sleep(200 * time.Millisecond) // ≈200 virtual seconds
+	var now sim.Time
+	d.Do(func() { now = eng.Now() })
+	if now < 100 {
+		t.Fatalf("engine clock %d did not catch up to the wall (~200)", now)
+	}
+}
+
+func TestDriverRejectsBadSpeedup(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero speedup accepted")
+		}
+	}()
+	NewDriver(sim.NewEngine(), 0)
+}
+
+func TestAdminSubmitAndStatus(t *testing.T) {
+	dom := startTestDomain(t, "solo", 64, cosched.Hold, 500)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go dom.driver.Run(ctx)
+
+	c, err := DialAdmin(dom.adminAddr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	info, err := c.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Domain != "solo" || info.Nodes != 64 || info.Free != 64 {
+		t.Fatalf("info = %+v", info)
+	}
+
+	if err := c.Submit(WireJob{ID: 1, Nodes: 16, Runtime: 60, Walltime: 120}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		st, err := c.Status(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Started {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never started: %+v", st)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if _, err := c.Status(99); err == nil {
+		t.Fatal("status of unknown job succeeded")
+	}
+	// Resubmitting a started job must fail.
+	if err := c.Submit(WireJob{ID: 1, Nodes: 16, Runtime: 60, Walltime: 120}); err == nil {
+		t.Fatal("duplicate submit accepted")
+	}
+}
+
+func TestAdminExpectIdempotent(t *testing.T) {
+	dom := startTestDomain(t, "exp", 64, cosched.Hold, 500)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go dom.driver.Run(ctx)
+	c, err := DialAdmin(dom.adminAddr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	w := WireJob{ID: 5, Nodes: 4, Runtime: 60, Walltime: 60}
+	if err := c.Expect(w); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Expect(w); err != nil {
+		t.Fatalf("second expect: %v", err)
+	}
+	st, err := c.Status(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "unsubmitted" {
+		t.Fatalf("state = %s, want unsubmitted", st.State)
+	}
+	// Submitting the expected job works.
+	if err := c.Submit(w); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLiveCoStartOverTCP(t *testing.T) {
+	a := startTestDomain(t, "a", 64, cosched.Hold, 2000)
+	b := startTestDomain(t, "b", 8, cosched.Yield, 2000)
+
+	ab, err := proto.Dial(b.peerAddr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ab.Close()
+	ba, err := proto.Dial(a.peerAddr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ba.Close()
+	a.driver.Do(func() { a.mgr.AddPeer("b", ab) })
+	b.driver.Do(func() { b.mgr.AddPeer("a", ba) })
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go a.driver.Run(ctx)
+	go b.driver.Run(ctx)
+
+	ca, err := DialAdmin(a.adminAddr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ca.Close()
+	cb, err := DialAdmin(b.adminAddr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cb.Close()
+
+	wa := WireJob{ID: 1, Nodes: 16, Runtime: 600, Walltime: 600,
+		Mates: []job.MateRef{{Domain: "b", Job: 1}}}
+	wb := WireJob{ID: 1, Nodes: 4, Runtime: 600, Walltime: 600,
+		Mates: []job.MateRef{{Domain: "a", Job: 1}}}
+	// Co-submission protocol: declare both halves first.
+	if err := cb.Expect(wb); err != nil {
+		t.Fatal(err)
+	}
+	if err := ca.Submit(wa); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(300 * time.Millisecond) // ≈10 virtual minutes later
+	if err := cb.Submit(wb); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		sa, err1 := ca.Status(1)
+		sb, err2 := cb.Status(1)
+		if err1 == nil && err2 == nil && sa.Started && sb.Started {
+			// Each domain runs its own wall-clock-derived virtual time;
+			// co-start lands within RPC latency of each other, a few
+			// virtual seconds at 2000x.
+			diff := sa.StartTime - sb.StartTime
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > 30 {
+				t.Fatalf("start times differ by %d virtual seconds: %d vs %d",
+					diff, sa.StartTime, sb.StartTime)
+			}
+			// The held job must have waited for its mate, not started
+			// at submission.
+			if sa.StartTime < 60 {
+				t.Fatalf("a started at %d, should have held ~10 virtual minutes", sa.StartTime)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("pair never co-started")
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+func TestStatusServer(t *testing.T) {
+	dom := startTestDomain(t, "stat", 32, cosched.Hold, 500)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go dom.driver.Run(ctx)
+
+	ss := NewStatusServer(dom.mgr, dom.driver)
+	addr, err := ss.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ss.Close()
+
+	ac, err := DialAdmin(dom.adminAddr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ac.Close()
+	if err := ac.Submit(WireJob{ID: 9, Name: "probe", Nodes: 8, Runtime: 3600, Walltime: 3600}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond)
+
+	// JSON endpoint.
+	resp, err := http.Get("http://" + addr.String() + "/status.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap StatusSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Domain != "stat" || snap.Nodes != 32 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if snap.Free+snap.Running+snap.Held != snap.Nodes {
+		t.Fatalf("node conservation in snapshot: %+v", snap)
+	}
+	found := false
+	for _, row := range snap.Jobs {
+		if row.ID == 9 && row.Name == "probe" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("submitted job missing from snapshot: %+v", snap.Jobs)
+	}
+
+	// HTML page.
+	resp2, err := http.Get("http://" + addr.String() + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	body, err := io.ReadAll(resp2.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"coschedd", "stat", "probe"} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("status page missing %q", want)
+		}
+	}
+	// Unknown paths 404.
+	resp3, err := http.Get("http://" + addr.String() + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusNotFound {
+		t.Fatalf("status for /nope = %d", resp3.StatusCode)
+	}
+}
+
+func TestAdminCancel(t *testing.T) {
+	dom := startTestDomain(t, "cxl", 32, cosched.Hold, 500)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go dom.driver.Run(ctx)
+	c, err := DialAdmin(dom.adminAddr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Submit(WireJob{ID: 3, Nodes: 8, Runtime: 100000, Walltime: 100000}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		st, err := c.Status(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Started {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never started")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err := c.Cancel(3); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Status(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "cancelled" {
+		t.Fatalf("state = %s", st.State)
+	}
+	// Double cancel errors.
+	if err := c.Cancel(3); err == nil {
+		t.Fatal("double cancel accepted")
+	}
+}

@@ -1,0 +1,144 @@
+package live
+
+import (
+	"encoding/json"
+	"fmt"
+	"html/template"
+	"net"
+	"net/http"
+	"sort"
+
+	"cosched/internal/job"
+	"cosched/internal/resmgr"
+	"cosched/internal/sim"
+)
+
+// StatusSnapshot is the daemon state served by the status endpoint.
+type StatusSnapshot struct {
+	Domain     string         `json:"domain"`
+	VirtualNow sim.Time       `json:"virtual_now"`
+	Nodes      int            `json:"nodes"`
+	Free       int            `json:"free"`
+	Held       int            `json:"held"`
+	Running    int            `json:"running_nodes"`
+	Queued     int            `json:"queued_jobs"`
+	Holding    int            `json:"holding_jobs"`
+	Completed  int            `json:"completed_jobs"`
+	Jobs       []StatusJobRow `json:"jobs"`
+}
+
+// StatusJobRow is one non-terminal job in the snapshot.
+type StatusJobRow struct {
+	ID     job.ID   `json:"id"`
+	Name   string   `json:"name,omitempty"`
+	State  string   `json:"state"`
+	Nodes  int      `json:"nodes"`
+	Submit sim.Time `json:"submit"`
+	Mates  int      `json:"mates"`
+	Yields int      `json:"yields"`
+}
+
+// StatusServer serves a human-readable status page ("/") and a JSON
+// snapshot ("/status.json") for one live daemon.
+type StatusServer struct {
+	mgr    *resmgr.Manager
+	driver *Driver
+	srv    *http.Server
+}
+
+// NewStatusServer wraps a manager and its driver.
+func NewStatusServer(mgr *resmgr.Manager, driver *Driver) *StatusServer {
+	return &StatusServer{mgr: mgr, driver: driver}
+}
+
+// snapshot collects daemon state under the driver lock.
+func (s *StatusServer) snapshot() StatusSnapshot {
+	var snap StatusSnapshot
+	s.driver.Do(func() {
+		pool := s.mgr.Pool()
+		snap = StatusSnapshot{
+			Domain:     s.mgr.Name(),
+			VirtualNow: s.driver.virtualNowLocked(),
+			Nodes:      pool.Total(),
+			Free:       pool.Free(),
+			Held:       pool.Held(),
+			Running:    pool.Running(),
+			Queued:     s.mgr.QueueLength(),
+			Holding:    s.mgr.HoldingCount(),
+			Completed:  s.mgr.CompletedCount(),
+		}
+		for _, j := range s.mgr.Jobs() {
+			if j.State == job.Completed {
+				continue
+			}
+			snap.Jobs = append(snap.Jobs, StatusJobRow{
+				ID: j.ID, Name: j.Name, State: j.State.String(),
+				Nodes: j.Nodes, Submit: j.SubmitTime,
+				Mates: len(j.Mates), Yields: j.YieldCount,
+			})
+		}
+	})
+	sort.Slice(snap.Jobs, func(a, b int) bool { return snap.Jobs[a].ID < snap.Jobs[b].ID })
+	return snap
+}
+
+var statusTemplate = template.Must(template.New("status").Parse(`<!doctype html>
+<html><head><meta charset="utf-8"><meta http-equiv="refresh" content="2">
+<title>coschedd {{.Domain}}</title>
+<style>
+body{font-family:system-ui,sans-serif;margin:2rem;color:#0b0b0b;background:#fcfcfb}
+table{border-collapse:collapse;margin-top:1rem}
+td,th{border:1px solid #e4e3df;padding:.3rem .7rem;text-align:left}
+th{background:#f3f2ef}.k{color:#52514e}
+</style></head><body>
+<h1>coschedd — domain {{.Domain}}</h1>
+<p class="k">virtual t={{.VirtualNow}}s · nodes {{.Free}}/{{.Nodes}} free,
+{{.Running}} running, {{.Held}} held · {{.Queued}} queued / {{.Holding}} holding /
+{{.Completed}} completed jobs · <a href="/status.json">JSON</a></p>
+<table><tr><th>job</th><th>name</th><th>state</th><th>nodes</th><th>submit</th><th>mates</th><th>yields</th></tr>
+{{range .Jobs}}<tr><td>{{.ID}}</td><td>{{.Name}}</td><td>{{.State}}</td>
+<td>{{.Nodes}}</td><td>{{.Submit}}</td><td>{{.Mates}}</td><td>{{.Yields}}</td></tr>
+{{else}}<tr><td colspan="7" class="k">no active jobs</td></tr>{{end}}
+</table></body></html>`))
+
+// Listen serves the status page on addr and returns the bound address.
+func (s *StatusServer) Listen(addr string) (net.Addr, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		if err := statusTemplate.Execute(w, s.snapshot()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/status.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(s.snapshot()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.srv = &http.Server{Handler: mux}
+	go func() {
+		if err := s.srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			fmt.Printf("live status server: %v\n", err)
+		}
+	}()
+	return ln.Addr(), nil
+}
+
+// Close stops the HTTP server.
+func (s *StatusServer) Close() error {
+	if s.srv == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

@@ -1,0 +1,171 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"cosched/internal/job"
+	"cosched/internal/sim"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.Count != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 || s.Median != 2.5 {
+		t.Fatalf("summary = %+v", s)
+	}
+	wantStd := math.Sqrt((2.25 + 0.25 + 0.25 + 2.25) / 4)
+	if math.Abs(s.Stddev-wantStd) > 1e-12 {
+		t.Fatalf("stddev = %g, want %g", s.Stddev, wantStd)
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if s := Summarize(nil); s.Count != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	if s := Summarize([]float64{7}); s.Median != 7 || s.P90 != 7 || s.P99 != 7 {
+		t.Fatalf("single summary = %+v", s)
+	}
+}
+
+func TestSummarizeDoesNotMutate(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Summarize(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatal("Summarize mutated its input")
+	}
+}
+
+// Property: min ≤ median ≤ p90 ≤ p99 ≤ max and min ≤ mean ≤ max.
+func TestSummaryOrderingProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		var vals []float64
+		for _, v := range raw {
+			// Restrict to magnitudes the metric domain produces (minutes,
+			// ratios): the naive sum in Mean overflows near MaxFloat64.
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e12 {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		s := Summarize(vals)
+		return s.Min <= s.Median && s.Median <= s.P90 && s.P90 <= s.P99 &&
+			s.P99 <= s.Max && s.Min <= s.Mean+1e-9 && s.Mean <= s.Max+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mkdone(id job.ID, nodes int, submit, start sim.Time, runtime sim.Duration, paired bool) *job.Job {
+	j := job.New(id, nodes, submit, runtime, runtime)
+	if paired {
+		j.Mates = []job.MateRef{{Domain: "x", Job: id}}
+	}
+	j.State = job.Completed
+	j.MarkReady(start - 60) // became ready 1 min before starting
+	j.StartTime = start
+	j.EndTime = start + runtime
+	return j
+}
+
+func TestCollect(t *testing.T) {
+	jobs := []*job.Job{
+		mkdone(1, 10, 0, 600, 600, false), // wait 10 min, sd 2
+		mkdone(2, 20, 0, 1200, 600, true), // wait 20 min, sd 3, sync 1 min
+		job.New(3, 5, 0, 60, 60),          // never ran → stuck
+	}
+	jobs[1].HeldNodeSeconds = 7200 // 2 node-hours lost
+	jobs[1].YieldCount = 2
+	jobs[1].HoldCount = 1
+
+	span := sim.Duration(3600)
+	r := Collect("test", jobs, 100, span)
+	if r.TotalJobs != 3 || r.Completed != 2 || r.Stuck != 1 {
+		t.Fatalf("counts: %+v", r)
+	}
+	if r.Wait.Mean != 15 {
+		t.Fatalf("wait mean = %g, want 15", r.Wait.Mean)
+	}
+	if r.Slowdown.Mean != 2.5 {
+		t.Fatalf("slowdown mean = %g, want 2.5", r.Slowdown.Mean)
+	}
+	if r.PairedCount != 1 || r.PairedSync.Mean != 1 {
+		t.Fatalf("paired: count=%d sync=%g", r.PairedCount, r.PairedSync.Mean)
+	}
+	if r.Yields != 2 || r.Holds != 1 {
+		t.Fatalf("yields=%d holds=%d", r.Yields, r.Holds)
+	}
+	if r.LostNodeHours != 2 {
+		t.Fatalf("lost node-hours = %g, want 2", r.LostNodeHours)
+	}
+	// 7200 node-s over 100 nodes × 3600 s = 0.02.
+	if math.Abs(r.LostUtilization-0.02) > 1e-12 {
+		t.Fatalf("lost util = %g, want 0.02", r.LostUtilization)
+	}
+	// Productive: job1 10×600 + job2 20×600 = 18000 node-s → 0.05.
+	if math.Abs(r.Utilization-0.05) > 1e-12 {
+		t.Fatalf("util = %g, want 0.05", r.Utilization)
+	}
+	if !strings.Contains(r.String(), "test") {
+		t.Fatal("String() missing domain")
+	}
+}
+
+func TestCollectZeroSpan(t *testing.T) {
+	r := Collect("x", nil, 100, 0)
+	if r.LostUtilization != 0 || r.Utilization != 0 {
+		t.Fatalf("zero-span rates: %+v", r)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Fig X", "scheme", "wait(min)")
+	tb.AddRow("HH", "61.00")
+	tb.AddRowf("YY", 12.5)
+	tb.Caption = "caption"
+	out := tb.Render()
+	for _, want := range []string{"Fig X", "scheme", "HH", "61.00", "YY", "12.50", "caption", "---"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Column alignment: every row has the header's first column width.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("render too short:\n%s", out)
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	v := []float64{0, 10}
+	sort.Float64s(v)
+	if got := quantile(v, 0.5); got != 5 {
+		t.Fatalf("quantile(0.5) = %g, want 5", got)
+	}
+	if got := quantile(v, 0.9); math.Abs(got-9) > 1e-12 {
+		t.Fatalf("quantile(0.9) = %g, want 9", got)
+	}
+}
+
+func TestStderr(t *testing.T) {
+	if got := Stderr(nil); got != 0 {
+		t.Fatalf("stderr(nil) = %g", got)
+	}
+	if got := Stderr([]float64{5}); got != 0 {
+		t.Fatalf("stderr(1 value) = %g", got)
+	}
+	// {1,2,3}: sample sd = 1, stderr = 1/√3.
+	want := 1 / math.Sqrt(3)
+	if got := Stderr([]float64{1, 2, 3}); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("stderr = %g, want %g", got, want)
+	}
+	if got := Stderr([]float64{4, 4, 4, 4}); got != 0 {
+		t.Fatalf("stderr of constants = %g", got)
+	}
+}

@@ -1,0 +1,109 @@
+package policy
+
+import (
+	"math"
+
+	"cosched/internal/job"
+	"cosched/internal/sim"
+)
+
+// UsageObserver is implemented by stateful policies that account completed
+// work (the resource manager calls it from the completion path).
+type UsageObserver interface {
+	ObserveCompletion(j *job.Job, now sim.Time)
+}
+
+// FairShare layers exponentially-decayed per-user usage accounting on a
+// base policy, as production schedulers do: a user's accumulated
+// node-seconds (halving every HalfLife) scales their jobs' priority down,
+// so heavy users cannot starve light ones during contention. The base
+// score is divided by (1 + usage/shareScale), keeping the time-growth
+// property that yield-yield convergence relies on (§IV-D2): a job's score
+// still increases without bound as it waits.
+type FairShare struct {
+	// Base supplies the underlying score; nil means WFP.
+	Base Policy
+	// HalfLife is the usage decay period; ≤ 0 means 7 days.
+	HalfLife sim.Duration
+	// ShareScale is the node-second usage at which a user's priority is
+	// halved; ≤ 0 means 100k node-seconds.
+	ShareScale float64
+
+	usage map[int]*decayed
+}
+
+// decayed is an exponentially decaying accumulator.
+type decayed struct {
+	value float64
+	at    sim.Time
+}
+
+// NewFairShare builds a fair-share policy over base.
+func NewFairShare(base Policy, halfLife sim.Duration) *FairShare {
+	return &FairShare{Base: base, HalfLife: halfLife, usage: make(map[int]*decayed)}
+}
+
+// Name implements Policy.
+func (f *FairShare) Name() string { return "fairshare" }
+
+func (f *FairShare) halfLife() float64 {
+	if f.HalfLife > 0 {
+		return float64(f.HalfLife)
+	}
+	return float64(7 * sim.Day)
+}
+
+func (f *FairShare) shareScale() float64 {
+	if f.ShareScale > 0 {
+		return f.ShareScale
+	}
+	return 100_000
+}
+
+func (f *FairShare) base() Policy {
+	if f.Base != nil {
+		return f.Base
+	}
+	return WFP{}
+}
+
+// usageAt returns the user's decayed usage at time now.
+func (f *FairShare) usageAt(user int, now sim.Time) float64 {
+	d, ok := f.usage[user]
+	if !ok {
+		return 0
+	}
+	dt := float64(now - d.at)
+	if dt <= 0 {
+		return d.value
+	}
+	return d.value * math.Exp2(-dt/f.halfLife())
+}
+
+// Score implements Policy: the base score scaled by the user's share
+// factor. The factor is strictly positive, so relative ordering within one
+// user's jobs is preserved and every job's score still grows with wait.
+func (f *FairShare) Score(j *job.Job, now sim.Time) float64 {
+	base := f.base().Score(j, now)
+	factor := 1.0 / (1.0 + f.usageAt(j.User, now)/f.shareScale())
+	return base * factor
+}
+
+// ObserveCompletion implements UsageObserver: charge the job's
+// node-seconds to its user.
+func (f *FairShare) ObserveCompletion(j *job.Job, now sim.Time) {
+	if f.usage == nil {
+		f.usage = make(map[int]*decayed)
+	}
+	d, ok := f.usage[j.User]
+	if !ok {
+		f.usage[j.User] = &decayed{value: float64(j.NodeSeconds()), at: now}
+		return
+	}
+	d.value = f.usageAt(j.User, now) + float64(j.NodeSeconds())
+	d.at = now
+}
+
+// Usage returns the user's current decayed usage (for tests and
+// introspection).
+func (f *FairShare) Usage(user int, now sim.Time) float64 { return f.usageAt(user, now) }

@@ -1,0 +1,95 @@
+package policy
+
+import (
+	"math"
+	"testing"
+
+	"cosched/internal/job"
+	"cosched/internal/sim"
+)
+
+func fsjob(id job.ID, user int, nodes int, submit sim.Time) *job.Job {
+	j := job.New(id, nodes, submit, sim.Hour, sim.Hour)
+	j.User = user
+	return j
+}
+
+func TestFairShareDeprioritizesHeavyUser(t *testing.T) {
+	fs := NewFairShare(WFP{}, 7*sim.Day)
+	// User 1 burned 500k node-seconds; user 2 none.
+	burned := fsjob(99, 1, 500, 0)
+	burned.StartTime = 0
+	fs.ObserveCompletion(burned, 1000)
+
+	now := sim.Time(10_000)
+	heavy := fsjob(1, 1, 64, 0)
+	light := fsjob(2, 2, 64, 0)
+	ordered := Order(fs, []*job.Job{heavy, light}, now, nil)
+	if ordered[0].ID != 2 {
+		t.Fatal("heavy user's job not deprioritized")
+	}
+	if fs.Score(heavy, now) >= fs.Score(light, now) {
+		t.Fatal("scores not ordered by share")
+	}
+}
+
+func TestFairShareDecays(t *testing.T) {
+	fs := NewFairShare(WFP{}, sim.Day)
+	j := fsjob(1, 7, 100, 0)
+	fs.ObserveCompletion(j, 0)
+	u0 := fs.Usage(7, 0)
+	uHalf := fs.Usage(7, sim.Day)
+	uTwo := fs.Usage(7, 2*sim.Day)
+	if math.Abs(uHalf-u0/2) > u0*0.01 {
+		t.Fatalf("usage after one half-life = %g, want %g", uHalf, u0/2)
+	}
+	if math.Abs(uTwo-u0/4) > u0*0.01 {
+		t.Fatalf("usage after two half-lives = %g, want %g", uTwo, u0/4)
+	}
+}
+
+func TestFairShareAccumulates(t *testing.T) {
+	fs := NewFairShare(WFP{}, 7*sim.Day)
+	j := fsjob(1, 3, 10, 0) // 10 nodes × 3600 s
+	fs.ObserveCompletion(j, 0)
+	fs.ObserveCompletion(j, 0)
+	if got := fs.Usage(3, 0); got != 72000 {
+		t.Fatalf("usage = %g, want 72000", got)
+	}
+	if fs.Usage(999, 0) != 0 {
+		t.Fatal("unknown user has usage")
+	}
+}
+
+func TestFairShareScoreStillGrowsWithWait(t *testing.T) {
+	// §IV-D2 requires unbounded priority growth for yield convergence.
+	fs := NewFairShare(WFP{}, 7*sim.Day)
+	heavy := fsjob(99, 1, 1000, 0)
+	fs.ObserveCompletion(heavy, 0)
+	j := fsjob(1, 1, 64, 0)
+	prev := -1.0
+	for _, now := range []sim.Time{600, sim.Hour, sim.Day, 10 * sim.Day} {
+		s := fs.Score(j, now)
+		if s <= prev {
+			t.Fatalf("fair-share score not growing: %g after %g", s, prev)
+		}
+		prev = s
+	}
+}
+
+func TestFairShareByName(t *testing.T) {
+	p, ok := ByName("fairshare")
+	if !ok {
+		t.Fatal("fairshare not registered")
+	}
+	if p.Name() != "fairshare" {
+		t.Fatalf("name = %s", p.Name())
+	}
+	// Fresh instance per call: usage must not leak between lookups.
+	fs := p.(*FairShare)
+	fs.ObserveCompletion(fsjob(1, 1, 100, 0), 0)
+	p2, _ := ByName("fairshare")
+	if p2.(*FairShare).Usage(1, 0) != 0 {
+		t.Fatal("ByName shares state across instances")
+	}
+}

@@ -1,0 +1,172 @@
+// Package policy implements the queue-ordering policies used by the
+// resource manager: FCFS and WFP (the utility function Cobalt ran on
+// Intrepid, described in Tang et al., Cluster'09), plus short-job-first and
+// largest-first for comparison.
+//
+// A policy assigns every queued job a score; the scheduler starts jobs in
+// descending score order (ties broken by submit time, then ID, so ordering
+// is total and deterministic). Policies also accept a per-job priority
+// boost, which the coscheduling layer uses to escalate repeatedly-yielded
+// jobs and to demote a holding job to the back of one scheduling iteration
+// when it temporarily releases its nodes (the deadlock breaker).
+package policy
+
+import (
+	"math"
+	"sort"
+
+	"cosched/internal/job"
+	"cosched/internal/sim"
+)
+
+// Policy scores queued jobs; larger scores start first.
+type Policy interface {
+	// Name returns the policy's configuration name ("fcfs", "wfp", ...).
+	Name() string
+	// Score returns the ordering key for j at virtual time now.
+	Score(j *job.Job, now sim.Time) float64
+}
+
+// Boost supplies an additive score adjustment per job, layered on top of
+// the base policy. The resource manager implements it to handle yield
+// escalation and release-demotion without the policy knowing about
+// coscheduling.
+type Boost func(j *job.Job) float64
+
+// Order returns the queue sorted for scheduling: descending score (+boost),
+// ties by earlier submit time, then smaller ID. The input slice is not
+// modified. Scores are precomputed into a parallel slice so the comparator
+// stays allocation- and hash-free — Order runs on every scheduling
+// iteration over queues that reach thousands of entries under saturation.
+func Order(p Policy, q []*job.Job, now sim.Time, boost Boost) []*job.Job {
+	type scored struct {
+		j *job.Job
+		s float64
+	}
+	tmp := make([]scored, len(q))
+	for i, j := range q {
+		s := p.Score(j, now)
+		if boost != nil {
+			s += boost(j)
+		}
+		tmp[i] = scored{j, s}
+	}
+	// The comparator is a total order (ID breaks all ties), so an
+	// unstable sort is safe and faster than SliceStable.
+	sort.Slice(tmp, func(a, b int) bool {
+		if tmp[a].s != tmp[b].s {
+			return tmp[a].s > tmp[b].s
+		}
+		if tmp[a].j.SubmitTime != tmp[b].j.SubmitTime {
+			return tmp[a].j.SubmitTime < tmp[b].j.SubmitTime
+		}
+		return tmp[a].j.ID < tmp[b].j.ID
+	})
+	out := make([]*job.Job, len(q))
+	for i := range tmp {
+		out[i] = tmp[i].j
+	}
+	return out
+}
+
+// FCFS is first-come-first-served: score is the negated submit time, so the
+// earliest submission wins.
+type FCFS struct{}
+
+// Name implements Policy.
+func (FCFS) Name() string { return "fcfs" }
+
+// Score implements Policy.
+func (FCFS) Score(j *job.Job, _ sim.Time) float64 { return -float64(j.SubmitTime) }
+
+// WFP is the "wait-fair-priority" utility Cobalt used on Intrepid:
+//
+//	score = (queued_time / walltime)^3 × nodes
+//
+// It favors jobs that have waited long relative to their requested length
+// (so priority grows with time — the property §IV-D2 of the paper relies on
+// for yield-yield convergence) and favors large jobs, countering the bias
+// backfilling gives small ones.
+type WFP struct{}
+
+// Name implements Policy.
+func (WFP) Name() string { return "wfp" }
+
+// Score implements Policy.
+func (WFP) Score(j *job.Job, now sim.Time) float64 {
+	wait := float64(now - j.SubmitTime)
+	if wait < 0 {
+		wait = 0
+	}
+	wall := float64(j.Walltime)
+	if wall < 1 {
+		wall = 1
+	}
+	r := wait / wall
+	return r * r * r * float64(j.Nodes)
+}
+
+// SJF is shortest-job-first by requested walltime (classic starvation-prone
+// throughput policy, included for ablations).
+type SJF struct{}
+
+// Name implements Policy.
+func (SJF) Name() string { return "sjf" }
+
+// Score implements Policy.
+func (SJF) Score(j *job.Job, _ sim.Time) float64 { return -float64(j.Walltime) }
+
+// LargestFirst orders by node count descending, breaking ties FCFS via
+// Order's tie rules.
+type LargestFirst struct{}
+
+// Name implements Policy.
+func (LargestFirst) Name() string { return "largest" }
+
+// Score implements Policy.
+func (LargestFirst) Score(j *job.Job, _ sim.Time) float64 { return float64(j.Nodes) }
+
+// ByName returns the named policy, defaulting to WFP for "" and returning
+// ok=false for unknown names.
+func ByName(name string) (Policy, bool) {
+	switch name {
+	case "", "wfp":
+		return WFP{}, true
+	case "fcfs":
+		return FCFS{}, true
+	case "sjf":
+		return SJF{}, true
+	case "largest":
+		return LargestFirst{}, true
+	case "fairshare":
+		// Stateful: each call returns a fresh accumulator, so one
+		// instance never leaks usage across domains or runs.
+		return NewFairShare(WFP{}, 0), true
+	default:
+		return nil, false
+	}
+}
+
+// DemotionBoost is a boost value large enough (in magnitude) to push any job
+// behind every other queued job for one iteration, regardless of base score.
+// WFP scores are bounded by (wait/1)^3 × nodes; with month-long waits
+// (~2.6e6 s) and 40960 nodes that is ~7e19 < 1e30.
+const DemotionBoost = -1e30
+
+// EscalationBoost symmetrically guarantees front-of-queue placement.
+const EscalationBoost = 1e30
+
+// yieldBoostUnit is the additive score increment applied per recorded
+// yield when per-yield priority boosting is enabled (paper §IV-E2's
+// "increase the priority of the job after it yields each time").
+const yieldBoostUnit = 1e12
+
+// YieldBoost returns the additive boost for a job that has yielded n times
+// with per-yield boosting enabled. It grows linearly, so repeated yielders
+// climb the queue without immediately leapfrogging demoted/escalated bands.
+func YieldBoost(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return math.Min(float64(n)*yieldBoostUnit, EscalationBoost/1e6)
+}

@@ -1,0 +1,203 @@
+package policy
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cosched/internal/job"
+	"cosched/internal/sim"
+)
+
+func mkjob(id job.ID, nodes int, submit sim.Time, wall sim.Duration) *job.Job {
+	return job.New(id, nodes, submit, wall, wall)
+}
+
+func TestFCFSOrder(t *testing.T) {
+	q := []*job.Job{
+		mkjob(1, 4, 300, 600),
+		mkjob(2, 4, 100, 600),
+		mkjob(3, 4, 200, 600),
+	}
+	got := Order(FCFS{}, q, 1000, nil)
+	want := []job.ID{2, 3, 1}
+	for i, j := range got {
+		if j.ID != want[i] {
+			t.Fatalf("order = %v, want %v", ids(got), want)
+		}
+	}
+}
+
+func TestWFPFavorsLongWaitRelativeToWalltime(t *testing.T) {
+	// Same size; the job that has waited longer relative to its walltime
+	// must come first.
+	a := mkjob(1, 64, 0, 10*sim.Hour)   // waited 1h of a 10h request
+	b := mkjob(2, 64, 0, 30*sim.Minute) // waited 1h of a 30m request
+	got := Order(WFP{}, []*job.Job{a, b}, 1*sim.Hour, nil)
+	if got[0].ID != 2 {
+		t.Fatalf("WFP put %v first, want job 2 (relative wait 2.0 vs 0.1)", got[0].ID)
+	}
+}
+
+func TestWFPFavorsLargeJobs(t *testing.T) {
+	a := mkjob(1, 512, 0, sim.Hour)
+	b := mkjob(2, 8192, 0, sim.Hour)
+	got := Order(WFP{}, []*job.Job{a, b}, 30*sim.Minute, nil)
+	if got[0].ID != 2 {
+		t.Fatal("WFP must favor the larger job at equal relative wait")
+	}
+}
+
+func TestWFPScoreGrowsWithTime(t *testing.T) {
+	j := mkjob(1, 64, 0, sim.Hour)
+	w := WFP{}
+	prev := -1.0
+	for _, now := range []sim.Time{0, 600, 3600, 7200, 86400} {
+		s := w.Score(j, now)
+		if s < prev {
+			t.Fatalf("WFP score decreased over time: %g after %g", s, prev)
+		}
+		prev = s
+	}
+}
+
+func TestWFPNegativeWaitClamped(t *testing.T) {
+	j := mkjob(1, 64, 1000, sim.Hour)
+	if s := (WFP{}).Score(j, 500); s != 0 {
+		t.Fatalf("score before submit = %g, want 0", s)
+	}
+}
+
+func TestOrderTieBreaksBySubmitThenID(t *testing.T) {
+	q := []*job.Job{
+		mkjob(5, 4, 100, 600),
+		mkjob(2, 4, 100, 600),
+		mkjob(9, 4, 50, 600),
+	}
+	// FCFS gives jobs 5 and 2 identical scores (same submit).
+	got := Order(FCFS{}, q, 1000, nil)
+	want := []job.ID{9, 2, 5}
+	for i := range want {
+		if got[i].ID != want[i] {
+			t.Fatalf("order = %v, want %v", ids(got), want)
+		}
+	}
+}
+
+func TestOrderDoesNotMutateInput(t *testing.T) {
+	q := []*job.Job{mkjob(1, 4, 300, 600), mkjob(2, 4, 100, 600)}
+	Order(FCFS{}, q, 1000, nil)
+	if q[0].ID != 1 || q[1].ID != 2 {
+		t.Fatal("Order mutated the input slice")
+	}
+}
+
+func TestBoostDemotion(t *testing.T) {
+	q := []*job.Job{
+		mkjob(1, 40960, 0, sim.Minute), // huge WFP score
+		mkjob(2, 1, 900, sim.Hour),
+	}
+	demote := func(j *job.Job) float64 {
+		if j.ID == 1 {
+			return DemotionBoost
+		}
+		return 0
+	}
+	got := Order(WFP{}, q, 30*sim.Day, demote)
+	if got[len(got)-1].ID != 1 {
+		t.Fatal("demoted job not last")
+	}
+}
+
+func TestBoostEscalation(t *testing.T) {
+	q := []*job.Job{
+		mkjob(1, 40960, 0, sim.Minute),
+		mkjob(2, 1, 900, sim.Hour),
+	}
+	esc := func(j *job.Job) float64 {
+		if j.ID == 2 {
+			return EscalationBoost
+		}
+		return 0
+	}
+	got := Order(WFP{}, q, 30*sim.Day, esc)
+	if got[0].ID != 2 {
+		t.Fatal("escalated job not first")
+	}
+}
+
+func TestYieldBoostMonotone(t *testing.T) {
+	prev := -1.0
+	for n := 0; n <= 100; n++ {
+		b := YieldBoost(n)
+		if b < prev {
+			t.Fatalf("YieldBoost(%d) = %g < previous %g", n, b, prev)
+		}
+		prev = b
+	}
+	if YieldBoost(5) <= 0 {
+		t.Fatal("YieldBoost(5) must be positive")
+	}
+	if YieldBoost(1000000) >= EscalationBoost {
+		t.Fatal("YieldBoost must stay below EscalationBoost")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"", "wfp", "fcfs", "sjf", "largest"} {
+		if _, ok := ByName(name); !ok {
+			t.Errorf("ByName(%q) not found", name)
+		}
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("ByName(nope) found")
+	}
+}
+
+func TestSJFAndLargest(t *testing.T) {
+	q := []*job.Job{
+		mkjob(1, 100, 0, 2*sim.Hour),
+		mkjob(2, 10, 0, sim.Hour),
+	}
+	if got := Order(SJF{}, q, 10, nil); got[0].ID != 2 {
+		t.Fatal("SJF must put the shorter job first")
+	}
+	if got := Order(LargestFirst{}, q, 10, nil); got[0].ID != 1 {
+		t.Fatal("LargestFirst must put the bigger job first")
+	}
+}
+
+// Property: Order returns a permutation of its input for every policy.
+func TestOrderPermutationProperty(t *testing.T) {
+	pols := []Policy{FCFS{}, WFP{}, SJF{}, LargestFirst{}}
+	f := func(sizes []uint8, now uint32) bool {
+		var q []*job.Job
+		for i, s := range sizes {
+			q = append(q, mkjob(job.ID(i+1), int(s)+1, sim.Time(s)*7, sim.Duration(s+1)*60))
+		}
+		for _, p := range pols {
+			got := Order(p, q, sim.Time(now), nil)
+			if len(got) != len(q) {
+				return false
+			}
+			seen := make(map[job.ID]bool)
+			for _, j := range got {
+				if seen[j.ID] {
+					return false
+				}
+				seen[j.ID] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func ids(js []*job.Job) []job.ID {
+	out := make([]job.ID, len(js))
+	for i, j := range js {
+		out[i] = j.ID
+	}
+	return out
+}

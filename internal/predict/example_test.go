@@ -1,0 +1,26 @@
+package predict_test
+
+import (
+	"fmt"
+
+	"cosched/internal/job"
+	"cosched/internal/predict"
+)
+
+// ExampleUserAverage shows the Tsafrir-style predictor learning a user's
+// characteristic runtime from history.
+func ExampleUserAverage() {
+	p := predict.NewUserAverage(2)
+	mk := func(runtime, walltime int64) *job.Job {
+		j := job.New(1, 4, 0, runtime, walltime)
+		j.User = 7
+		return j
+	}
+	fmt.Println("no history:", p.Estimate(mk(0, 3600))) // falls back to walltime
+	p.Observe(mk(1000, 3600))
+	p.Observe(mk(1400, 3600))
+	fmt.Println("predicted:", p.Estimate(mk(0, 3600))) // 1.5 × avg(1000,1400)
+	// Output:
+	// no history: 3600
+	// predicted: 1800
+}

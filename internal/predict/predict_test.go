@@ -1,0 +1,105 @@
+package predict
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cosched/internal/job"
+	"cosched/internal/sim"
+)
+
+func mkjob(user int, runtime, walltime sim.Duration) *job.Job {
+	j := job.New(1, 4, 0, runtime, walltime)
+	j.User = user
+	return j
+}
+
+func TestWalltimeEstimator(t *testing.T) {
+	w := Walltime{}
+	j := mkjob(1, 100, 500)
+	if got := w.Estimate(j); got != 500 {
+		t.Fatalf("estimate = %d, want walltime 500", got)
+	}
+	w.Observe(j) // no-op, must not panic
+	if w.Name() != "walltime" {
+		t.Fatal("name")
+	}
+}
+
+func TestUserAverageFallsBackToWalltime(t *testing.T) {
+	u := NewUserAverage(2)
+	j := mkjob(7, 100, 500)
+	if got := u.Estimate(j); got != 500 {
+		t.Fatalf("no-history estimate = %d, want 500", got)
+	}
+}
+
+func TestUserAverageLearnsPerUser(t *testing.T) {
+	u := NewUserAverage(2)
+	u.Observe(mkjob(1, 100, 500))
+	u.Observe(mkjob(1, 200, 500))
+	u.Observe(mkjob(2, 1000, 2000))
+
+	if got := u.Estimate(mkjob(1, 999, 500)); got != 225 {
+		t.Fatalf("user 1 estimate = %d, want 1.5×avg(100,200)=225", got)
+	}
+	if got := u.Estimate(mkjob(2, 999, 2000)); got != 1500 {
+		t.Fatalf("user 2 estimate = %d, want 1.5×1000=1500", got)
+	}
+	if u.Users() != 2 {
+		t.Fatalf("users = %d", u.Users())
+	}
+}
+
+func TestUserAverageWindowSlides(t *testing.T) {
+	u := NewUserAverage(2)
+	for _, rt := range []sim.Duration{100, 200, 600} {
+		u.Observe(mkjob(1, rt, 1000))
+	}
+	// Window of 2 keeps {200, 600} → padded 1.5×400 = 600.
+	if got := u.Estimate(mkjob(1, 0, 1000)); got != 600 {
+		t.Fatalf("estimate = %d, want 600", got)
+	}
+}
+
+func TestUserAverageClampedToWalltime(t *testing.T) {
+	u := NewUserAverage(2)
+	u.Observe(mkjob(1, 10000, 10000))
+	// New job requests only 300s — the prediction may not exceed it.
+	if got := u.Estimate(mkjob(1, 100, 300)); got != 300 {
+		t.Fatalf("estimate = %d, want clamp to 300", got)
+	}
+}
+
+func TestUserAverageDefaultWindow(t *testing.T) {
+	if u := NewUserAverage(0); u.Window != 2 {
+		t.Fatalf("default window = %d", u.Window)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, n := range []string{"", "walltime", "user-average"} {
+		if _, ok := ByName(n); !ok {
+			t.Errorf("ByName(%q) failed", n)
+		}
+	}
+	if _, ok := ByName("oracle"); ok {
+		t.Error("unknown estimator resolved")
+	}
+}
+
+// Property: estimates are always within [1, walltime].
+func TestEstimateBoundsProperty(t *testing.T) {
+	u := NewUserAverage(2)
+	f := func(user uint8, runtimes []uint16, wall uint16) bool {
+		for _, rt := range runtimes {
+			u.Observe(mkjob(int(user), sim.Duration(rt), sim.Duration(rt)+1))
+		}
+		w := sim.Duration(wall) + 1
+		got := u.Estimate(mkjob(int(user), 0, w))
+		return got >= 1 && got <= w
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,119 @@
+package probe
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"cosched/internal/cosched"
+	"cosched/internal/coupled"
+	"cosched/internal/job"
+	"cosched/internal/sim"
+)
+
+func buildSim(t *testing.T) *coupled.Sim {
+	t.Helper()
+	ja := job.New(1, 50, 0, sim.Hour, sim.Hour)
+	jb := job.New(1, 4, 30*sim.Minute, sim.Hour, sim.Hour)
+	ja.Mates = []job.MateRef{{Domain: "B", Job: 1}}
+	jb.Mates = []job.MateRef{{Domain: "A", Job: 1}}
+	extra := job.New(2, 20, 5*sim.Minute, 2*sim.Hour, 2*sim.Hour)
+	s, err := coupled.New(coupled.Options{Domains: []coupled.DomainConfig{
+		{Name: "A", Nodes: 100, Backfilling: true,
+			Cosched: cosched.DefaultConfig(cosched.Hold), Trace: []*job.Job{ja, extra}},
+		{Name: "B", Nodes: 8, Backfilling: true,
+			Cosched: cosched.DefaultConfig(cosched.Yield), Trace: []*job.Job{jb}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRecorderSamplesBothDomains(t *testing.T) {
+	s := buildSim(t)
+	rec, err := Attach(s, []string{"A", "B"}, 10*sim.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run()
+	if res.StuckJobs != 0 {
+		t.Fatalf("stuck = %d", res.StuckJobs)
+	}
+	if rec.Len() == 0 {
+		t.Fatal("no samples collected")
+	}
+	domains := map[string]bool{}
+	sawHeld := false
+	for _, smp := range rec.Samples() {
+		domains[smp.Domain] = true
+		if smp.Domain == "A" && smp.Held > 0 {
+			sawHeld = true
+		}
+		if smp.Free < 0 || smp.Held < 0 || smp.Queue < 0 {
+			t.Fatalf("negative sample: %+v", smp)
+		}
+	}
+	if !domains["A"] || !domains["B"] {
+		t.Fatalf("domains sampled: %v", domains)
+	}
+	// The hold scheme parked job A's 50 nodes for ~30 minutes; the
+	// 10-minute probe must have seen it.
+	if !sawHeld {
+		t.Fatal("probe never observed the held nodes")
+	}
+	peak := rec.PeakHeldFraction()
+	if peak["A"] < 0.4 || peak["A"] > 0.6 {
+		t.Fatalf("peak held fraction A = %.2f, want ≈0.5", peak["A"])
+	}
+	if !strings.Contains(rec.Summary(), "peak held") {
+		t.Fatal("summary rendering")
+	}
+}
+
+func TestRecorderCSV(t *testing.T) {
+	s := buildSim(t)
+	rec, err := Attach(s, []string{"A"}, 15*sim.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	var buf bytes.Buffer
+	if err := rec.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != rec.Len()+1 {
+		t.Fatalf("csv lines = %d, want %d+header", len(lines), rec.Len())
+	}
+	if !strings.HasPrefix(lines[0], "time_s,domain,") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], ",A,") {
+		t.Fatalf("row = %q", lines[1])
+	}
+}
+
+func TestRecorderDoesNotKeepSimAlive(t *testing.T) {
+	// With a tiny period the probe must still stop once real work drains.
+	s := buildSim(t)
+	if _, err := Attach(s, []string{"A", "B"}, sim.Minute); err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run()
+	// The pair runs 1h starting at 30min; everything ends ≈ 2h05m. A
+	// self-perpetuating probe would run to the simulation horizon instead.
+	if res.Makespan > 4*sim.Hour {
+		t.Fatalf("makespan %d — probe kept the simulation alive", res.Makespan)
+	}
+}
+
+func TestAttachValidation(t *testing.T) {
+	s := buildSim(t)
+	if _, err := Attach(s, []string{"nope"}, sim.Minute); err == nil {
+		t.Fatal("unknown domain accepted")
+	}
+	if _, err := Attach(s, []string{"A"}, 0); err == nil {
+		t.Fatal("zero period accepted")
+	}
+}

@@ -1,0 +1,22 @@
+package profile_test
+
+import (
+	"fmt"
+
+	"cosched/internal/profile"
+)
+
+// ExampleTimeline plans jobs onto an availability timeline, the substrate
+// of the co-reservation baseline.
+func ExampleTimeline() {
+	tl := profile.New(100)
+	// A running job occupies 70 nodes until t=500.
+	if _, err := tl.Commit(0, 500, 70); err != nil {
+		panic(err)
+	}
+	fmt.Println("30 nodes now:", tl.EarliestStart(0, 1000, 30))
+	fmt.Println("60 nodes now:", tl.EarliestStart(0, 1000, 60))
+	// Output:
+	// 30 nodes now: 0
+	// 60 nodes now: 500
+}

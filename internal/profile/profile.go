@@ -1,0 +1,177 @@
+// Package profile implements a node-availability timeline: a step function
+// of committed node usage over future time, supporting feasibility queries
+// ("can n nodes run for d seconds starting at t?"), earliest-start search,
+// and commitment/release of reservations.
+//
+// It is the substrate for the co-reservation baseline (internal/reserve)
+// that the paper's §III argues against: advance co-reservation plans every
+// job's placement on the timeline at submission, which is exactly what this
+// structure makes efficient.
+package profile
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"cosched/internal/sim"
+)
+
+// ErrOverCapacity is returned when a commitment would exceed total nodes.
+var ErrOverCapacity = errors.New("profile: commitment exceeds capacity")
+
+// ErrUnknownCommit is returned when releasing an unknown commitment.
+var ErrUnknownCommit = errors.New("profile: unknown commitment")
+
+// Infinity marks an unbounded commitment end.
+const Infinity sim.Time = math.MaxInt64
+
+// commitment is one committed interval of nodes.
+type commitment struct {
+	start sim.Time
+	end   sim.Time // exclusive; Infinity for open-ended
+	nodes int
+}
+
+// Timeline tracks committed node usage over future time for one machine.
+type Timeline struct {
+	total   int
+	nextID  int64
+	commits map[int64]commitment
+}
+
+// New returns an empty timeline over total nodes.
+func New(total int) *Timeline {
+	if total <= 0 {
+		panic("profile: total must be positive")
+	}
+	return &Timeline{total: total, commits: make(map[int64]commitment)}
+}
+
+// Total returns the machine size.
+func (t *Timeline) Total() int { return t.total }
+
+// Commitments returns the number of live commitments.
+func (t *Timeline) Commitments() int { return len(t.commits) }
+
+// UsedAt returns committed nodes at instant x.
+func (t *Timeline) UsedAt(x sim.Time) int {
+	used := 0
+	for _, c := range t.commits {
+		if c.start <= x && x < c.end {
+			used += c.nodes
+		}
+	}
+	return used
+}
+
+// FreeAt returns free nodes at instant x.
+func (t *Timeline) FreeAt(x sim.Time) int { return t.total - t.UsedAt(x) }
+
+// maxUsedDuring returns the peak committed nodes over [start, end).
+func (t *Timeline) maxUsedDuring(start, end sim.Time) int {
+	// Evaluate at every commitment boundary inside the window plus the
+	// window start; the step function is constant between boundaries.
+	peak := t.UsedAt(start)
+	for _, c := range t.commits {
+		if c.start > start && c.start < end {
+			if u := t.UsedAt(c.start); u > peak {
+				peak = u
+			}
+		}
+	}
+	return peak
+}
+
+// CanCommit reports whether nodes can run over [start, start+dur).
+func (t *Timeline) CanCommit(start sim.Time, dur sim.Duration, nodes int) bool {
+	if nodes <= 0 || nodes > t.total || dur <= 0 {
+		return false
+	}
+	end := saturatingAdd(start, dur)
+	return t.maxUsedDuring(start, end)+nodes <= t.total
+}
+
+// EarliestStart returns the earliest time ≥ after at which nodes could run
+// for dur without exceeding capacity. It always succeeds (the timeline
+// eventually drains unless open-ended commitments block; with open-ended
+// commitments consuming too much, it returns Infinity).
+func (t *Timeline) EarliestStart(after sim.Time, dur sim.Duration, nodes int) sim.Time {
+	if nodes <= 0 || nodes > t.total || dur <= 0 {
+		return Infinity
+	}
+	// Candidate starts: `after` and every commitment end ≥ after (usage
+	// only decreases at ends).
+	candidates := []sim.Time{after}
+	for _, c := range t.commits {
+		if c.end != Infinity && c.end > after {
+			candidates = append(candidates, c.end)
+		}
+	}
+	sort.Slice(candidates, func(a, b int) bool { return candidates[a] < candidates[b] })
+	for _, s := range candidates {
+		if t.CanCommit(s, dur, nodes) {
+			return s
+		}
+	}
+	return Infinity
+}
+
+// Commit reserves nodes over [start, start+dur) and returns a commitment
+// ID. dur may be Infinity-like large; use CommitOpen for truly unbounded.
+func (t *Timeline) Commit(start sim.Time, dur sim.Duration, nodes int) (int64, error) {
+	if !t.CanCommit(start, dur, nodes) {
+		return 0, fmt.Errorf("%w: %d nodes at [%d, +%d)", ErrOverCapacity, nodes, start, dur)
+	}
+	t.nextID++
+	t.commits[t.nextID] = commitment{start: start, end: saturatingAdd(start, dur), nodes: nodes}
+	return t.nextID, nil
+}
+
+// Release removes a commitment entirely.
+func (t *Timeline) Release(id int64) error {
+	if _, ok := t.commits[id]; !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownCommit, id)
+	}
+	delete(t.commits, id)
+	return nil
+}
+
+// TruncateAt shortens a commitment to end at x (early job completion frees
+// the tail of its walltime reservation for later arrivals).
+func (t *Timeline) TruncateAt(id int64, x sim.Time) error {
+	c, ok := t.commits[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownCommit, id)
+	}
+	if x <= c.start {
+		delete(t.commits, id)
+		return nil
+	}
+	if x < c.end {
+		c.end = x
+		t.commits[id] = c
+	}
+	return nil
+}
+
+// GC drops commitments entirely in the past (end ≤ now), bounding memory
+// over long simulations.
+func (t *Timeline) GC(now sim.Time) int {
+	dropped := 0
+	for id, c := range t.commits {
+		if c.end != Infinity && c.end <= now {
+			delete(t.commits, id)
+			dropped++
+		}
+	}
+	return dropped
+}
+
+func saturatingAdd(a sim.Time, b sim.Duration) sim.Time {
+	if b > 0 && a > math.MaxInt64-b {
+		return Infinity
+	}
+	return a + b
+}

@@ -1,0 +1,187 @@
+package profile
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"cosched/internal/sim"
+)
+
+func TestCommitAndQuery(t *testing.T) {
+	tl := New(100)
+	if !tl.CanCommit(0, 100, 100) {
+		t.Fatal("empty timeline rejects full machine")
+	}
+	id, err := tl.Commit(10, 100, 60) // [10, 110): 60 nodes
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.UsedAt(9) != 0 || tl.UsedAt(10) != 60 || tl.UsedAt(109) != 60 || tl.UsedAt(110) != 0 {
+		t.Fatalf("step function wrong: %d %d %d %d",
+			tl.UsedAt(9), tl.UsedAt(10), tl.UsedAt(109), tl.UsedAt(110))
+	}
+	if tl.FreeAt(50) != 40 {
+		t.Fatalf("free at 50 = %d", tl.FreeAt(50))
+	}
+	// 50 nodes overlapping the window must be rejected, 40 accepted.
+	if tl.CanCommit(0, 20, 50) {
+		t.Fatal("overlapping over-commit accepted")
+	}
+	if !tl.CanCommit(0, 20, 40) {
+		t.Fatal("fitting commit rejected")
+	}
+	// Fully after the window: fine.
+	if !tl.CanCommit(110, 1000, 100) {
+		t.Fatal("post-window commit rejected")
+	}
+	if err := tl.Release(id); err != nil {
+		t.Fatal(err)
+	}
+	if tl.UsedAt(50) != 0 {
+		t.Fatal("release did not free nodes")
+	}
+}
+
+func TestCommitRejectsBadArgs(t *testing.T) {
+	tl := New(10)
+	if _, err := tl.Commit(0, 10, 11); !errors.Is(err, ErrOverCapacity) {
+		t.Fatalf("err = %v", err)
+	}
+	if tl.CanCommit(0, 0, 5) || tl.CanCommit(0, 10, 0) {
+		t.Fatal("degenerate commit accepted")
+	}
+	if err := tl.Release(99); !errors.Is(err, ErrUnknownCommit) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEarliestStart(t *testing.T) {
+	tl := New(100)
+	// Two committed layers: [0,100): 70 nodes; [100,200): 40 nodes.
+	if _, err := tl.Commit(0, 100, 70); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tl.Commit(100, 100, 40); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		nodes int
+		dur   sim.Duration
+		want  sim.Time
+	}{
+		{30, 50, 0},    // fits beside the 70
+		{40, 50, 100},  // must wait for the first layer to end
+		{70, 50, 200},  // must wait for both
+		{100, 10, 200}, // whole machine
+	}
+	for _, c := range cases {
+		if got := tl.EarliestStart(0, c.dur, c.nodes); got != c.want {
+			t.Errorf("EarliestStart(%d nodes, %d s) = %d, want %d", c.nodes, c.dur, got, c.want)
+		}
+	}
+	// `after` is respected.
+	if got := tl.EarliestStart(150, 10, 30); got != 150 {
+		t.Errorf("after=150 → %d, want 150", got)
+	}
+}
+
+func TestEarliestStartWindowStraddle(t *testing.T) {
+	// A long job must not start in a gap too short for it.
+	tl := New(10)
+	if _, err := tl.Commit(100, 100, 10); err != nil { // busy [100,200)
+		t.Fatal(err)
+	}
+	// 10-node job of 50s at t=0 would end at 50 — fits before the busy window.
+	if got := tl.EarliestStart(0, 50, 10); got != 0 {
+		t.Errorf("short pre-gap start = %d, want 0", got)
+	}
+	// 150s job cannot fit before (would straddle into [100,200)) → 200.
+	if got := tl.EarliestStart(0, 150, 10); got != 200 {
+		t.Errorf("straddling job start = %d, want 200", got)
+	}
+}
+
+func TestTruncateFreesTail(t *testing.T) {
+	tl := New(10)
+	id, err := tl.Commit(0, 1000, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Early completion at t=300 frees [300, 1000).
+	if err := tl.TruncateAt(id, 300); err != nil {
+		t.Fatal(err)
+	}
+	if tl.UsedAt(299) != 10 || tl.UsedAt(300) != 0 {
+		t.Fatalf("truncate boundary wrong: %d / %d", tl.UsedAt(299), tl.UsedAt(300))
+	}
+	if got := tl.EarliestStart(0, 100, 10); got != 300 {
+		t.Fatalf("earliest after truncate = %d, want 300", got)
+	}
+	// Truncating before the start removes the commitment.
+	id2, _ := tl.Commit(500, 100, 5)
+	if err := tl.TruncateAt(id2, 400); err != nil {
+		t.Fatal(err)
+	}
+	if tl.UsedAt(550) != 0 {
+		t.Fatal("truncate-before-start did not remove commitment")
+	}
+	if err := tl.TruncateAt(999, 0); !errors.Is(err, ErrUnknownCommit) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestGC(t *testing.T) {
+	tl := New(10)
+	a, _ := tl.Commit(0, 100, 5)
+	b, _ := tl.Commit(50, 100, 5)
+	_ = a
+	_ = b
+	if n := tl.GC(100); n != 1 {
+		t.Fatalf("GC dropped %d, want 1 (only the [0,100) commitment)", n)
+	}
+	if tl.Commitments() != 1 {
+		t.Fatalf("commitments = %d", tl.Commitments())
+	}
+}
+
+// Property: a sequence of commitments accepted by CanCommit never drives
+// usage above capacity at any probed instant, and EarliestStart's answer
+// is always committable.
+func TestTimelineInvariantsProperty(t *testing.T) {
+	type req struct {
+		Start uint16
+		Dur   uint8
+		Nodes uint8
+	}
+	f := func(reqs []req) bool {
+		tl := New(64)
+		for _, r := range reqs {
+			nodes := int(r.Nodes)%64 + 1
+			dur := sim.Duration(r.Dur) + 1
+			start := tl.EarliestStart(sim.Time(r.Start), dur, nodes)
+			if start == Infinity {
+				return false // always satisfiable on a draining timeline
+			}
+			if start < sim.Time(r.Start) {
+				return false
+			}
+			if _, err := tl.Commit(start, dur, nodes); err != nil {
+				return false
+			}
+		}
+		// Probe capacity at every commitment boundary.
+		for _, c := range tl.commits {
+			if tl.UsedAt(c.start) > tl.total {
+				return false
+			}
+			if c.end != Infinity && tl.UsedAt(c.end-1) > tl.total {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,136 @@
+package proto
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"cosched/internal/cosched"
+	"cosched/internal/job"
+)
+
+// Client implements cosched.Peer over a single connection. Calls are
+// serialized (one outstanding request at a time), matching the synchronous
+// structure of Algorithm 1. Safe for concurrent use.
+type Client struct {
+	mu      sync.Mutex
+	conn    net.Conn
+	seq     uint64
+	timeout time.Duration
+	domain  string // learned from Ping; "" until then
+}
+
+// NewClient wraps conn. timeout bounds each round trip; 0 means no
+// deadline (useful for net.Pipe transports inside single-threaded tests).
+func NewClient(conn net.Conn, timeout time.Duration) *Client {
+	return &Client{conn: conn, timeout: timeout}
+}
+
+// Dial connects to a coscheduling daemon over TCP.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("proto: dial %s: %w", addr, err)
+	}
+	c := NewClient(conn, timeout)
+	if _, err := c.Ping(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Close closes the underlying connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// call performs one round trip.
+func (c *Client) call(req Request) (Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seq++
+	req.Seq = c.seq
+	if c.timeout > 0 {
+		if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
+			return Response{}, err
+		}
+	}
+	if err := WriteFrame(c.conn, &req); err != nil {
+		return Response{}, fmt.Errorf("proto: write %s: %w", req.Method, err)
+	}
+	var resp Response
+	if err := ReadFrame(c.conn, &resp); err != nil {
+		return Response{}, fmt.Errorf("proto: read %s: %w", req.Method, err)
+	}
+	if resp.Seq != req.Seq {
+		return Response{}, fmt.Errorf("proto: sequence mismatch: sent %d, got %d", req.Seq, resp.Seq)
+	}
+	if resp.Error != "" {
+		return resp, fmt.Errorf("proto: remote error on %s: %s", req.Method, resp.Error)
+	}
+	return resp, nil
+}
+
+// Ping checks liveness and returns the remote domain name.
+func (c *Client) Ping() (string, error) {
+	resp, err := c.call(Request{Method: MethodPing})
+	if err != nil {
+		return "", err
+	}
+	c.mu.Lock()
+	c.domain = resp.Domain
+	c.mu.Unlock()
+	return resp.Domain, nil
+}
+
+var _ cosched.Peer = (*Client)(nil)
+
+// PeerName implements cosched.Peer; it returns the domain learned from the
+// last Ping (Dial pings automatically).
+func (c *Client) PeerName() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.domain
+}
+
+// GetMateJob implements cosched.Peer.
+func (c *Client) GetMateJob(id job.ID) (bool, error) {
+	resp, err := c.call(Request{Method: MethodGetMateJob, JobID: id})
+	if err != nil {
+		return false, err
+	}
+	return resp.Known, nil
+}
+
+// GetMateStatus implements cosched.Peer.
+func (c *Client) GetMateStatus(id job.ID) (cosched.MateStatus, error) {
+	resp, err := c.call(Request{Method: MethodGetMateStatus, JobID: id})
+	if err != nil {
+		return cosched.StatusUnknown, err
+	}
+	return cosched.ParseMateStatus(resp.Status)
+}
+
+// CanStartMate implements cosched.Peer.
+func (c *Client) CanStartMate(id job.ID) (bool, error) {
+	resp, err := c.call(Request{Method: MethodCanStartMate, JobID: id})
+	if err != nil {
+		return false, err
+	}
+	return resp.OK, nil
+}
+
+// TryStartMate implements cosched.Peer.
+func (c *Client) TryStartMate(id job.ID) (bool, error) {
+	resp, err := c.call(Request{Method: MethodTryStartMate, JobID: id})
+	if err != nil {
+		return false, err
+	}
+	return resp.OK, nil
+}
+
+// StartMate implements cosched.Peer.
+func (c *Client) StartMate(id job.ID) error {
+	_, err := c.call(Request{Method: MethodStartMate, JobID: id})
+	return err
+}

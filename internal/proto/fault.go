@@ -1,0 +1,112 @@
+package proto
+
+import (
+	"errors"
+	"fmt"
+
+	"cosched/internal/cosched"
+	"cosched/internal/job"
+)
+
+// ErrInjected is the error surfaced by a FaultInjector on a failed call.
+var ErrInjected = errors.New("proto: injected fault")
+
+// FaultInjector wraps a Peer and fails a deterministic, seeded fraction of
+// calls — the middleware used to exercise Algorithm 1's fault-tolerance
+// path ("status unknown ⇒ start normally") under partial failures, without
+// killing the peer entirely. The failure stream is reproducible: the same
+// seed and call sequence fail the same calls.
+type FaultInjector struct {
+	inner cosched.Peer
+	// rate is the failure probability per call, in [0, 1].
+	rate float64
+	// state is a splitmix64 stream (kept local to avoid importing the
+	// workload package from the protocol layer).
+	state uint64
+
+	calls  int
+	failed int
+}
+
+// NewFaultInjector wraps inner, failing each call with the given
+// probability. Rates outside [0, 1] are clamped.
+func NewFaultInjector(inner cosched.Peer, rate float64, seed uint64) *FaultInjector {
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	return &FaultInjector{inner: inner, rate: rate, state: seed}
+}
+
+// Calls returns the number of intercepted calls.
+func (f *FaultInjector) Calls() int { return f.calls }
+
+// Failed returns how many calls were failed.
+func (f *FaultInjector) Failed() int { return f.failed }
+
+// next draws a uniform value in [0, 1).
+func (f *FaultInjector) next() float64 {
+	f.state += 0x9e3779b97f4a7c15
+	z := f.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / float64(1<<53)
+}
+
+// trip decides one call's fate.
+func (f *FaultInjector) trip() error {
+	f.calls++
+	if f.next() < f.rate {
+		f.failed++
+		return fmt.Errorf("%w (call %d)", ErrInjected, f.calls)
+	}
+	return nil
+}
+
+var _ cosched.Peer = (*FaultInjector)(nil)
+
+// PeerName implements cosched.Peer.
+func (f *FaultInjector) PeerName() string { return f.inner.PeerName() }
+
+// GetMateJob implements cosched.Peer.
+func (f *FaultInjector) GetMateJob(id job.ID) (bool, error) {
+	if err := f.trip(); err != nil {
+		return false, err
+	}
+	return f.inner.GetMateJob(id)
+}
+
+// GetMateStatus implements cosched.Peer.
+func (f *FaultInjector) GetMateStatus(id job.ID) (cosched.MateStatus, error) {
+	if err := f.trip(); err != nil {
+		return cosched.StatusUnknown, err
+	}
+	return f.inner.GetMateStatus(id)
+}
+
+// CanStartMate implements cosched.Peer.
+func (f *FaultInjector) CanStartMate(id job.ID) (bool, error) {
+	if err := f.trip(); err != nil {
+		return false, err
+	}
+	return f.inner.CanStartMate(id)
+}
+
+// TryStartMate implements cosched.Peer.
+func (f *FaultInjector) TryStartMate(id job.ID) (bool, error) {
+	if err := f.trip(); err != nil {
+		return false, err
+	}
+	return f.inner.TryStartMate(id)
+}
+
+// StartMate implements cosched.Peer.
+func (f *FaultInjector) StartMate(id job.ID) error {
+	if err := f.trip(); err != nil {
+		return err
+	}
+	return f.inner.StartMate(id)
+}

@@ -1,0 +1,102 @@
+// Package proto is the lightweight coordination protocol of Tang et al.
+// (ICPP 2011) on the wire: length-prefixed JSON request/response frames
+// carrying the five Peer calls (GetMateJob, GetMateStatus, CanStartMate,
+// TryStartMate, StartMate) plus Ping.
+//
+// The protocol is deliberately minimal — the paper's argument for
+// practicality is that two administratively independent resource managers
+// need only these calls, with no shared configuration and no global
+// submission portal. A Client implements cosched.Peer over any net.Conn
+// (TCP between real daemons, net.Pipe inside tests and simulations); a
+// Server dispatches requests to any cosched.Peer (normally a
+// resmgr.Manager).
+//
+// Fault tolerance is part of the contract: any transport error or timeout
+// surfaces as an error from the Peer method, which Algorithm 1 maps to
+// "status unknown" and a normal (uncoordinated) job start.
+package proto
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"cosched/internal/job"
+)
+
+// Method names carried in request frames.
+const (
+	MethodPing          = "ping"
+	MethodGetMateJob    = "get_mate_job"
+	MethodGetMateStatus = "get_mate_status"
+	MethodCanStartMate  = "can_start_mate"
+	MethodTryStartMate  = "try_start_mate"
+	MethodStartMate     = "start_mate"
+)
+
+// MaxFrameSize bounds a frame's payload; anything larger is rejected as
+// corrupt before allocation.
+const MaxFrameSize = 1 << 20
+
+// Request is one coordination call.
+type Request struct {
+	Seq    uint64 `json:"seq"`
+	Method string `json:"method"`
+	JobID  job.ID `json:"job_id,omitempty"`
+}
+
+// Response answers a Request with the same Seq.
+type Response struct {
+	Seq    uint64 `json:"seq"`
+	Error  string `json:"error,omitempty"`
+	Domain string `json:"domain,omitempty"` // ping: responder's domain name
+	Known  bool   `json:"known,omitempty"`  // get_mate_job
+	Status string `json:"status,omitempty"` // get_mate_status
+	OK     bool   `json:"ok,omitempty"`     // can/try_start_mate
+}
+
+// Errors returned by the codec.
+var (
+	ErrFrameTooLarge = errors.New("proto: frame exceeds MaxFrameSize")
+	ErrBadMethod     = errors.New("proto: unknown method")
+)
+
+// WriteFrame writes a length-prefixed JSON encoding of v.
+func WriteFrame(w io.Writer, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("proto: marshal: %w", err)
+	}
+	if len(payload) > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed JSON frame into v.
+func ReadFrame(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return err
+	}
+	if err := json.Unmarshal(payload, v); err != nil {
+		return fmt.Errorf("proto: unmarshal: %w", err)
+	}
+	return nil
+}

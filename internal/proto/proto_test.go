@@ -1,0 +1,328 @@
+package proto
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"cosched/internal/cosched"
+	"cosched/internal/job"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := Request{Seq: 42, Method: MethodGetMateStatus, JobID: 7}
+	if err := WriteFrame(&buf, &in); err != nil {
+		t.Fatal(err)
+	}
+	var out Request
+	if err := ReadFrame(&buf, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip: got %+v, want %+v", out, in)
+	}
+}
+
+func TestFrameRejectsOversize(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF}) // 4 GiB claimed length
+	var out Request
+	if err := ReadFrame(&buf, &out); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestFrameTruncatedPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, &Request{Seq: 1, Method: MethodPing}); err != nil {
+		t.Fatal(err)
+	}
+	short := buf.Bytes()[:buf.Len()-3]
+	var out Request
+	if err := ReadFrame(bytes.NewReader(short), &out); err == nil {
+		t.Fatal("truncated frame parsed successfully")
+	}
+}
+
+// fakeBackend is a scriptable Peer for server tests.
+type fakeBackend struct {
+	mu       sync.Mutex
+	statuses map[job.ID]cosched.MateStatus
+	started  map[job.ID]bool
+	fail     bool
+}
+
+func newFakeBackend() *fakeBackend {
+	return &fakeBackend{
+		statuses: make(map[job.ID]cosched.MateStatus),
+		started:  make(map[job.ID]bool),
+	}
+}
+
+func (f *fakeBackend) PeerName() string { return "fake" }
+
+func (f *fakeBackend) GetMateJob(id job.ID) (bool, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.fail {
+		return false, errors.New("injected failure")
+	}
+	_, ok := f.statuses[id]
+	return ok, nil
+}
+
+func (f *fakeBackend) GetMateStatus(id job.ID) (cosched.MateStatus, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.fail {
+		return cosched.StatusUnknown, errors.New("injected failure")
+	}
+	st, ok := f.statuses[id]
+	if !ok {
+		return cosched.StatusUnknown, nil
+	}
+	return st, nil
+}
+
+func (f *fakeBackend) CanStartMate(id job.ID) (bool, error) {
+	st, err := f.GetMateStatus(id)
+	return st == cosched.StatusQueuing || st == cosched.StatusHolding, err
+}
+
+func (f *fakeBackend) TryStartMate(id job.ID) (bool, error) {
+	ok, err := f.CanStartMate(id)
+	if err != nil || !ok {
+		return false, err
+	}
+	f.mu.Lock()
+	f.started[id] = true
+	f.statuses[id] = cosched.StatusRunning
+	f.mu.Unlock()
+	return true, nil
+}
+
+func (f *fakeBackend) StartMate(id job.ID) error {
+	ok, err := f.TryStartMate(id)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return errors.New("not startable")
+	}
+	return nil
+}
+
+// pipePair returns a connected client and serving backend over net.Pipe.
+func pipePair(t *testing.T, backend cosched.Peer) *Client {
+	t.Helper()
+	server := NewServer(backend, nil, nil)
+	clientEnd, serverEnd := net.Pipe()
+	go server.ServeConn(serverEnd)
+	t.Cleanup(func() {
+		clientEnd.Close()
+		server.Close()
+	})
+	return NewClient(clientEnd, time.Second)
+}
+
+func TestClientServerOverPipe(t *testing.T) {
+	backend := newFakeBackend()
+	backend.statuses[7] = cosched.StatusQueuing
+	backend.statuses[8] = cosched.StatusHolding
+	c := pipePair(t, backend)
+
+	if name, err := c.Ping(); err != nil || name != "fake" {
+		t.Fatalf("ping = %q, %v", name, err)
+	}
+	if c.PeerName() != "fake" {
+		t.Fatalf("PeerName = %q after ping", c.PeerName())
+	}
+	if known, err := c.GetMateJob(7); err != nil || !known {
+		t.Fatalf("GetMateJob(7) = %v, %v", known, err)
+	}
+	if known, err := c.GetMateJob(99); err != nil || known {
+		t.Fatalf("GetMateJob(99) = %v, %v", known, err)
+	}
+	if st, err := c.GetMateStatus(8); err != nil || st != cosched.StatusHolding {
+		t.Fatalf("GetMateStatus(8) = %s, %v", st, err)
+	}
+	if ok, err := c.CanStartMate(7); err != nil || !ok {
+		t.Fatalf("CanStartMate(7) = %v, %v", ok, err)
+	}
+	if ok, err := c.TryStartMate(7); err != nil || !ok {
+		t.Fatalf("TryStartMate(7) = %v, %v", ok, err)
+	}
+	if !backend.started[7] {
+		t.Fatal("backend did not start job 7")
+	}
+	if st, _ := c.GetMateStatus(7); st != cosched.StatusRunning {
+		t.Fatalf("status after start = %s, want running", st)
+	}
+	if err := c.StartMate(8); err != nil {
+		t.Fatalf("StartMate(8): %v", err)
+	}
+}
+
+func TestServerPropagatesBackendErrors(t *testing.T) {
+	backend := newFakeBackend()
+	backend.fail = true
+	c := pipePair(t, backend)
+	if _, err := c.GetMateStatus(1); err == nil {
+		t.Fatal("backend error not propagated")
+	}
+}
+
+func TestServerRejectsUnknownMethod(t *testing.T) {
+	backend := newFakeBackend()
+	server := NewServer(backend, nil, nil)
+	resp := server.dispatch(Request{Seq: 5, Method: "bogus"})
+	if resp.Error == "" {
+		t.Fatal("unknown method accepted")
+	}
+	if resp.Seq != 5 {
+		t.Fatalf("seq = %d, want 5", resp.Seq)
+	}
+}
+
+func TestClientServerOverTCP(t *testing.T) {
+	backend := newFakeBackend()
+	backend.statuses[3] = cosched.StatusQueuing
+	server := NewServer(backend, nil, nil)
+	addr, err := server.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+
+	c, err := Dial(addr.String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.PeerName() != "fake" {
+		t.Fatalf("PeerName = %q, want fake (Dial pings)", c.PeerName())
+	}
+	ok, err := c.TryStartMate(3)
+	if err != nil || !ok {
+		t.Fatalf("TryStartMate over TCP = %v, %v", ok, err)
+	}
+
+	// Multiple concurrent clients against one server.
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cc, err := Dial(addr.String(), time.Second)
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			defer cc.Close()
+			for k := 0; k < 20; k++ {
+				if _, err := cc.GetMateStatus(3); err != nil {
+					t.Errorf("status: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestClientTimeoutSurfacesAsError(t *testing.T) {
+	// A server that never answers: the client call must fail after the
+	// timeout rather than hang — the fault-tolerance contract.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err == nil {
+			defer conn.Close()
+			time.Sleep(2 * time.Second) // never respond within timeout
+		}
+	}()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(conn, 100*time.Millisecond)
+	defer c.Close()
+	start := time.Now()
+	if _, err := c.GetMateStatus(1); err == nil {
+		t.Fatal("call against mute server succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("timeout took %v, want ~100ms", elapsed)
+	}
+}
+
+func TestSequenceMismatchDetected(t *testing.T) {
+	clientEnd, serverEnd := net.Pipe()
+	defer clientEnd.Close()
+	go func() {
+		defer serverEnd.Close()
+		var req Request
+		if err := ReadFrame(serverEnd, &req); err != nil {
+			return
+		}
+		// Answer with the wrong sequence number.
+		_ = WriteFrame(serverEnd, &Response{Seq: req.Seq + 99})
+	}()
+	c := NewClient(clientEnd, time.Second)
+	if _, err := c.Ping(); err == nil {
+		t.Fatal("mismatched sequence accepted")
+	}
+}
+
+func TestFaultInjectorDeterminismAndRate(t *testing.T) {
+	backend := newFakeBackend()
+	backend.statuses[1] = cosched.StatusQueuing
+	a := NewFaultInjector(backend, 0.3, 42)
+	b := NewFaultInjector(backend, 0.3, 42)
+	var patternA, patternB []bool
+	for i := 0; i < 500; i++ {
+		_, errA := a.GetMateStatus(1)
+		_, errB := b.GetMateStatus(1)
+		patternA = append(patternA, errA != nil)
+		patternB = append(patternB, errB != nil)
+	}
+	for i := range patternA {
+		if patternA[i] != patternB[i] {
+			t.Fatalf("fault streams diverged at call %d", i)
+		}
+	}
+	rate := float64(a.Failed()) / float64(a.Calls())
+	if rate < 0.2 || rate > 0.4 {
+		t.Fatalf("observed failure rate %.2f, want ≈0.3", rate)
+	}
+	for i := range patternA {
+		if patternA[i] {
+			if _, err := a.GetMateJob(1); err != nil && !errors.Is(err, ErrInjected) {
+				t.Fatalf("wrong error type: %v", err)
+			}
+			break
+		}
+	}
+}
+
+func TestFaultInjectorRateClamps(t *testing.T) {
+	backend := newFakeBackend()
+	never := NewFaultInjector(backend, -1, 1)
+	always := NewFaultInjector(backend, 2, 1)
+	for i := 0; i < 50; i++ {
+		if _, err := never.GetMateJob(1); err != nil {
+			t.Fatal("rate 0 injector failed a call")
+		}
+		if _, err := always.GetMateJob(1); err == nil {
+			t.Fatal("rate 1 injector passed a call")
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package proto
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+
+	"cosched/internal/cosched"
+)
+
+// Server exposes a cosched.Peer (normally a resmgr.Manager) to remote
+// domains. Each connection is served by its own goroutine; backend access
+// is serialized through an optional sync.Locker so the single-threaded
+// Manager stays safe under the live daemon's concurrency.
+type Server struct {
+	backend cosched.Peer
+	lock    sync.Locker
+	logger  *log.Logger
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewServer wraps backend. lock may be nil when the caller guarantees
+// single-threaded access (e.g. net.Pipe peers inside one simulation
+// goroutine never run concurrently with the engine). logger may be nil.
+func NewServer(backend cosched.Peer, lock sync.Locker, logger *log.Logger) *Server {
+	return &Server{
+		backend: backend,
+		lock:    lock,
+		logger:  logger,
+		conns:   make(map[net.Conn]struct{}),
+	}
+}
+
+// Listen starts accepting TCP connections on addr and returns the bound
+// address (useful with ":0").
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.listener = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.ServeConn(conn)
+		}()
+	}
+}
+
+// ServeConn answers requests on conn until EOF or error. It may also be
+// called directly with one end of a net.Pipe.
+func (s *Server) ServeConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	for {
+		var req Request
+		if err := ReadFrame(conn, &req); err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && s.logger != nil {
+				s.logger.Printf("proto server: read: %v", err)
+			}
+			return
+		}
+		resp := s.dispatch(req)
+		if err := WriteFrame(conn, &resp); err != nil {
+			if s.logger != nil {
+				s.logger.Printf("proto server: write: %v", err)
+			}
+			return
+		}
+	}
+}
+
+// dispatch executes one request against the backend.
+func (s *Server) dispatch(req Request) Response {
+	if s.lock != nil {
+		s.lock.Lock()
+		defer s.lock.Unlock()
+	}
+	resp := Response{Seq: req.Seq}
+	switch req.Method {
+	case MethodPing:
+		resp.Domain = s.backend.PeerName()
+	case MethodGetMateJob:
+		known, err := s.backend.GetMateJob(req.JobID)
+		resp.Known = known
+		setErr(&resp, err)
+	case MethodGetMateStatus:
+		st, err := s.backend.GetMateStatus(req.JobID)
+		resp.Status = st.String()
+		setErr(&resp, err)
+	case MethodCanStartMate:
+		ok, err := s.backend.CanStartMate(req.JobID)
+		resp.OK = ok
+		setErr(&resp, err)
+	case MethodTryStartMate:
+		ok, err := s.backend.TryStartMate(req.JobID)
+		resp.OK = ok
+		setErr(&resp, err)
+	case MethodStartMate:
+		setErr(&resp, s.backend.StartMate(req.JobID))
+	default:
+		resp.Error = fmt.Sprintf("%v: %q", ErrBadMethod, req.Method)
+	}
+	return resp
+}
+
+func setErr(resp *Response, err error) {
+	if err != nil {
+		resp.Error = err.Error()
+	}
+}
+
+// Close stops the listener and all connections, then waits for the serving
+// goroutines to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.listener
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}

@@ -1,0 +1,26 @@
+package queues_test
+
+import (
+	"fmt"
+
+	"cosched/internal/job"
+	"cosched/internal/queues"
+	"cosched/internal/sim"
+)
+
+// ExampleRouter routes jobs through Intrepid-like submission queues.
+func ExampleRouter() {
+	r, err := queues.NewRouter(queues.IntrepidQueues())
+	if err != nil {
+		panic(err)
+	}
+	debug := job.New(1, 512, 0, 20*sim.Minute, 30*sim.Minute)
+	capability := job.New(2, 8192, 0, 6*sim.Hour, 8*sim.Hour)
+	q1, _ := r.Route(debug)
+	q2, _ := r.Route(capability)
+	fmt.Println(q1)
+	fmt.Println(q2)
+	// Output:
+	// prod-devel
+	// prod-long
+}

@@ -1,0 +1,209 @@
+// Package queues implements named submission queues with admission
+// constraints and priority adjustments, the way Cobalt partitioned
+// Intrepid's workload (prod-devel, prod-short, prod-long, backfill…).
+//
+// A Router validates a job against its queue's constraints at submission
+// and supplies a per-queue priority boost that composes with the base
+// scheduling policy: the queue structure shapes *admission and priority*,
+// while node allocation stays global — which is how Cobalt's queues
+// behaved on a single machine.
+package queues
+
+import (
+	"fmt"
+	"sort"
+
+	"cosched/internal/job"
+	"cosched/internal/policy"
+	"cosched/internal/sim"
+)
+
+// Spec declares one queue.
+type Spec struct {
+	// Name identifies the queue ("prod-short").
+	Name string
+	// MinNodes/MaxNodes bound admissible job sizes; 0 max = unbounded.
+	MinNodes, MaxNodes int
+	// MaxWalltime bounds admissible requests; 0 = unbounded.
+	MaxWalltime sim.Duration
+	// Priority is a multiplicative factor applied to the base policy
+	// score of jobs in this queue (1.0 = neutral, 2.0 = favored).
+	Priority float64
+	// Default marks the queue that takes jobs matching nothing else.
+	Default bool
+}
+
+// Validate checks a spec.
+func (s Spec) Validate() error {
+	switch {
+	case s.Name == "":
+		return fmt.Errorf("queues: queue with empty name")
+	case s.MinNodes < 0 || (s.MaxNodes != 0 && s.MaxNodes < s.MinNodes):
+		return fmt.Errorf("queues: queue %q: bad node bounds [%d, %d]", s.Name, s.MinNodes, s.MaxNodes)
+	case s.MaxWalltime < 0:
+		return fmt.Errorf("queues: queue %q: negative walltime bound", s.Name)
+	case s.Priority < 0:
+		return fmt.Errorf("queues: queue %q: negative priority", s.Name)
+	}
+	return nil
+}
+
+// admits reports whether the queue accepts the job.
+func (s Spec) admits(j *job.Job) bool {
+	if j.Nodes < s.MinNodes {
+		return false
+	}
+	if s.MaxNodes != 0 && j.Nodes > s.MaxNodes {
+		return false
+	}
+	if s.MaxWalltime != 0 && j.Walltime > s.MaxWalltime {
+		return false
+	}
+	return true
+}
+
+// Router assigns jobs to queues and scores them accordingly.
+type Router struct {
+	specs      []Spec
+	defaultIdx int
+	assignment map[job.ID]int
+}
+
+// NewRouter builds a router over the given queues. Exactly one queue may
+// be marked Default; with none, unmatched jobs are rejected.
+func NewRouter(specs []Spec) (*Router, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("queues: no queues declared")
+	}
+	r := &Router{
+		specs:      append([]Spec(nil), specs...),
+		defaultIdx: -1,
+		assignment: make(map[job.ID]int),
+	}
+	seen := map[string]bool{}
+	for i, s := range r.specs {
+		if err := s.Validate(); err != nil {
+			return nil, err
+		}
+		if seen[s.Name] {
+			return nil, fmt.Errorf("queues: duplicate queue %q", s.Name)
+		}
+		seen[s.Name] = true
+		if s.Default {
+			if r.defaultIdx >= 0 {
+				return nil, fmt.Errorf("queues: multiple default queues (%q and %q)",
+					r.specs[r.defaultIdx].Name, s.Name)
+			}
+			r.defaultIdx = i
+		}
+	}
+	return r, nil
+}
+
+// Route assigns the job to the first (declaration-order) queue that admits
+// it, falling back to the default queue. It returns the queue name or an
+// error when nothing admits the job.
+func (r *Router) Route(j *job.Job) (string, error) {
+	for i, s := range r.specs {
+		if i == r.defaultIdx {
+			continue // default only as fallback
+		}
+		if s.admits(j) {
+			r.assignment[j.ID] = i
+			return s.Name, nil
+		}
+	}
+	if r.defaultIdx >= 0 && r.specs[r.defaultIdx].admits(j) {
+		r.assignment[j.ID] = r.defaultIdx
+		return r.specs[r.defaultIdx].Name, nil
+	}
+	return "", fmt.Errorf("queues: no queue admits job %d (%d nodes, %d s walltime)",
+		j.ID, j.Nodes, j.Walltime)
+}
+
+// QueueOf returns the routed queue for a job, if any.
+func (r *Router) QueueOf(id job.ID) (string, bool) {
+	i, ok := r.assignment[id]
+	if !ok {
+		return "", false
+	}
+	return r.specs[i].Name, true
+}
+
+// Counts returns the number of routed jobs per queue, sorted by name.
+func (r *Router) Counts() map[string]int {
+	out := make(map[string]int, len(r.specs))
+	for _, i := range r.assignment {
+		out[r.specs[i].Name]++
+	}
+	return out
+}
+
+// Names lists the queue names in declaration order.
+func (r *Router) Names() []string {
+	out := make([]string, len(r.specs))
+	for i, s := range r.specs {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// Policy wraps a base policy so every job's score is scaled by its queue's
+// priority factor. Unrouted jobs score with factor 1.
+func (r *Router) Policy(base policy.Policy) policy.Policy {
+	if base == nil {
+		base = policy.WFP{}
+	}
+	return &queuePolicy{router: r, base: base}
+}
+
+type queuePolicy struct {
+	router *Router
+	base   policy.Policy
+}
+
+// Name implements policy.Policy.
+func (p *queuePolicy) Name() string { return p.base.Name() + "+queues" }
+
+// Score implements policy.Policy.
+func (p *queuePolicy) Score(j *job.Job, now sim.Time) float64 {
+	s := p.base.Score(j, now)
+	if i, ok := p.router.assignment[j.ID]; ok {
+		f := p.router.specs[i].Priority
+		if f > 0 {
+			s *= f
+		}
+	}
+	return s
+}
+
+// ObserveCompletion forwards usage accounting to the base policy when it
+// tracks usage (fair-share under queues).
+func (p *queuePolicy) ObserveCompletion(j *job.Job, now sim.Time) {
+	if uo, ok := p.base.(policy.UsageObserver); ok {
+		uo.ObserveCompletion(j, now)
+	}
+}
+
+// IntrepidQueues returns the queue structure resembling Intrepid's
+// production configuration: a favored short-debug queue, the default
+// production queue, and a long-job queue with reduced priority.
+func IntrepidQueues() []Spec {
+	return []Spec{
+		{Name: "prod-devel", MaxNodes: 2048, MaxWalltime: sim.Hour, Priority: 1.5},
+		{Name: "prod-long", MinNodes: 512, MaxWalltime: 0, Priority: 0.8},
+		{Name: "prod", Default: true, Priority: 1.0},
+	}
+}
+
+// Summary renders per-queue routing counts.
+func Summary(r *Router) string {
+	counts := r.Counts()
+	names := r.Names()
+	sort.Strings(names)
+	out := ""
+	for _, n := range names {
+		out += fmt.Sprintf("%s: %d jobs\n", n, counts[n])
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+package resmgr
+
+import (
+	"testing"
+
+	"cosched/internal/cosched"
+	"cosched/internal/job"
+	"cosched/internal/sim"
+)
+
+// fig2 builds the paper's Figure 2 deadlock scenario: machine A's job a1
+// holds all 6 nodes waiting for b1 (queued on B); machine B's job b2 holds
+// all 6 nodes waiting for a2 (queued on A) — circular wait.
+func fig2(t *testing.T, release sim.Duration) (*sim.Engine, [4]*job.Job) {
+	t.Helper()
+	cfg := cosched.DefaultConfig(cosched.Hold)
+	cfg.ReleaseInterval = release
+	eng, a, b := pairDomains(t, 6, 6, cfg, cfg)
+	a1 := job.New(1, 6, 0, 600, 600)
+	a2 := job.New(2, 6, 10, 600, 600)
+	b2 := job.New(2, 6, 0, 600, 600)
+	b1 := job.New(1, 6, 10, 600, 600)
+	pairJobs(a1, b1)
+	pairJobs(a2, b2)
+	submitAll(t, a, a1, a2)
+	submitAll(t, b, b2, b1)
+	return eng, [4]*job.Job{a1, a2, b1, b2}
+}
+
+func TestHoldHoldDeadlockWithoutRelease(t *testing.T) {
+	// §V-B: "Without the enhancement, deadlocks are highly likely" —
+	// with release disabled the Figure 2 scenario wedges permanently:
+	// the event queue drains with every job unfinished.
+	eng, jobs := fig2(t, 0)
+	eng.Run()
+	holding, queued := 0, 0
+	for _, j := range jobs {
+		switch j.State {
+		case job.Holding:
+			holding++
+		case job.Queued:
+			queued++
+		case job.Completed:
+			t.Fatalf("job %s completed despite the deadlock", j)
+		}
+	}
+	if holding != 2 || queued != 2 {
+		t.Fatalf("holding=%d queued=%d, want 2/2 (circular wait)", holding, queued)
+	}
+}
+
+func TestHoldHoldDeadlockBrokenByRelease(t *testing.T) {
+	// With the 20-minute periodic release (§IV-E1) the same scenario
+	// resolves: a1's release lets a2 start with its holding mate b2, and
+	// the other pair follows.
+	eng, jobs := fig2(t, 20*sim.Minute)
+	eng.Run()
+	for _, j := range jobs {
+		if j.State != job.Completed {
+			t.Fatalf("job %s not completed; deadlock not broken", j)
+		}
+	}
+	a1, a2, b1, b2 := jobs[0], jobs[1], jobs[2], jobs[3]
+	if a2.StartTime != b2.StartTime {
+		t.Fatalf("pair2 co-start violated: %d vs %d", a2.StartTime, b2.StartTime)
+	}
+	if a1.StartTime != b1.StartTime {
+		t.Fatalf("pair1 co-start violated: %d vs %d", a1.StartTime, b1.StartTime)
+	}
+	// The second pair must have started at the first release boundary.
+	if a2.StartTime != 20*sim.Minute {
+		t.Fatalf("pair2 started at %d, want %d (first release)", a2.StartTime, 20*sim.Minute)
+	}
+	// The released holder re-queued and eventually ran after the nodes
+	// freed up.
+	if a1.StartTime <= a2.StartTime {
+		t.Fatalf("a1 start %d should follow a2 start %d", a1.StartTime, a2.StartTime)
+	}
+}
+
+func TestReleaseRelocksWhenNoContention(t *testing.T) {
+	// A holding job whose nodes nobody wants must re-hold after each
+	// release ("Otherwise, the job will hold by the original holding job
+	// again") and still co-start correctly when the mate arrives.
+	cfg := cosched.DefaultConfig(cosched.Hold)
+	cfg.ReleaseInterval = 10 * sim.Minute
+	eng, a, b := pairDomains(t, 100, 100, cfg, cfg)
+	ja := job.New(1, 10, 0, 600, 600)
+	jb := job.New(1, 10, 3*sim.Hour, 600, 600)
+	pairJobs(ja, jb)
+	submitAll(t, a, ja)
+	submitAll(t, b, jb)
+	eng.Run()
+	if ja.State != job.Completed || jb.State != job.Completed {
+		t.Fatalf("states: %s / %s", ja.State, jb.State)
+	}
+	if ja.StartTime != jb.StartTime {
+		t.Fatalf("co-start violated: %d vs %d", ja.StartTime, jb.StartTime)
+	}
+	// 3 hours / 10 min = 18 release boundaries, each re-holding.
+	if ja.HoldCount < 10 {
+		t.Fatalf("hold count = %d, want many re-holds", ja.HoldCount)
+	}
+	// Held accounting must cover the full 3-hour wait despite the
+	// release/re-hold cycling (releases are instantaneous).
+	want := int64(10) * int64(3*sim.Hour)
+	if ja.HeldNodeSeconds != want {
+		t.Fatalf("held node-seconds = %d, want %d", ja.HeldNodeSeconds, want)
+	}
+}
+
+func TestReleasePreemptedByRegularJob(t *testing.T) {
+	// "If the released nodes are preempted by other jobs, the original
+	// holding job will be put in queuing status."
+	cfg := cosched.DefaultConfig(cosched.Hold)
+	cfg.ReleaseInterval = 10 * sim.Minute
+	eng, a, b := pairDomains(t, 100, 100, cfg, cfg)
+	ja := job.New(1, 100, 0, 600, 600) // holds the whole machine
+	jb := job.New(1, 10, 2*sim.Hour, 600, 600)
+	pairJobs(ja, jb)
+	regular := job.New(2, 100, 60, 600, 600) // queued behind the hold
+	submitAll(t, a, ja, regular)
+	submitAll(t, b, jb)
+	eng.Run()
+	// At the first release (t=600) the regular job must grab the nodes.
+	if regular.StartTime != 600 {
+		t.Fatalf("regular start = %d, want 600 (preempted the released nodes)", regular.StartTime)
+	}
+	if ja.StartTime != jb.StartTime {
+		t.Fatalf("pair still co-starts: %d vs %d", ja.StartTime, jb.StartTime)
+	}
+}

@@ -1,0 +1,873 @@
+// Package resmgr implements a Cobalt-style batch resource manager for one
+// scheduling domain: a job queue ordered by a pluggable policy, EASY
+// backfilling, and the coscheduling extension of Tang et al. (ICPP 2011) —
+// Algorithm 1's Run_Job, the hold/yield schemes, the periodic-release
+// deadlock breaker, and the held-fraction / max-yield / priority-boost
+// enhancements.
+//
+// A Manager is driven entirely by a sim.Engine; the live daemon wraps the
+// same Manager in a real-time driver. Managers in different domains talk to
+// each other only through the cosched.Peer interface, so a direct in-process
+// peer and the wire protocol are interchangeable.
+package resmgr
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"cosched/internal/backfill"
+	"cosched/internal/cluster"
+	"cosched/internal/cosched"
+	"cosched/internal/job"
+	"cosched/internal/policy"
+	"cosched/internal/predict"
+	"cosched/internal/sim"
+)
+
+// Errors returned by Manager operations.
+var (
+	ErrUnknownJob   = errors.New("resmgr: unknown job")
+	ErrDuplicateJob = errors.New("resmgr: duplicate job id")
+	ErrBadState     = errors.New("resmgr: job in wrong state")
+	ErrNoPeer       = errors.New("resmgr: no peer for domain")
+)
+
+// Observer receives job lifecycle notifications; all methods are optional
+// via the Null implementation. Used by tests, the metrics layer, and the
+// live daemon's log.
+type Observer interface {
+	JobSubmitted(now sim.Time, j *job.Job)
+	JobStarted(now sim.Time, j *job.Job)
+	JobCompleted(now sim.Time, j *job.Job)
+	JobHeld(now sim.Time, j *job.Job)
+	JobYielded(now sim.Time, j *job.Job)
+	JobReleased(now sim.Time, j *job.Job, requeued bool)
+	JobCancelled(now sim.Time, j *job.Job)
+}
+
+// NullObserver ignores every notification.
+type NullObserver struct{}
+
+// JobSubmitted implements Observer.
+func (NullObserver) JobSubmitted(sim.Time, *job.Job) {}
+
+// JobStarted implements Observer.
+func (NullObserver) JobStarted(sim.Time, *job.Job) {}
+
+// JobCompleted implements Observer.
+func (NullObserver) JobCompleted(sim.Time, *job.Job) {}
+
+// JobHeld implements Observer.
+func (NullObserver) JobHeld(sim.Time, *job.Job) {}
+
+// JobYielded implements Observer.
+func (NullObserver) JobYielded(sim.Time, *job.Job) {}
+
+// JobReleased implements Observer.
+func (NullObserver) JobReleased(sim.Time, *job.Job, bool) {}
+
+// JobCancelled implements Observer.
+func (NullObserver) JobCancelled(sim.Time, *job.Job) {}
+
+// runEntry tracks a running job's allocation and completion event.
+type runEntry struct {
+	alloc *cluster.Allocation
+	end   sim.EventRef
+}
+
+// holdEntry tracks a holding job's allocation. Release timing is handled
+// by the manager-wide release scan, not per-entry timers.
+type holdEntry struct {
+	alloc *cluster.Allocation
+}
+
+// BackfillMode selects the planner strategy.
+type BackfillMode int
+
+const (
+	// BackfillNone starts jobs strictly in priority order.
+	BackfillNone BackfillMode = iota
+	// BackfillEASY protects only the highest-priority blocked job
+	// (aggressive backfilling — the paper's production setting).
+	BackfillEASY
+	// BackfillConservative reserves a slot for every blocked job.
+	BackfillConservative
+)
+
+// String returns the mode's configuration name.
+func (m BackfillMode) String() string {
+	switch m {
+	case BackfillEASY:
+		return "easy"
+	case BackfillConservative:
+		return "conservative"
+	default:
+		return "none"
+	}
+}
+
+// ParseBackfillMode resolves "", "none", "easy", "conservative".
+func ParseBackfillMode(s string) (BackfillMode, bool) {
+	switch s {
+	case "none":
+		return BackfillNone, true
+	case "", "easy":
+		return BackfillEASY, true
+	case "conservative":
+		return BackfillConservative, true
+	default:
+		return BackfillNone, false
+	}
+}
+
+// Options configures a Manager.
+type Options struct {
+	Name        string            // domain name, e.g. "intrepid"
+	Pool        *cluster.Pool     // node pool (required)
+	Policy      policy.Policy     // queue order; nil = WFP
+	Backfilling bool              // enable backfill (EASY unless Mode set)
+	Mode        BackfillMode      // planner strategy when Backfilling is set
+	Estimator   predict.Estimator // backfill planning runtimes; nil = walltime
+	Cosched     cosched.Config    // coscheduling configuration
+	Observer    Observer          // nil = NullObserver
+}
+
+// Manager is the resource manager for one domain. Not safe for concurrent
+// use; the engine's single-threaded event loop serializes everything.
+type Manager struct {
+	name string
+	eng  *sim.Engine
+	pool *cluster.Pool
+	pol  policy.Policy
+	bf   BackfillMode
+	est  predict.Estimator
+	cfg  cosched.Config
+	obs  Observer
+
+	peers map[string]cosched.Peer
+
+	jobs    map[job.ID]*job.Job
+	queue   []*job.Job
+	running map[job.ID]*runEntry
+	holding map[job.ID]*holdEntry
+
+	demoted     map[job.ID]bool // ranked last for the current iteration
+	lastYieldAt map[job.ID]sim.Time
+
+	// releaseScan is the single armed timer implementing the periodic
+	// hold-release enhancement; it fires when the longest-held job
+	// reaches the release interval and is retargeted as holds come and
+	// go. One scan (and one scheduling iteration) replaces what would
+	// otherwise be a timer per holding job.
+	releaseScan sim.EventRef
+
+	iterPending bool
+	completed   int
+	cancelled   int
+	iterations  uint64
+}
+
+// New creates a Manager bound to engine eng.
+func New(eng *sim.Engine, opt Options) *Manager {
+	if opt.Pool == nil {
+		panic("resmgr: Options.Pool is required")
+	}
+	pol := opt.Policy
+	if pol == nil {
+		pol = policy.WFP{}
+	}
+	obs := opt.Observer
+	if obs == nil {
+		obs = NullObserver{}
+	}
+	name := opt.Name
+	if name == "" {
+		name = opt.Pool.Name()
+	}
+	est := opt.Estimator
+	if est == nil {
+		est = predict.Walltime{}
+	}
+	mode := BackfillNone
+	if opt.Backfilling {
+		mode = BackfillEASY
+		if opt.Mode != BackfillNone {
+			mode = opt.Mode
+		}
+	}
+	return &Manager{
+		name:        name,
+		eng:         eng,
+		pool:        opt.Pool,
+		pol:         pol,
+		bf:          mode,
+		est:         est,
+		cfg:         opt.Cosched,
+		obs:         obs,
+		peers:       make(map[string]cosched.Peer),
+		jobs:        make(map[job.ID]*job.Job),
+		running:     make(map[job.ID]*runEntry),
+		holding:     make(map[job.ID]*holdEntry),
+		demoted:     make(map[job.ID]bool),
+		lastYieldAt: make(map[job.ID]sim.Time),
+	}
+}
+
+// Name returns the domain name.
+func (m *Manager) Name() string { return m.name }
+
+// Pool returns the node pool.
+func (m *Manager) Pool() *cluster.Pool { return m.pool }
+
+// Config returns the coscheduling configuration.
+func (m *Manager) Config() cosched.Config { return m.cfg }
+
+// Engine returns the simulation engine driving this manager.
+func (m *Manager) Engine() *sim.Engine { return m.eng }
+
+// Iterations returns how many scheduling iterations have run.
+func (m *Manager) Iterations() uint64 { return m.iterations }
+
+// AddPeer registers the peer serving the named remote domain.
+func (m *Manager) AddPeer(domain string, p cosched.Peer) { m.peers[domain] = p }
+
+// peerFor returns the peer for a mate reference.
+func (m *Manager) peerFor(ref job.MateRef) (cosched.Peer, error) {
+	p, ok := m.peers[ref.Domain]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoPeer, ref.Domain)
+	}
+	return p, nil
+}
+
+// Expect pre-registers a job that will be submitted later (trace-driven
+// operation). Until Submit, peers asking about it see StatusUnsubmitted.
+func (m *Manager) Expect(j *job.Job) error {
+	if err := j.Validate(); err != nil {
+		return err
+	}
+	if _, dup := m.jobs[j.ID]; dup {
+		return fmt.Errorf("%w: %d", ErrDuplicateJob, j.ID)
+	}
+	if j.State != job.Unsubmitted {
+		return fmt.Errorf("%w: job %d is %s, want unsubmitted", ErrBadState, j.ID, j.State)
+	}
+	m.jobs[j.ID] = j
+	return nil
+}
+
+// Submit moves a job into the queue. Jobs not previously registered with
+// Expect are registered on the fly. A scheduling iteration is requested.
+func (m *Manager) Submit(j *job.Job) error {
+	existing, known := m.jobs[j.ID]
+	if known && existing != j {
+		return fmt.Errorf("%w: %d", ErrDuplicateJob, j.ID)
+	}
+	if !known {
+		if err := j.Validate(); err != nil {
+			return err
+		}
+		m.jobs[j.ID] = j
+	}
+	if err := j.Advance(job.Queued); err != nil {
+		return err
+	}
+	now := m.eng.Now()
+	j.SubmitTime = now
+	m.queue = append(m.queue, j)
+	m.obs.JobSubmitted(now, j)
+	m.RequestIteration()
+	return nil
+}
+
+// SubmitAt schedules Submit(j) at the job's SubmitTime on the engine.
+// It is the trace-replay entry point.
+func (m *Manager) SubmitAt(j *job.Job) error {
+	if err := m.Expect(j); err != nil {
+		return err
+	}
+	_, err := m.eng.At(j.SubmitTime, sim.PrioritySubmit, func(sim.Time) {
+		if j.State == job.Cancelled {
+			return // withdrawn before arrival
+		}
+		// Submit resets SubmitTime to now, which equals j.SubmitTime.
+		if err := m.Submit(j); err != nil {
+			panic(fmt.Sprintf("resmgr %s: replay submit job %d: %v", m.name, j.ID, err))
+		}
+	})
+	return err
+}
+
+// Job returns the job with the given ID, if known.
+func (m *Manager) Job(id job.ID) (*job.Job, bool) {
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// Jobs returns all known jobs (any state). The slice is freshly allocated;
+// the pointed-to jobs are live.
+func (m *Manager) Jobs() []*job.Job {
+	out := make([]*job.Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		out = append(out, j)
+	}
+	return out
+}
+
+// QueueLength returns the number of queued jobs.
+func (m *Manager) QueueLength() int { return len(m.queue) }
+
+// RunningCount returns the number of running jobs.
+func (m *Manager) RunningCount() int { return len(m.running) }
+
+// HoldingCount returns the number of holding jobs.
+func (m *Manager) HoldingCount() int { return len(m.holding) }
+
+// CompletedCount returns the number of completed jobs.
+func (m *Manager) CompletedCount() int { return m.completed }
+
+// CancelledCount returns the number of cancelled jobs.
+func (m *Manager) CancelledCount() int { return m.cancelled }
+
+// Cancel withdraws a job (the qdel operation): a queued job leaves the
+// queue, a holding job releases its nodes, a running job is killed and its
+// nodes freed, an expected job will never be submitted. Terminal jobs
+// cannot be cancelled.
+func (m *Manager) Cancel(id job.ID) error {
+	j, ok := m.jobs[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownJob, id)
+	}
+	now := m.eng.Now()
+	switch j.State {
+	case job.Unsubmitted:
+		// The replay submit event (if any) checks the state and skips.
+	case job.Queued:
+		m.removeFromQueue(id)
+		delete(m.lastYieldAt, id)
+	case job.Holding:
+		he := m.holding[id]
+		j.HeldNodeSeconds += int64(he.alloc.Allocated) * (now - j.HoldStart)
+		if err := m.pool.Release(now, he.alloc.ID); err != nil {
+			panic(fmt.Sprintf("resmgr %s: cancel hold: %v", m.name, err))
+		}
+		delete(m.holding, id)
+		m.scheduleReleaseScan()
+	case job.Running:
+		re := m.running[id]
+		re.end.Cancel()
+		if err := m.pool.Release(now, re.alloc.ID); err != nil {
+			panic(fmt.Sprintf("resmgr %s: cancel run: %v", m.name, err))
+		}
+		delete(m.running, id)
+	default:
+		return fmt.Errorf("%w: job %d is %s", ErrBadState, id, j.State)
+	}
+	if err := j.Advance(job.Cancelled); err != nil {
+		panic(fmt.Sprintf("resmgr %s: cancel: %v", m.name, err))
+	}
+	j.EndTime = now
+	m.cancelled++
+	m.obs.JobCancelled(now, j)
+	m.RequestIteration()
+	return nil
+}
+
+// RequestIteration schedules a scheduling iteration at the current instant
+// (priority PrioritySchedule). Multiple requests at one instant coalesce.
+func (m *Manager) RequestIteration() {
+	if m.iterPending {
+		return
+	}
+	m.iterPending = true
+	m.eng.After(0, sim.PrioritySchedule, func(now sim.Time) {
+		m.iterPending = false
+		m.Iterate(now)
+	})
+}
+
+// boost computes the per-job additive priority adjustment: iteration-scoped
+// demotion for released holders, escalation boosts for repeat yielders.
+func (m *Manager) boost(j *job.Job) float64 {
+	if m.demoted[j.ID] {
+		return policy.DemotionBoost
+	}
+	if m.cfg.YieldBoost {
+		return policy.YieldBoost(j.YieldCount)
+	}
+	return 0
+}
+
+// Iterate runs one scheduling iteration: order the queue, plan starts with
+// (optional) EASY backfill, then push each planned job through Run_Job.
+func (m *Manager) Iterate(now sim.Time) {
+	m.iterations++
+	// A job that yielded at this instant gave up its slot for the rest of
+	// the instant: excluding it from the plan lets other jobs use the
+	// nodes it declined (the "additional scheduling iteration" yieldJob
+	// requests), and prevents a yield livelock within one event time.
+	eligible := m.queue
+	for i, j := range m.queue {
+		if j.YieldCount > 0 && m.lastYieldAt[j.ID] == now {
+			eligible = make([]*job.Job, 0, len(m.queue)-1)
+			eligible = append(eligible, m.queue[:i]...)
+			for _, k := range m.queue[i+1:] {
+				if k.YieldCount > 0 && m.lastYieldAt[k.ID] == now {
+					continue
+				}
+				eligible = append(eligible, k)
+			}
+			break
+		}
+	}
+	ordered := policy.Order(m.pol, eligible, now, m.boost)
+
+	releases := make([]backfill.Release, 0, len(m.running))
+	for id, re := range m.running {
+		j := m.jobs[id]
+		// Plan with the estimator's runtime; once a running job outlives
+		// its prediction, correct to the walltime bound (Tsafrir-style
+		// prediction correction) — treating it as "about to finish"
+		// would collapse the shadow time and let backfill starve the
+		// head job.
+		endBy := j.StartTime + m.est.Estimate(j)
+		if endBy <= now {
+			endBy = j.StartTime + j.Walltime
+		}
+		releases = append(releases, backfill.Release{
+			Nodes: re.alloc.Allocated,
+			EndBy: endBy,
+		})
+	}
+
+	var plan []backfill.Decision
+	if m.bf == BackfillConservative {
+		plan = backfill.PlanConservative(ordered, m.pool.Total(), m.pool.Free(),
+			m.pool.ChargeFor, releases, now, m.est.Estimate)
+	} else {
+		plan = backfill.Plan(ordered, m.pool.Free(), m.pool.ChargeFor,
+			releases, now, m.bf == BackfillEASY, m.est.Estimate)
+	}
+	for _, d := range plan {
+		j := d.Job
+		if j.State != job.Queued {
+			continue // started/held meanwhile (e.g. via TryStartMate)
+		}
+		if !m.pool.CanAllocate(j.Nodes) {
+			continue // nodes consumed by an earlier hold in this plan
+		}
+		m.RunJob(j, now, d.HoldSafe)
+	}
+}
+
+// RunJob is Algorithm 1: start, hold, or yield a scheduled job j that the
+// planner selected to run now with sufficient free nodes. holdSafe reports
+// whether the job may occupy its nodes indefinitely without trampling the
+// backfill reservation of a blocked higher-priority job; a job admitted
+// only for its bounded walltime must yield rather than hold, since a hold
+// is an unbounded occupation the EASY guarantee cannot absorb.
+func (m *Manager) RunJob(j *job.Job, now sim.Time, holdSafe bool) {
+	j.MarkReady(now)
+
+	// Lines 34–36: coscheduling disabled → start normally.
+	if !m.cfg.Enabled || !j.Paired() {
+		m.startJob(j, now)
+		return
+	}
+
+	// Query every mate (one for the paper's pairs; several for the N-way
+	// extension). Fault tolerance: peer errors and unknown mates drop out
+	// of the coordination set.
+	type mateInfo struct {
+		peer   cosched.Peer
+		ref    job.MateRef
+		status cosched.MateStatus
+	}
+	var mates []mateInfo
+	for _, ref := range j.Mates {
+		p, err := m.peerFor(ref)
+		if err != nil {
+			continue // no peer configured: behave as mate unknown
+		}
+		known, err := p.GetMateJob(ref.Job)
+		if err != nil || !known {
+			continue // lines 30–31 / 25–26: start normally
+		}
+		st, err := p.GetMateStatus(ref.Job)
+		if err != nil || st == cosched.StatusUnknown {
+			continue
+		}
+		mates = append(mates, mateInfo{peer: p, ref: ref, status: st})
+	}
+	if len(mates) == 0 {
+		m.startJob(j, now)
+		return
+	}
+
+	// Partition the mates by what must happen for a simultaneous start.
+	var toRelease []mateInfo // holding: release into run once we start
+	var toTry []mateInfo     // queuing/unsubmitted: need TryStartMate
+	terminalOnly := true
+	for _, mi := range mates {
+		switch mi.status {
+		case cosched.StatusHolding:
+			toRelease = append(toRelease, mi)
+			terminalOnly = false
+		case cosched.StatusQueuing, cosched.StatusUnsubmitted:
+			toTry = append(toTry, mi)
+			terminalOnly = false
+		case cosched.StatusRunning, cosched.StatusCompleted:
+			// Mate already past coordination (fault-tolerance fallback
+			// start, or finished); it imposes no constraint.
+		}
+	}
+	if terminalOnly {
+		m.startJob(j, now)
+		return
+	}
+
+	// Probe the non-ready mates first so an N-way group never starts
+	// partially: every TryStartMate must be expected to succeed before any
+	// is issued. (For 2-way this is one probe + one try, matching the
+	// paper's tryStartMate exchange.)
+	allStartable := true
+	for _, mi := range toTry {
+		ok, err := mi.peer.CanStartMate(mi.ref.Job)
+		if err != nil || !ok {
+			allStartable = false
+			break
+		}
+	}
+	if allStartable {
+		started := true
+		for _, mi := range toTry {
+			ok, err := mi.peer.TryStartMate(mi.ref.Job)
+			if err != nil || !ok {
+				started = false
+				break
+			}
+		}
+		if started {
+			// Line 14 + lines 7–8: start self, then release holders.
+			m.startJob(j, now)
+			for _, mi := range toRelease {
+				if err := mi.peer.StartMate(mi.ref.Job); err != nil {
+					// Peer failure after our start: nothing to undo —
+					// the mate's own fault tolerance applies.
+					continue
+				}
+			}
+			return
+		}
+	}
+
+	// Lines 16–23: mate cannot run now → hold or yield per local scheme.
+	m.holdOrYield(j, now, holdSafe)
+}
+
+// holdOrYield applies the locally configured scheme with the §IV-E2
+// threshold adjustments and the reservation-safety constraint.
+func (m *Manager) holdOrYield(j *job.Job, now sim.Time, holdSafe bool) {
+	scheme := m.cfg.Scheme
+
+	// A hold that would delay a blocked higher-priority job's backfill
+	// reservation is downgraded to a yield regardless of configuration.
+	if !holdSafe {
+		scheme = cosched.Yield
+	}
+
+	// Max-yield escalation: a job that yielded too often may hold.
+	if scheme == cosched.Yield && m.cfg.MaxYields > 0 && j.YieldCount >= m.cfg.MaxYields {
+		scheme = cosched.Hold
+	}
+	// Held-fraction cap: a hold that would exceed the cap yields instead.
+	if scheme == cosched.Hold {
+		maxFrac := m.cfg.EffectiveMaxHeldFraction()
+		charge := m.pool.ChargeFor(j.Nodes)
+		frac := float64(m.pool.Held()+charge) / float64(m.pool.Total())
+		if frac > maxFrac {
+			scheme = cosched.Yield
+		}
+	}
+
+	if scheme == cosched.Hold {
+		m.holdJob(j, now)
+	} else {
+		m.yieldJob(j, now)
+	}
+}
+
+// startJob transitions a queued job to Running on freshly allocated nodes
+// and schedules its completion. The planner guaranteed the allocation fits.
+func (m *Manager) startJob(j *job.Job, now sim.Time) {
+	alloc, err := m.pool.Allocate(now, j.Nodes, cluster.AllocRun)
+	if err != nil {
+		// Plan raced with a TryStartMate that consumed nodes; leave the
+		// job queued for the next iteration.
+		return
+	}
+	if err := j.Advance(job.Running); err != nil {
+		_ = m.pool.Release(now, alloc.ID)
+		panic(fmt.Sprintf("resmgr %s: startJob: %v", m.name, err))
+	}
+	j.StartTime = now
+	m.removeFromQueue(j.ID)
+	delete(m.lastYieldAt, j.ID)
+	entry := &runEntry{alloc: alloc}
+	entry.end = m.eng.After(j.Runtime, sim.PriorityEnd, func(end sim.Time) {
+		m.completeJob(j, end)
+	})
+	m.running[j.ID] = entry
+	m.obs.JobStarted(now, j)
+}
+
+// startHeldJob converts a Holding job's allocation to Run and schedules
+// completion — the "its mate got ready, start now" path.
+func (m *Manager) startHeldJob(j *job.Job, now sim.Time) error {
+	he, ok := m.holding[j.ID]
+	if !ok {
+		return fmt.Errorf("%w: job %d not holding", ErrBadState, j.ID)
+	}
+	if _, err := m.pool.Convert(now, he.alloc.ID, cluster.AllocRun); err != nil {
+		return err
+	}
+	delete(m.holding, j.ID)
+	m.scheduleReleaseScan()
+	j.HeldNodeSeconds += int64(he.alloc.Allocated) * (now - j.HoldStart)
+	if err := j.Advance(job.Running); err != nil {
+		panic(fmt.Sprintf("resmgr %s: startHeldJob: %v", m.name, err))
+	}
+	j.StartTime = now
+	entry := &runEntry{alloc: he.alloc}
+	entry.end = m.eng.After(j.Runtime, sim.PriorityEnd, func(end sim.Time) {
+		m.completeJob(j, end)
+	})
+	m.running[j.ID] = entry
+	m.obs.JobStarted(now, j)
+	return nil
+}
+
+// holdJob implements self.holdJob(j, N): allocate the nodes as held and
+// arm the periodic release timer.
+func (m *Manager) holdJob(j *job.Job, now sim.Time) {
+	alloc, err := m.pool.Allocate(now, j.Nodes, cluster.AllocHold)
+	if err != nil {
+		return // lost the nodes inside this iteration; stay queued
+	}
+	if err := j.Advance(job.Holding); err != nil {
+		_ = m.pool.Release(now, alloc.ID)
+		panic(fmt.Sprintf("resmgr %s: holdJob: %v", m.name, err))
+	}
+	j.HoldStart = now
+	j.HoldCount++
+	m.removeFromQueue(j.ID)
+	m.holding[j.ID] = &holdEntry{alloc: alloc}
+	m.obs.JobHeld(now, j)
+	m.scheduleReleaseScan()
+}
+
+// yieldJob implements self.yieldJob(j): the job stays queued, its yield is
+// recorded, and another scheduling iteration is requested so other jobs can
+// use the nodes it declined.
+func (m *Manager) yieldJob(j *job.Job, now sim.Time) {
+	j.YieldCount++
+	m.lastYieldAt[j.ID] = now
+	m.obs.JobYielded(now, j)
+	m.RequestIteration()
+}
+
+// scheduleReleaseScan (re)arms the release timer at the earliest instant a
+// holding job reaches the release interval. With no holds (or the
+// enhancement disabled) no timer is armed, so the event queue can drain.
+func (m *Manager) scheduleReleaseScan() {
+	if m.cfg.ReleaseInterval <= 0 {
+		return
+	}
+	if m.releaseScan.Pending() {
+		return // a scan is already armed; it re-arms itself while holds exist
+	}
+	due := sim.Time(math.MaxInt64)
+	for id := range m.holding {
+		if t := m.jobs[id].HoldStart + m.cfg.ReleaseInterval; t < due {
+			due = t
+		}
+	}
+	if due == math.MaxInt64 {
+		return // nothing holding: let the event queue drain
+	}
+	if now := m.eng.Now(); due < now {
+		due = now
+	}
+	ref, err := m.eng.At(due, sim.PriorityRelease, m.releaseScanFire)
+	if err != nil {
+		panic(fmt.Sprintf("resmgr %s: scheduleReleaseScan: %v", m.name, err))
+	}
+	m.releaseScan = ref
+}
+
+// releaseScanFire is the deadlock-breaking enhancement (§IV-E1): at every
+// release boundary all holding jobs temporarily release their nodes and
+// are ranked last for one scheduling iteration, so the machine's entire
+// held capacity is offered to waiting jobs at a single instant (a
+// staggered per-job release can never accumulate enough nodes for a
+// blocked full-machine job, leaving a cross-machine circular wait the
+// enhancement exists to break). Holders whose nodes nobody takes re-hold
+// within the same iteration; the rest stay queued.
+func (m *Manager) releaseScanFire(now sim.Time) {
+	due := make([]*job.Job, 0, len(m.holding))
+	for id := range m.holding {
+		due = append(due, m.jobs[id])
+	}
+	// Map iteration order is random; sort for reproducible simulations.
+	sort.Slice(due, func(a, b int) bool { return due[a].ID < due[b].ID })
+	for _, j := range due {
+		he := m.holding[j.ID]
+		j.HeldNodeSeconds += int64(he.alloc.Allocated) * (now - j.HoldStart)
+		if err := m.pool.Release(now, he.alloc.ID); err != nil {
+			panic(fmt.Sprintf("resmgr %s: release scan: %v", m.name, err))
+		}
+		delete(m.holding, j.ID)
+		if err := j.Advance(job.Queued); err != nil {
+			panic(fmt.Sprintf("resmgr %s: release scan: %v", m.name, err))
+		}
+		m.queue = append(m.queue, j)
+		m.demoted[j.ID] = true
+		m.obs.JobReleased(now, j, true)
+	}
+	if len(due) > 0 {
+		// One iteration with every released holder demoted to the back;
+		// the demotion window is exactly this iteration.
+		m.Iterate(now)
+		for _, j := range due {
+			delete(m.demoted, j.ID)
+		}
+	}
+	m.scheduleReleaseScan()
+}
+
+// completeJob finishes a running job, frees its nodes, and triggers a new
+// scheduling iteration.
+func (m *Manager) completeJob(j *job.Job, now sim.Time) {
+	re, ok := m.running[j.ID]
+	if !ok {
+		return
+	}
+	if err := m.pool.Release(now, re.alloc.ID); err != nil {
+		panic(fmt.Sprintf("resmgr %s: completeJob: %v", m.name, err))
+	}
+	delete(m.running, j.ID)
+	if err := j.Advance(job.Completed); err != nil {
+		panic(fmt.Sprintf("resmgr %s: completeJob: %v", m.name, err))
+	}
+	j.EndTime = now
+	m.est.Observe(j)
+	if uo, ok := m.pol.(policy.UsageObserver); ok {
+		uo.ObserveCompletion(j, now)
+	}
+	m.completed++
+	m.obs.JobCompleted(now, j)
+	m.RequestIteration()
+}
+
+// removeFromQueue deletes a job from the queue slice, preserving order.
+func (m *Manager) removeFromQueue(id job.ID) {
+	for i, q := range m.queue {
+		if q.ID == id {
+			m.queue = append(m.queue[:i], m.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// cosched.Peer implementation: a Manager can serve directly as the peer of
+// another in-process Manager, which is how the coupled simulator wires
+// domains by default. The proto package exposes exactly these methods over
+// a connection.
+
+var _ cosched.Peer = (*Manager)(nil)
+
+// PeerName implements cosched.Peer.
+func (m *Manager) PeerName() string { return m.name }
+
+// GetMateJob implements cosched.Peer: true if the job is registered here in
+// any state.
+func (m *Manager) GetMateJob(id job.ID) (bool, error) {
+	_, ok := m.jobs[id]
+	return ok, nil
+}
+
+// GetMateStatus implements cosched.Peer.
+func (m *Manager) GetMateStatus(id job.ID) (cosched.MateStatus, error) {
+	j, ok := m.jobs[id]
+	if !ok {
+		return cosched.StatusUnknown, nil
+	}
+	return cosched.FromJobState(j.State), nil
+}
+
+// CanStartMate implements cosched.Peer: reports whether TryStartMate would
+// succeed right now, without side effects.
+func (m *Manager) CanStartMate(id job.ID) (bool, error) {
+	j, ok := m.jobs[id]
+	if !ok {
+		return false, nil
+	}
+	switch j.State {
+	case job.Queued:
+		return m.pool.CanAllocate(j.Nodes), nil
+	case job.Holding, job.Running:
+		return true, nil
+	default:
+		return false, nil
+	}
+}
+
+// TryStartMate implements cosched.Peer: the "additional scheduling
+// iteration" of Algorithm 1 line 12, scoped to the mate job. The mate is
+// started directly, bypassing its own coscheduling logic — the coordination
+// already happened on the caller's side.
+func (m *Manager) TryStartMate(id job.ID) (bool, error) {
+	j, ok := m.jobs[id]
+	if !ok {
+		return false, nil
+	}
+	now := m.eng.Now()
+	switch j.State {
+	case job.Queued:
+		if !m.pool.CanAllocate(j.Nodes) {
+			return false, nil
+		}
+		j.MarkReady(now)
+		m.startJob(j, now)
+		return j.State == job.Running, nil
+	case job.Holding:
+		if err := m.startHeldJob(j, now); err != nil {
+			return false, err
+		}
+		return true, nil
+	case job.Running:
+		return true, nil
+	default:
+		return false, nil
+	}
+}
+
+// StartMate implements cosched.Peer: release a holding mate into execution
+// (Algorithm 1 line 8). Starting an already-running mate is a no-op.
+func (m *Manager) StartMate(id job.ID) error {
+	j, ok := m.jobs[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownJob, id)
+	}
+	switch j.State {
+	case job.Holding:
+		return m.startHeldJob(j, m.eng.Now())
+	case job.Running:
+		return nil
+	default:
+		return fmt.Errorf("%w: job %d is %s, want holding", ErrBadState, id, j.State)
+	}
+}

@@ -1,0 +1,482 @@
+package resmgr
+
+import (
+	"errors"
+	"testing"
+
+	"cosched/internal/cluster"
+	"cosched/internal/cosched"
+	"cosched/internal/job"
+	"cosched/internal/policy"
+	"cosched/internal/sim"
+)
+
+// pairDomains builds two managers on one engine, wired directly as peers.
+func pairDomains(t *testing.T, nodesA, nodesB int, cfgA, cfgB cosched.Config) (*sim.Engine, *Manager, *Manager) {
+	t.Helper()
+	eng := sim.NewEngine()
+	a := New(eng, Options{
+		Name: "A", Pool: cluster.New("A", nodesA),
+		Policy: policy.FCFS{}, Backfilling: true, Cosched: cfgA,
+	})
+	b := New(eng, Options{
+		Name: "B", Pool: cluster.New("B", nodesB),
+		Policy: policy.FCFS{}, Backfilling: true, Cosched: cfgB,
+	})
+	a.AddPeer("B", b)
+	b.AddPeer("A", a)
+	return eng, a, b
+}
+
+func pairJobs(ja, jb *job.Job) {
+	ja.Mates = []job.MateRef{{Domain: "B", Job: jb.ID}}
+	jb.Mates = []job.MateRef{{Domain: "A", Job: ja.ID}}
+}
+
+func submitAll(t *testing.T, m *Manager, jobs ...*job.Job) {
+	t.Helper()
+	for _, j := range jobs {
+		if err := m.SubmitAt(j); err != nil {
+			t.Fatalf("%s: submit %d: %v", m.Name(), j.ID, err)
+		}
+	}
+}
+
+func TestSingleJobRuns(t *testing.T) {
+	eng, a, _ := pairDomains(t, 100, 100, cosched.Config{}, cosched.Config{})
+	j := job.New(1, 50, 10, 600, 600)
+	submitAll(t, a, j)
+	eng.Run()
+	if j.State != job.Completed {
+		t.Fatalf("job state = %s, want completed", j.State)
+	}
+	if j.StartTime != 10 || j.EndTime != 610 {
+		t.Fatalf("start=%d end=%d, want 10/610", j.StartTime, j.EndTime)
+	}
+	if a.Pool().Free() != 100 {
+		t.Fatalf("pool not drained: %s", a.Pool())
+	}
+}
+
+func TestFCFSQueueing(t *testing.T) {
+	eng, a, _ := pairDomains(t, 100, 100, cosched.Config{}, cosched.Config{})
+	j1 := job.New(1, 80, 0, 1000, 1000)
+	j2 := job.New(2, 80, 5, 1000, 1000) // must wait for j1
+	submitAll(t, a, j1, j2)
+	eng.Run()
+	if j2.StartTime != 1000 {
+		t.Fatalf("j2 start = %d, want 1000", j2.StartTime)
+	}
+	if got := j2.WaitTime(); got != 995 {
+		t.Fatalf("j2 wait = %d, want 995", got)
+	}
+}
+
+func TestBackfillThroughManager(t *testing.T) {
+	eng, a, _ := pairDomains(t, 100, 100, cosched.Config{}, cosched.Config{})
+	j1 := job.New(1, 80, 0, 1000, 1000)
+	j2 := job.New(2, 90, 5, 1000, 1000) // blocked until j1 ends
+	j3 := job.New(3, 20, 6, 500, 500)   // short; fits beside j1, ends before shadow
+	submitAll(t, a, j1, j2, j3)
+	eng.Run()
+	if j3.StartTime != 6 {
+		t.Fatalf("j3 start = %d, want 6 (backfilled)", j3.StartTime)
+	}
+	if j2.StartTime != 1000 {
+		t.Fatalf("j2 start = %d, want 1000 (reservation honored)", j2.StartTime)
+	}
+}
+
+func TestCoschedulingDisabledIgnoresMates(t *testing.T) {
+	eng, a, b := pairDomains(t, 100, 100, cosched.Config{}, cosched.Config{})
+	ja := job.New(1, 10, 0, 600, 600)
+	jb := job.New(1, 10, 5000, 600, 600)
+	pairJobs(ja, jb)
+	submitAll(t, a, ja)
+	submitAll(t, b, jb)
+	eng.Run()
+	if ja.StartTime != 0 {
+		t.Fatalf("ja start = %d, want 0 (cosched disabled)", ja.StartTime)
+	}
+	if jb.StartTime != 5000 {
+		t.Fatalf("jb start = %d, want 5000", jb.StartTime)
+	}
+}
+
+func TestHoldThenMateArrivesCoStart(t *testing.T) {
+	cfg := cosched.DefaultConfig(cosched.Hold)
+	eng, a, b := pairDomains(t, 100, 100, cfg, cfg)
+	ja := job.New(1, 10, 0, 600, 600)
+	jb := job.New(1, 10, 300, 600, 600) // arrives 5 min later
+	pairJobs(ja, jb)
+	submitAll(t, a, ja)
+	submitAll(t, b, jb)
+	eng.Run()
+	if ja.State != job.Completed || jb.State != job.Completed {
+		t.Fatalf("states: ja=%s jb=%s", ja.State, jb.State)
+	}
+	if ja.StartTime != jb.StartTime {
+		t.Fatalf("co-start violated: ja=%d jb=%d", ja.StartTime, jb.StartTime)
+	}
+	if ja.StartTime != 300 {
+		t.Fatalf("pair started at %d, want 300 (when jb arrived)", ja.StartTime)
+	}
+	if ja.HoldCount != 1 {
+		t.Fatalf("ja holds = %d, want 1", ja.HoldCount)
+	}
+	if want := int64(10) * 300; ja.HeldNodeSeconds != want {
+		t.Fatalf("ja held node-seconds = %d, want %d", ja.HeldNodeSeconds, want)
+	}
+	if got := ja.SyncTime(); got != 300 {
+		t.Fatalf("ja sync time = %d, want 300", got)
+	}
+	if got := jb.SyncTime(); got != 0 {
+		t.Fatalf("jb sync time = %d, want 0", got)
+	}
+}
+
+func TestYieldThenTryStartMateCoStart(t *testing.T) {
+	cfg := cosched.DefaultConfig(cosched.Yield)
+	eng, a, b := pairDomains(t, 100, 100, cfg, cfg)
+	ja := job.New(1, 10, 0, 600, 600)
+	jb := job.New(1, 10, 300, 600, 600)
+	pairJobs(ja, jb)
+	submitAll(t, a, ja)
+	submitAll(t, b, jb)
+	eng.Run()
+	if ja.StartTime != jb.StartTime || ja.StartTime != 300 {
+		t.Fatalf("co-start: ja=%d jb=%d, want both 300", ja.StartTime, jb.StartTime)
+	}
+	// ja was ready at t=0 with an unsubmitted mate: it must have yielded.
+	if ja.YieldCount == 0 {
+		t.Fatal("ja never yielded")
+	}
+	// At t=300 jb becomes ready, sees ja queuing, and TryStartMate
+	// succeeds: nodes were free because ja yielded rather than held.
+	if ja.HoldCount != 0 {
+		t.Fatalf("ja held %d times under yield scheme", ja.HoldCount)
+	}
+	if ja.HeldNodeSeconds != 0 {
+		t.Fatalf("yield scheme lost %d node-seconds", ja.HeldNodeSeconds)
+	}
+}
+
+func TestYieldFreesNodesForOtherJobs(t *testing.T) {
+	cfg := cosched.DefaultConfig(cosched.Yield)
+	eng, a, b := pairDomains(t, 100, 100, cfg, cfg)
+	ja := job.New(1, 100, 0, 600, 600) // paired, whole machine, mate far away
+	jb := job.New(1, 10, 10000, 600, 600)
+	pairJobs(ja, jb)
+	other := job.New(2, 100, 5, 600, 600) // regular job, whole machine
+	submitAll(t, a, ja, other)
+	submitAll(t, b, jb)
+	eng.Run()
+	// other must have run in the slot ja declined.
+	if other.StartTime != 5 {
+		t.Fatalf("other start = %d, want 5 (yield freed the machine)", other.StartTime)
+	}
+	if ja.StartTime != jb.StartTime {
+		t.Fatalf("pair still co-starts: %d vs %d", ja.StartTime, jb.StartTime)
+	}
+}
+
+func TestHoldBlocksOtherJobs(t *testing.T) {
+	// Contrast with the yield test: a holding job keeps the nodes busy, so
+	// the regular job must wait until the pair starts and finishes.
+	cfg := cosched.DefaultConfig(cosched.Hold)
+	cfg.ReleaseInterval = 0 // keep the hold pinned for the whole gap
+	eng, a, b := pairDomains(t, 100, 100, cfg, cfg)
+	ja := job.New(1, 100, 0, 600, 600)
+	jb := job.New(1, 10, 1000, 600, 600)
+	pairJobs(ja, jb)
+	other := job.New(2, 100, 5, 600, 600)
+	submitAll(t, a, ja, other)
+	submitAll(t, b, jb)
+	eng.Run()
+	if ja.StartTime != 1000 || jb.StartTime != 1000 {
+		t.Fatalf("pair start = %d/%d, want 1000", ja.StartTime, jb.StartTime)
+	}
+	if other.StartTime != 1600 {
+		t.Fatalf("other start = %d, want 1600 (after the held pair ran)", other.StartTime)
+	}
+}
+
+func TestMateAlreadyHoldingStartsBoth(t *testing.T) {
+	// B ready first and holds; when A's job is scheduled it sees
+	// StatusHolding and releases both (Algorithm 1 lines 6–8).
+	cfg := cosched.DefaultConfig(cosched.Hold)
+	eng, a, b := pairDomains(t, 100, 100, cfg, cfg)
+	ja := job.New(1, 10, 500, 600, 600)
+	jb := job.New(1, 10, 0, 600, 600)
+	pairJobs(ja, jb)
+	submitAll(t, a, ja)
+	submitAll(t, b, jb)
+	eng.Run()
+	if jb.HoldCount != 1 {
+		t.Fatalf("jb holds = %d, want 1", jb.HoldCount)
+	}
+	if ja.StartTime != 500 || jb.StartTime != 500 {
+		t.Fatalf("starts = %d/%d, want 500/500", ja.StartTime, jb.StartTime)
+	}
+}
+
+func TestUnknownMateStartsNormally(t *testing.T) {
+	// Mate references a job B never heard of → GetMateJob false → start.
+	cfg := cosched.DefaultConfig(cosched.Hold)
+	eng, a, _ := pairDomains(t, 100, 100, cfg, cfg)
+	ja := job.New(1, 10, 0, 600, 600)
+	ja.Mates = []job.MateRef{{Domain: "B", Job: 999}}
+	submitAll(t, a, ja)
+	eng.Run()
+	if ja.StartTime != 0 || ja.State != job.Completed {
+		t.Fatalf("unknown mate: start=%d state=%s, want 0/completed", ja.StartTime, ja.State)
+	}
+}
+
+func TestNoPeerStartsNormally(t *testing.T) {
+	cfg := cosched.DefaultConfig(cosched.Hold)
+	eng, a, _ := pairDomains(t, 100, 100, cfg, cfg)
+	ja := job.New(1, 10, 0, 600, 600)
+	ja.Mates = []job.MateRef{{Domain: "nonexistent", Job: 1}}
+	submitAll(t, a, ja)
+	eng.Run()
+	if ja.State != job.Completed {
+		t.Fatalf("state = %s, want completed", ja.State)
+	}
+}
+
+// failingPeer simulates a crashed remote domain: every call errors.
+type failingPeer struct{}
+
+func (failingPeer) PeerName() string                { return "down" }
+func (failingPeer) GetMateJob(job.ID) (bool, error) { return false, errors.New("down") }
+func (failingPeer) GetMateStatus(job.ID) (cosched.MateStatus, error) {
+	return cosched.StatusUnknown, errors.New("down")
+}
+func (failingPeer) CanStartMate(job.ID) (bool, error) { return false, errors.New("down") }
+func (failingPeer) TryStartMate(job.ID) (bool, error) { return false, errors.New("down") }
+func (failingPeer) StartMate(job.ID) error            { return errors.New("down") }
+
+func TestDeadPeerFaultTolerance(t *testing.T) {
+	// §IV-C: "a job will not wait forever when the remote machine ... is
+	// down". The ready job must start immediately.
+	cfg := cosched.DefaultConfig(cosched.Hold)
+	eng := sim.NewEngine()
+	a := New(eng, Options{Name: "A", Pool: cluster.New("A", 100), Cosched: cfg})
+	a.AddPeer("B", failingPeer{})
+	ja := job.New(1, 10, 0, 600, 600)
+	ja.Mates = []job.MateRef{{Domain: "B", Job: 1}}
+	submitAll(t, a, ja)
+	eng.Run()
+	if ja.StartTime != 0 || ja.State != job.Completed {
+		t.Fatalf("dead peer: start=%d state=%s, want immediate start", ja.StartTime, ja.State)
+	}
+}
+
+func TestMateCompletedStartsNormally(t *testing.T) {
+	// The mate already ran to completion (fault-tolerance fallback):
+	// the local job starts without coordination.
+	cfg := cosched.DefaultConfig(cosched.Hold)
+	eng, a, b := pairDomains(t, 100, 100, cfg, cfg)
+	ja := job.New(1, 10, 5000, 600, 600)
+	jb := job.New(1, 10, 0, 600, 600)
+	// Pair asymmetrically: only ja knows about jb, so jb runs normally.
+	ja.Mates = []job.MateRef{{Domain: "B", Job: jb.ID}}
+	submitAll(t, a, ja)
+	submitAll(t, b, jb)
+	eng.Run()
+	if jb.EndTime != 600 {
+		t.Fatalf("jb end = %d, want 600", jb.EndTime)
+	}
+	if ja.StartTime != 5000 {
+		t.Fatalf("ja start = %d, want 5000 (mate completed)", ja.StartTime)
+	}
+}
+
+func TestMaxHeldFractionForcesYield(t *testing.T) {
+	cfg := cosched.DefaultConfig(cosched.Hold)
+	cfg.MaxHeldFraction = 0.5
+	cfg.ReleaseInterval = 0 // keep ja1's hold pinned so the cap stays binding
+	eng, a, b := pairDomains(t, 100, 100, cfg, cfg)
+	// Two paired jobs on A whose mates are far in the future; the first
+	// (40 nodes) may hold, the second (40 nodes) would push held to 80%
+	// and must yield instead.
+	ja1 := job.New(1, 40, 0, 600, 600)
+	ja2 := job.New(2, 40, 0, 600, 600)
+	jb1 := job.New(1, 10, 50000, 600, 600)
+	jb2 := job.New(2, 10, 50000, 600, 600)
+	pairJobs(ja1, jb1)
+	pairJobs(ja2, jb2)
+	submitAll(t, a, ja1, ja2)
+	submitAll(t, b, jb1, jb2)
+	eng.Run()
+	if ja1.HoldCount == 0 {
+		t.Fatal("ja1 never held")
+	}
+	if ja2.HoldCount != 0 {
+		t.Fatalf("ja2 held %d times despite the 50%% cap", ja2.HoldCount)
+	}
+	if ja2.YieldCount == 0 {
+		t.Fatal("ja2 never yielded")
+	}
+}
+
+func TestMaxYieldsEscalatesToHold(t *testing.T) {
+	cfg := cosched.DefaultConfig(cosched.Yield)
+	cfg.MaxYields = 2
+	eng, a, b := pairDomains(t, 100, 100, cfg, cfg)
+	ja := job.New(1, 10, 0, 600, 600)
+	jb := job.New(1, 10, 7200, 600, 600) // two hours away
+	pairJobs(ja, jb)
+	// Churn jobs keep triggering scheduling iterations so ja re-yields.
+	churn := []*job.Job{
+		job.New(10, 90, 60, 300, 300),
+		job.New(11, 90, 600, 300, 300),
+		job.New(12, 90, 1200, 300, 300),
+	}
+	submitAll(t, a, append([]*job.Job{ja}, churn...)...)
+	submitAll(t, b, jb)
+	eng.Run()
+	if ja.YieldCount < 2 {
+		t.Fatalf("ja yields = %d, want ≥ 2", ja.YieldCount)
+	}
+	if ja.HoldCount == 0 {
+		t.Fatal("ja never escalated to hold after MaxYields")
+	}
+	if ja.StartTime != jb.StartTime {
+		t.Fatalf("co-start violated: %d vs %d", ja.StartTime, jb.StartTime)
+	}
+}
+
+func TestSubmitDuplicateRejected(t *testing.T) {
+	eng, a, _ := pairDomains(t, 10, 10, cosched.Config{}, cosched.Config{})
+	_ = eng
+	j1 := job.New(1, 1, 0, 10, 10)
+	j2 := job.New(1, 2, 0, 10, 10) // same ID, different job
+	if err := a.Expect(j1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Expect(j2); !errors.Is(err, ErrDuplicateJob) {
+		t.Fatalf("err = %v, want ErrDuplicateJob", err)
+	}
+	if err := a.Submit(j2); !errors.Is(err, ErrDuplicateJob) {
+		t.Fatalf("submit err = %v, want ErrDuplicateJob", err)
+	}
+}
+
+func TestPeerStatusQueries(t *testing.T) {
+	cfg := cosched.DefaultConfig(cosched.Hold)
+	eng, a, _ := pairDomains(t, 100, 100, cfg, cfg)
+	j := job.New(7, 10, 100, 600, 600)
+	if err := a.Expect(j); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := a.GetMateStatus(7); st != cosched.StatusUnsubmitted {
+		t.Fatalf("status = %s, want unsubmitted", st)
+	}
+	if known, _ := a.GetMateJob(7); !known {
+		t.Fatal("expected job not known")
+	}
+	if known, _ := a.GetMateJob(99); known {
+		t.Fatal("unknown job reported known")
+	}
+	if st, _ := a.GetMateStatus(99); st != cosched.StatusUnknown {
+		t.Fatalf("status = %s, want unknown", st)
+	}
+	// Drive to completion and check terminal status.
+	if _, err := eng.At(100, sim.PrioritySubmit, func(sim.Time) { _ = a.Submit(j) }); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if st, _ := a.GetMateStatus(7); st != cosched.StatusCompleted {
+		t.Fatalf("status = %s, want completed", st)
+	}
+}
+
+func TestTryStartMateInsufficientNodes(t *testing.T) {
+	cfg := cosched.DefaultConfig(cosched.Hold)
+	eng, a, _ := pairDomains(t, 100, 100, cfg, cfg)
+	blocker := job.New(1, 100, 0, 10000, 10000)
+	waiting := job.New(2, 50, 5, 600, 600)
+	submitAll(t, a, blocker, waiting)
+	eng.RunUntil(100)
+	if ok, _ := a.CanStartMate(2); ok {
+		t.Fatal("CanStartMate true with a full machine")
+	}
+	if ok, _ := a.TryStartMate(2); ok {
+		t.Fatal("TryStartMate succeeded with a full machine")
+	}
+	if waiting.State != job.Queued {
+		t.Fatalf("state = %s, want queued", waiting.State)
+	}
+}
+
+func TestStartMateWrongState(t *testing.T) {
+	cfg := cosched.DefaultConfig(cosched.Hold)
+	_, a, _ := pairDomains(t, 100, 100, cfg, cfg)
+	j := job.New(1, 10, 0, 600, 600)
+	if err := a.Expect(j); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.StartMate(1); !errors.Is(err, ErrBadState) {
+		t.Fatalf("err = %v, want ErrBadState", err)
+	}
+	if err := a.StartMate(42); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("err = %v, want ErrUnknownJob", err)
+	}
+}
+
+func TestNWayGroupCoStart(t *testing.T) {
+	// Three domains; a 3-way group must start simultaneously (the
+	// paper's future-work extension).
+	eng := sim.NewEngine()
+	cfg := cosched.DefaultConfig(cosched.Hold)
+	names := []string{"A", "B", "C"}
+	mgrs := make(map[string]*Manager, 3)
+	for _, n := range names {
+		mgrs[n] = New(eng, Options{Name: n, Pool: cluster.New(n, 100), Cosched: cfg})
+	}
+	for _, x := range names {
+		for _, y := range names {
+			if x != y {
+				mgrs[x].AddPeer(y, mgrs[y])
+			}
+		}
+	}
+	jobs := map[string]*job.Job{
+		"A": job.New(1, 10, 0, 600, 600),
+		"B": job.New(1, 10, 400, 600, 600),
+		"C": job.New(1, 10, 900, 600, 600),
+	}
+	for _, x := range names {
+		for _, y := range names {
+			if x != y {
+				jobs[x].Mates = append(jobs[x].Mates, job.MateRef{Domain: y, Job: jobs[y].ID})
+			}
+		}
+	}
+	for _, n := range names {
+		if err := mgrs[n].SubmitAt(jobs[n]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Run()
+	for _, n := range names {
+		if jobs[n].State != job.Completed {
+			t.Fatalf("%s job state = %s", n, jobs[n].State)
+		}
+	}
+	if jobs["A"].StartTime != 900 || jobs["B"].StartTime != 900 || jobs["C"].StartTime != 900 {
+		t.Fatalf("starts = %d/%d/%d, want all 900",
+			jobs["A"].StartTime, jobs["B"].StartTime, jobs["C"].StartTime)
+	}
+}
+
+func TestIterationsCounted(t *testing.T) {
+	eng, a, _ := pairDomains(t, 100, 100, cosched.Config{}, cosched.Config{})
+	submitAll(t, a, job.New(1, 10, 0, 600, 600))
+	eng.Run()
+	if a.Iterations() == 0 {
+		t.Fatal("no scheduling iterations recorded")
+	}
+}

@@ -1,0 +1,270 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel drives every simulated component in this repository: resource
+// managers, coupled-system simulations, and the experiment harness. Events
+// are ordered by (time, priority, sequence); the sequence number guarantees
+// a total, reproducible order even when many events share a timestamp, which
+// is essential for comparing scheduling policies run-for-run.
+//
+// Time is modelled as int64 seconds of virtual time. Nothing in the kernel
+// depends on the wall clock.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+)
+
+// Time is a point in virtual time, in seconds since the simulation epoch.
+type Time = int64
+
+// Duration is a span of virtual time in seconds.
+type Duration = int64
+
+// Common durations, for readability at call sites.
+const (
+	Second Duration = 1
+	Minute Duration = 60
+	Hour   Duration = 3600
+	Day    Duration = 24 * Hour
+)
+
+// Priority orders events that fire at the same instant. Lower values fire
+// first. The bands below keep job-lifecycle transitions coherent: at a given
+// instant, completions free nodes before submissions arrive, and the
+// scheduler iterates only after the state changes that triggered it.
+type Priority int
+
+// Priority bands used by the resource-manager layer.
+const (
+	PriorityEnd      Priority = 0   // job completion: release nodes first
+	PriorityRelease  Priority = 10  // periodic hold-release (deadlock breaker)
+	PrioritySubmit   Priority = 20  // job arrival
+	PrioritySchedule Priority = 30  // scheduling iteration
+	PriorityMetrics  Priority = 40  // sampling probes
+	PriorityDefault  Priority = 100 // anything else
+)
+
+// Handler is the callback invoked when an event fires. It runs with the
+// engine clock set to the event's time.
+type Handler func(now Time)
+
+// event is a scheduled callback.
+type event struct {
+	time     Time
+	priority Priority
+	seq      uint64
+	handler  Handler
+	canceled bool
+	index    int // heap index, -1 when popped
+}
+
+// EventRef identifies a scheduled event so it can be canceled.
+type EventRef struct{ ev *event }
+
+// Cancel marks the referenced event so it will not fire. Canceling an
+// already-fired or already-canceled event is a no-op. Cancel on the zero
+// EventRef is also a no-op.
+func (r EventRef) Cancel() {
+	if r.ev != nil {
+		r.ev.canceled = true
+	}
+}
+
+// Pending reports whether the referenced event is still scheduled to fire.
+func (r EventRef) Pending() bool {
+	return r.ev != nil && !r.ev.canceled && r.ev.index >= 0
+}
+
+// eventHeap implements heap.Interface with (time, priority, seq) ordering.
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	a, b := h[i], h[j]
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	if a.priority != b.priority {
+		return a.priority < b.priority
+	}
+	return a.seq < b.seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a single-threaded discrete-event simulator. It is not safe for
+// concurrent use; all handlers run on the caller's goroutine inside Run.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	fired   uint64
+	running bool
+}
+
+// NewEngine returns an engine with the clock at time 0.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns the number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events scheduled and not yet fired or
+// canceled. Canceled events still in the heap are excluded.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.queue {
+		if !ev.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+// ErrPastEvent is returned by At when scheduling before the current time.
+var ErrPastEvent = errors.New("sim: event scheduled in the past")
+
+// At schedules h to run at absolute time t with the given priority.
+// Scheduling at the current instant is allowed (the event fires during the
+// current Run). Scheduling in the past returns ErrPastEvent.
+func (e *Engine) At(t Time, p Priority, h Handler) (EventRef, error) {
+	if t < e.now {
+		return EventRef{}, fmt.Errorf("%w: now=%d, requested=%d", ErrPastEvent, e.now, t)
+	}
+	ev := &event{time: t, priority: p, seq: e.seq, handler: h}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return EventRef{ev}, nil
+}
+
+// After schedules h to run d seconds from now. Negative d is clamped to 0.
+func (e *Engine) After(d Duration, p Priority, h Handler) EventRef {
+	if d < 0 {
+		d = 0
+	}
+	ref, _ := e.At(e.now+d, p, h) // cannot be in the past
+	return ref
+}
+
+// Every schedules h to run every interval seconds, first firing after one
+// interval. The returned ref cancels the whole series. interval must be > 0.
+func (e *Engine) Every(interval Duration, p Priority, h Handler) EventRef {
+	if interval <= 0 {
+		panic("sim: Every interval must be positive")
+	}
+	series := &event{canceled: false, index: -1}
+	var schedule func()
+	schedule = func() {
+		ref := e.After(interval, p, func(now Time) {
+			if series.canceled {
+				return
+			}
+			h(now)
+			if !series.canceled {
+				schedule()
+			}
+		})
+		// Keep series.index sane for Pending: mirror the live event.
+		series.index = ref.ev.index
+	}
+	schedule()
+	return EventRef{series}
+}
+
+// Step fires the single next pending event, advancing the clock to its time.
+// It returns false when no events remain.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.time
+		e.fired++
+		ev.handler(e.now)
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue drains. It returns the final clock value.
+func (e *Engine) Run() Time {
+	e.running = true
+	defer func() { e.running = false }()
+	for e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil fires events with time ≤ deadline, then sets the clock to the
+// deadline (if it is later than the last event fired) and returns it. Events
+// after the deadline remain queued.
+func (e *Engine) RunUntil(deadline Time) Time {
+	e.running = true
+	defer func() { e.running = false }()
+	for len(e.queue) > 0 {
+		next := e.peek()
+		if next == nil {
+			break
+		}
+		if next.time > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return e.now
+}
+
+// RunFor is RunUntil(Now()+d).
+func (e *Engine) RunFor(d Duration) Time { return e.RunUntil(e.now + d) }
+
+// NextTime returns the time of the next pending event, if any. It is used
+// by the real-time driver to decide how long to sleep.
+func (e *Engine) NextTime() (Time, bool) {
+	ev := e.peek()
+	if ev == nil {
+		return 0, false
+	}
+	return ev.time, true
+}
+
+// peek returns the next non-canceled event without popping, draining any
+// canceled events it encounters on the way.
+func (e *Engine) peek() *event {
+	for len(e.queue) > 0 {
+		ev := e.queue[0]
+		if !ev.canceled {
+			return ev
+		}
+		heap.Pop(&e.queue)
+	}
+	return nil
+}

@@ -1,0 +1,62 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead hardens the SWF parser against hostile or corrupt trace files:
+// it must either return an error or a well-formed record set — never
+// panic, and whatever it accepts must survive a write/re-read round trip.
+func FuzzRead(f *testing.F) {
+	f.Add("; Version: 2.2\n1 100 -1 600 64 -1 -1 64 900 -1 1 -1 -1 -1 -1 -1 -1 -1\n")
+	f.Add("1 0 0 1 1 -1 -1 1 1 -1 1 1 -1 -1 -1 -1 -1 -1 other:5,third:9\n")
+	f.Add("; key: value\n\n;\n")
+	f.Add("1 2 3\n")
+	f.Add("999999999999999999999999 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		hdr, recs, err := Read(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Accepted input must round-trip.
+		var buf bytes.Buffer
+		if werr := Write(&buf, hdr, recs); werr != nil {
+			t.Fatalf("accepted records failed to write: %v", werr)
+		}
+		_, recs2, rerr := Read(&buf)
+		if rerr != nil {
+			t.Fatalf("round trip failed to parse: %v", rerr)
+		}
+		if len(recs2) != len(recs) {
+			t.Fatalf("round trip changed record count: %d → %d", len(recs), len(recs2))
+		}
+		// Conversion to jobs must not panic either.
+		jobs, _ := ToJobs(recs)
+		for _, j := range jobs {
+			if j.Nodes <= 0 || j.Runtime <= 0 {
+				t.Fatalf("ToJobs emitted invalid job %+v", j)
+			}
+		}
+	})
+}
+
+// FuzzParseMates hardens the mate-reference grammar.
+func FuzzParseMates(f *testing.F) {
+	f.Add("a:1")
+	f.Add("a:1,b:2,c:3")
+	f.Add(":::")
+	f.Add("domain:-5")
+	f.Fuzz(func(t *testing.T, input string) {
+		mates, err := ParseMates(input)
+		if err != nil {
+			return
+		}
+		for _, m := range mates {
+			if m.Domain == "" {
+				t.Fatalf("accepted mate with empty domain from %q", input)
+			}
+		}
+	})
+}

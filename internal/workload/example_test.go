@@ -1,0 +1,38 @@
+package workload_test
+
+import (
+	"fmt"
+
+	"cosched/internal/workload"
+)
+
+// ExampleGenerate builds the calibrated Intrepid-like month and scales it
+// to the paper's high-load operating point.
+func ExampleGenerate() {
+	jobs, err := workload.Generate(workload.IntrepidSpec(1))
+	if err != nil {
+		panic(err)
+	}
+	factor, err := workload.ScaleToUtilization(jobs, 40960, 0.68)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("jobs:", len(jobs))
+	fmt.Println("scaled:", factor > 0)
+	fmt.Printf("offered load: %.2f\n", workload.OfferedLoad(jobs, 40960))
+	// Output:
+	// jobs: 9219
+	// scaled: true
+	// offered load: 0.68
+}
+
+// ExamplePairByWindow links co-submitted jobs across two traces, the
+// paper's §V-D association rule.
+func ExamplePairByWindow() {
+	a, _ := workload.Generate(workload.IntrepidSpec(1))
+	b, _ := workload.Generate(workload.EurekaSpec(2))
+	pairs := workload.PairByWindow(a, b, "intrepid", "eureka", 120)
+	fmt.Println("paired:", pairs > 0)
+	// Output:
+	// paired: true
+}

@@ -1,0 +1,234 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"cosched/internal/job"
+	"cosched/internal/sim"
+)
+
+// PairByWindow links jobs across two traces whose submission times fall
+// within window of each other, the paper's §V-D association rule ("we
+// associated the two jobs on different machines if their submission times
+// were within 2 minutes"). Each job gets at most one mate; earlier
+// submissions are matched first. It returns the number of pairs formed.
+//
+// domA and domB are the domain names the two traces will run in; both
+// traces must already be sorted by submit time.
+func PairByWindow(a, b []*job.Job, domA, domB string, window sim.Duration) int {
+	pairs := 0
+	bi := 0
+	for _, ja := range a {
+		if ja.Paired() {
+			continue
+		}
+		// Advance bi past b-jobs too early to match or already paired.
+		for bi < len(b) && (b[bi].Paired() || b[bi].SubmitTime < ja.SubmitTime-window) {
+			bi++
+		}
+		if bi >= len(b) {
+			break
+		}
+		jb := b[bi]
+		if jb.SubmitTime > ja.SubmitTime+window {
+			continue // no b-job close enough; try next a-job
+		}
+		link(ja, jb, domA, domB)
+		pairs++
+		bi++
+	}
+	return pairs
+}
+
+// PairByProportion links round(p·min(len(a), len(b))) pairs, chosen
+// rank-wise: both traces are viewed in submit order and the i-th selected
+// a-job is linked to the equally ranked b-job, so mates arrive close
+// together without perturbing either arrival process. Selection of which
+// ranks participate is uniform from rng. It returns the number of pairs.
+func PairByProportion(rng *RNG, a, b []*job.Job, domA, domB string, p float64) (int, error) {
+	if p < 0 || p > 1 {
+		return 0, fmt.Errorf("workload: pair proportion %g out of [0,1]", p)
+	}
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	return PairCount(rng, a, b, domA, domB, int(float64(n)*p+0.5))
+}
+
+// PairCount links exactly want rank-wise pairs (capped by the shorter
+// trace), selected uniformly by rng, as PairByProportion does. It lets a
+// caller derive the pair budget from a different population than the
+// slices being paired — e.g. a size-filtered eligible subset of a larger
+// trace.
+func PairCount(rng *RNG, a, b []*job.Job, domA, domB string, want int) (int, error) {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	if want > n {
+		return 0, fmt.Errorf("workload: want %d pairs from %d eligible", want, n)
+	}
+	if want <= 0 {
+		return 0, nil
+	}
+	sa := bySubmit(a)
+	sb := bySubmit(b)
+	perm := rng.Perm(n)
+	picked := perm[:want]
+	sort.Ints(picked)
+	for _, i := range picked {
+		if sa[i].Paired() || sb[i].Paired() {
+			continue
+		}
+		link(sa[i], sb[i], domA, domB)
+	}
+	return want, nil
+}
+
+// PairNearest links up to want pairs, choosing a-jobs uniformly at random
+// and linking each to the nearest-in-submit-time unpaired b-job within
+// maxGap. Unlike rank-wise pairing it is robust to the two traces spanning
+// slightly different periods: mates are always temporally close, as real
+// associated submissions are. It returns the number of pairs formed, which
+// may be less than want when candidates run out.
+func PairNearest(rng *RNG, a, b []*job.Job, domA, domB string, want int, maxGap sim.Duration) int {
+	if want <= 0 || len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	sa := bySubmit(a)
+	sb := bySubmit(b)
+	paired := 0
+	for _, ai := range rng.Perm(len(sa)) {
+		if paired >= want {
+			break
+		}
+		ja := sa[ai]
+		if ja.Paired() {
+			continue
+		}
+		bi := nearestUnpaired(sb, ja.SubmitTime, maxGap)
+		if bi < 0 {
+			continue
+		}
+		link(ja, sb[bi], domA, domB)
+		paired++
+	}
+	return paired
+}
+
+// nearestUnpaired returns the index of the unpaired job in sorted whose
+// submit time is closest to t and within maxGap, or -1.
+func nearestUnpaired(sorted []*job.Job, t sim.Time, maxGap sim.Duration) int {
+	idx := sort.Search(len(sorted), func(i int) bool { return sorted[i].SubmitTime >= t })
+	lo, hi := idx-1, idx
+	for lo >= 0 || hi < len(sorted) {
+		loGap, hiGap := sim.Duration(-1), sim.Duration(-1)
+		for lo >= 0 {
+			if g := t - sorted[lo].SubmitTime; g > maxGap {
+				lo = -1
+				break
+			} else if sorted[lo].Paired() {
+				lo--
+			} else {
+				loGap = t - sorted[lo].SubmitTime
+				break
+			}
+		}
+		for hi < len(sorted) {
+			if g := sorted[hi].SubmitTime - t; g > maxGap {
+				hi = len(sorted)
+				break
+			} else if sorted[hi].Paired() {
+				hi++
+			} else {
+				hiGap = sorted[hi].SubmitTime - t
+				break
+			}
+		}
+		switch {
+		case loGap >= 0 && (hiGap < 0 || loGap <= hiGap):
+			return lo
+		case hiGap >= 0:
+			return hi
+		default:
+			return -1
+		}
+	}
+	return -1
+}
+
+// Eligible returns the jobs requesting at most maxNodes, preserving order.
+// The experiment harness uses it to restrict coscheduling pairs to the
+// small-to-moderate jobs that realistically have an analysis counterpart
+// (a full-machine capability run is not co-scheduled with a live
+// visualization).
+func Eligible(jobs []*job.Job, maxNodes int) []*job.Job {
+	out := make([]*job.Job, 0, len(jobs))
+	for _, j := range jobs {
+		if j.Nodes <= maxNodes {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// link records the two-way mate relationship.
+func link(ja, jb *job.Job, domA, domB string) {
+	ja.Mates = append(ja.Mates, job.MateRef{Domain: domB, Job: jb.ID})
+	jb.Mates = append(jb.Mates, job.MateRef{Domain: domA, Job: ja.ID})
+}
+
+// LinkGroup links one job per domain into an N-way co-start group (the
+// paper's future-work extension): every job lists every other as a mate.
+// domains[i] names the domain jobs[i] runs in. Domains must be distinct.
+func LinkGroup(jobs []*job.Job, domains []string) error {
+	if len(jobs) != len(domains) {
+		return fmt.Errorf("workload: LinkGroup: %d jobs vs %d domains", len(jobs), len(domains))
+	}
+	seen := make(map[string]bool, len(domains))
+	for _, d := range domains {
+		if seen[d] {
+			return fmt.Errorf("workload: LinkGroup: duplicate domain %q", d)
+		}
+		seen[d] = true
+	}
+	for i, j := range jobs {
+		for k, m := range jobs {
+			if i == k {
+				continue
+			}
+			j.Mates = append(j.Mates, job.MateRef{Domain: domains[k], Job: m.ID})
+		}
+	}
+	return nil
+}
+
+// PairedFraction returns the fraction of jobs in the trace that have at
+// least one mate.
+func PairedFraction(jobs []*job.Job) float64 {
+	if len(jobs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, j := range jobs {
+		if j.Paired() {
+			n++
+		}
+	}
+	return float64(n) / float64(len(jobs))
+}
+
+// bySubmit returns the jobs sorted by submit time (stable on ID) without
+// modifying the input slice.
+func bySubmit(jobs []*job.Job) []*job.Job {
+	out := append([]*job.Job(nil), jobs...)
+	sort.SliceStable(out, func(i, k int) bool {
+		if out[i].SubmitTime != out[k].SubmitTime {
+			return out[i].SubmitTime < out[k].SubmitTime
+		}
+		return out[i].ID < out[k].ID
+	})
+	return out
+}

@@ -1,0 +1,119 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cosched/internal/job"
+	"cosched/internal/metrics"
+	"cosched/internal/sim"
+)
+
+// TraceStats summarizes a job trace the way scheduler papers report
+// workloads: counts, span, offered load, and the size/runtime/interarrival
+// distributions. cmd/traceinfo renders it; the generators' tests assert
+// calibration against it.
+type TraceStats struct {
+	Jobs  int
+	Users int
+	Span  sim.Duration // first submit → last completion (submit+runtime)
+
+	TotalNodeSeconds int64
+	OfferedLoad      float64 // vs the given machine size
+
+	Runtime      metrics.Summary // seconds
+	Walltime     metrics.Summary // seconds
+	WallOverReq  metrics.Summary // walltime / runtime (user overestimate)
+	Nodes        metrics.Summary
+	Interarrival metrics.Summary // seconds between consecutive submissions
+
+	SizeHistogram []SizeBucket
+	Paired        int
+}
+
+// SizeBucket is one row of the node-count histogram.
+type SizeBucket struct {
+	Nodes int
+	Count int
+}
+
+// Analyze computes TraceStats for jobs on a machine of totalNodes.
+func Analyze(jobs []*job.Job, totalNodes int) TraceStats {
+	st := TraceStats{Jobs: len(jobs)}
+	if len(jobs) == 0 {
+		return st
+	}
+	sorted := bySubmit(jobs)
+	var runtimes, walls, overs, nodes, gaps []float64
+	users := map[int]bool{}
+	sizes := map[int]int{}
+	var first, last sim.Time
+	first = sorted[0].SubmitTime
+	for i, j := range sorted {
+		runtimes = append(runtimes, float64(j.Runtime))
+		walls = append(walls, float64(j.Walltime))
+		if j.Runtime > 0 {
+			overs = append(overs, float64(j.Walltime)/float64(j.Runtime))
+		}
+		nodes = append(nodes, float64(j.Nodes))
+		users[j.User] = true
+		sizes[j.Nodes]++
+		st.TotalNodeSeconds += j.NodeSeconds()
+		if j.Paired() {
+			st.Paired++
+		}
+		if e := j.SubmitTime + j.Runtime; e > last {
+			last = e
+		}
+		if i > 0 {
+			gaps = append(gaps, float64(j.SubmitTime-sorted[i-1].SubmitTime))
+		}
+	}
+	st.Users = len(users)
+	st.Span = last - first
+	st.OfferedLoad = OfferedLoad(jobs, totalNodes)
+	st.Runtime = metrics.Summarize(runtimes)
+	st.Walltime = metrics.Summarize(walls)
+	st.WallOverReq = metrics.Summarize(overs)
+	st.Nodes = metrics.Summarize(nodes)
+	st.Interarrival = metrics.Summarize(gaps)
+	for n, c := range sizes {
+		st.SizeHistogram = append(st.SizeHistogram, SizeBucket{Nodes: n, Count: c})
+	}
+	sort.Slice(st.SizeHistogram, func(a, b int) bool {
+		return st.SizeHistogram[a].Nodes < st.SizeHistogram[b].Nodes
+	})
+	return st
+}
+
+// Render formats the stats as the report cmd/traceinfo prints.
+func (st TraceStats) Render(name string, totalNodes int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %s (machine %d nodes)\n", name, totalNodes)
+	fmt.Fprintf(&b, "  jobs: %d  users: %d  paired: %d (%.1f%%)\n",
+		st.Jobs, st.Users, st.Paired, pct(st.Paired, st.Jobs))
+	fmt.Fprintf(&b, "  span: %.1f days  demand: %.0f node-hours  offered load: %.3f\n",
+		float64(st.Span)/86400, float64(st.TotalNodeSeconds)/3600, st.OfferedLoad)
+	row := func(label string, s metrics.Summary, scale float64, unit string) {
+		fmt.Fprintf(&b, "  %-13s mean %8.1f%s  median %8.1f%s  p90 %8.1f%s  max %8.1f%s\n",
+			label, s.Mean/scale, unit, s.Median/scale, unit, s.P90/scale, unit, s.Max/scale, unit)
+	}
+	row("runtime:", st.Runtime, 60, "m")
+	row("walltime:", st.Walltime, 60, "m")
+	row("overestimate:", st.WallOverReq, 1, "x")
+	row("nodes:", st.Nodes, 1, " ")
+	row("interarrival:", st.Interarrival, 60, "m")
+	fmt.Fprintf(&b, "  size histogram:\n")
+	for _, bkt := range st.SizeHistogram {
+		fmt.Fprintf(&b, "    %6d nodes: %6d jobs (%.1f%%)\n", bkt.Nodes, bkt.Count, pct(bkt.Count, st.Jobs))
+	}
+	return b.String()
+}
+
+func pct(n, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(total)
+}
