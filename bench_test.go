@@ -13,6 +13,7 @@ package cosched
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	"cosched/internal/cosched"
@@ -33,33 +34,55 @@ func benchConfig() experiments.Config {
 	return cfg
 }
 
-// loadSweep memoizes the Figures 3–6 sweep across the benches that share it.
-var loadSweepCache *experiments.LoadSweep
+// sweepMemo memoizes an experiment sweep across the benches that share it.
+// Access is mutex-guarded so `go test -race -bench` stays clean; the zero
+// value is ready to use.
+type sweepMemo[T any] struct {
+	mu  sync.Mutex
+	val *T
+}
+
+func (m *sweepMemo[T]) get(b *testing.B, run func() (*T, error)) *T {
+	b.Helper()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.val == nil {
+		v, err := run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		m.val = v
+	}
+	return m.val
+}
+
+// reset drops the memoized sweep so the next get re-runs it (used by the
+// benches that time the sweep itself rather than the table rendering).
+func (m *sweepMemo[T]) reset() {
+	m.mu.Lock()
+	m.val = nil
+	m.mu.Unlock()
+}
+
+// loadSweepMemo memoizes the Figures 3–6 sweep across the benches that
+// share it; propSweepMemo does the same for Figures 7–10.
+var (
+	loadSweepMemo sweepMemo[experiments.LoadSweep]
+	propSweepMemo sweepMemo[experiments.ProportionSweep]
+)
 
 func benchLoadSweep(b *testing.B) *experiments.LoadSweep {
 	b.Helper()
-	if loadSweepCache == nil {
-		s, err := experiments.RunLoadSweep(benchConfig())
-		if err != nil {
-			b.Fatal(err)
-		}
-		loadSweepCache = s
-	}
-	return loadSweepCache
+	return loadSweepMemo.get(b, func() (*experiments.LoadSweep, error) {
+		return experiments.RunLoadSweep(benchConfig())
+	})
 }
-
-var propSweepCache *experiments.ProportionSweep
 
 func benchPropSweep(b *testing.B) *experiments.ProportionSweep {
 	b.Helper()
-	if propSweepCache == nil {
-		s, err := experiments.RunProportionSweep(benchConfig())
-		if err != nil {
-			b.Fatal(err)
-		}
-		propSweepCache = s
-	}
-	return propSweepCache
+	return propSweepMemo.get(b, func() (*experiments.ProportionSweep, error) {
+		return experiments.RunProportionSweep(benchConfig())
+	})
 }
 
 // BenchmarkCapabilityValidation regenerates §V-B: every scheme combination
@@ -81,7 +104,7 @@ func BenchmarkCapabilityValidation(b *testing.B) {
 // Eureka load) and reports the HH-at-high-load penalty.
 func BenchmarkFig3AvgWaitByLoad(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		loadSweepCache = nil
+		loadSweepMemo.reset()
 		s := benchLoadSweep(b)
 		hh := s.Cell(0.75, experiments.Combo{Intrepid: cosched.Hold, Eureka: cosched.Hold})
 		base := s.Baselines[0.75]
@@ -136,7 +159,7 @@ func BenchmarkFig6ServiceUnitLossByLoad(b *testing.B) {
 // BenchmarkFig7AvgWaitByProportion regenerates Figure 7.
 func BenchmarkFig7AvgWaitByProportion(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		propSweepCache = nil
+		propSweepMemo.reset()
 		s := benchPropSweep(b)
 		hh := s.Cell(0.33, experiments.Combo{Intrepid: cosched.Hold, Eureka: cosched.Hold})
 		base := s.Baselines[0.33]
@@ -484,7 +507,9 @@ func BenchmarkEngineEventThroughput(b *testing.B) {
 	}
 }
 
-// BenchmarkPolicyOrder measures queue ordering at a saturation-sized queue.
+// BenchmarkPolicyOrder measures queue ordering at a saturation-sized
+// queue: the allocating package-level Order against a reused Orderer (the
+// resource manager keeps one per domain, so "reused" is the hot path).
 func BenchmarkPolicyOrder(b *testing.B) {
 	rng := workload.NewRNG(41)
 	q := make([]*job.Job, 4096)
@@ -492,11 +517,19 @@ func BenchmarkPolicyOrder(b *testing.B) {
 		q[i] = job.New(job.ID(i+1), rng.Intn(1024)+1, sim.Time(rng.Intn(86400)),
 			sim.Duration(rng.Intn(7200)+60), sim.Duration(rng.Intn(7200)+3600))
 	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		policy.Order(policy.WFP{}, q, sim.Time(i), nil)
-	}
+	b.Run("alloc", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			policy.Order(policy.WFP{}, q, sim.Time(i), nil)
+		}
+	})
+	b.Run("reused", func(b *testing.B) {
+		var o policy.Orderer
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			o.Order(policy.WFP{}, q, sim.Time(i), nil)
+		}
+	})
 }
 
 // BenchmarkSingleDomainMonth measures end-to-end simulation throughput for

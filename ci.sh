@@ -1,0 +1,12 @@
+#!/bin/sh
+# ci.sh — the full gate, in the order the checks usually fail.
+#
+# The race-enabled test run covers the parallel sweep pool (cells fan out
+# across goroutines) and the memoized benchmark caches; the bench pass is
+# a 1-iteration smoke of every figure reproduction.
+set -eux
+
+go vet ./...
+go build ./...
+go test -race ./...
+go test -run=NONE -bench=Fig -benchtime=1x .

@@ -6,10 +6,20 @@
 //	experiments -exp all                 # everything at paper scale
 //	experiments -exp fig3 -factor 0.1    # one figure at 10% job count
 //	experiments -exp validate -reps 3
+//	experiments -exp all -parallel 0     # fan cells across every core
+//	experiments -benchout BENCH_parallel.json -factor 0.25 -reps 3
 //
 // Figures come in pairs that share simulations (3–6 share the load sweep,
 // 7–10 the proportion sweep); asking for any figure in a group runs the
 // whole group's simulations once and prints only the requested tables.
+//
+// Every sweep fans its (point × combo × rep) cells across -parallel
+// workers (0 = one per core, 1 = serial). Each cell derives its traces
+// from its own (point, rep) seed and results are aggregated by cell
+// index, so tables are byte-identical for every -parallel value; only
+// wall-clock time changes. -benchout measures that: it times the load
+// sweep serially and in parallel, verifies the rendered tables match
+// byte-for-byte, and writes a machine-readable perf record.
 package main
 
 import (
@@ -26,16 +36,27 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: validate, fig3..fig10, load, prop, reservation, nway, ablations, or all")
-		seed   = flag.Uint64("seed", 1, "workload random seed")
-		factor = flag.Float64("factor", 1.0, "job-count scale factor (1.0 = paper scale)")
-		reps   = flag.Int("reps", 1, "repetitions per cell (paper used 10)")
-		svgDir = flag.String("svg", "", "also render each figure as an SVG into this directory")
+		exp      = flag.String("exp", "all", "experiment: validate, fig3..fig10, load, prop, reservation, nway, ablations, or all")
+		seed     = flag.Uint64("seed", 1, "workload random seed")
+		factor   = flag.Float64("factor", 1.0, "job-count scale factor (1.0 = paper scale)")
+		reps     = flag.Int("reps", 1, "repetitions per cell (paper used 10)")
+		svgDir   = flag.String("svg", "", "also render each figure as an SVG into this directory")
+		par      = flag.Int("parallel", 0, "sweep-cell workers: 0 = one per core, 1 = serial, N = at most N")
+		benchOut = flag.String("benchout", "", "time the load sweep serial vs parallel, verify byte-identical tables, and write a JSON perf record to this path")
 	)
 	flag.Parse()
 
 	cfg := experiments.DefaultConfig(*seed, *factor)
 	cfg.Reps = *reps
+	cfg.Parallelism = *par
+
+	if *benchOut != "" {
+		if err := runParBench(cfg, *benchOut); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: benchout: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	want := map[string]bool{}
 	for _, w := range strings.Split(*exp, ",") {
@@ -78,8 +99,10 @@ func main() {
 			if err != nil {
 				return err
 			}
-			for util, frac := range sweep.PairedFraction {
-				fmt.Printf("paired fraction at eureka_util %.2f: %.1f%%\n", util, frac*100)
+			// Iterate Utils, not the map: map range order would make
+			// otherwise byte-identical runs print in different orders.
+			for _, util := range sweep.Utils {
+				fmt.Printf("paired fraction at eureka_util %.2f: %.1f%%\n", util, sweep.PairedFraction[util]*100)
 			}
 			fmt.Println()
 			if err := writeCharts(*svgDir, sweep.Charts()); err != nil {

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"cosched/internal/experiments"
+	"cosched/internal/parallel"
+)
+
+// parBenchRecord is the BENCH_parallel.json schema. Keys other than these
+// (notably "alloc_benchmarks", maintained by hand from `go test -benchmem`
+// runs) are preserved across rewrites so the file can accumulate the full
+// perf trajectory.
+type parBenchRecord struct {
+	Experiment          string  `json:"experiment"`
+	JobFactor           float64 `json:"job_factor"`
+	Reps                int     `json:"reps"`
+	Cells               int     `json:"cells"`
+	GoMaxProcs          int     `json:"go_maxprocs"`
+	ParallelWorkers     int     `json:"parallel_workers"`
+	SerialSeconds       float64 `json:"serial_seconds"`
+	ParallelSeconds     float64 `json:"parallel_seconds"`
+	SerialCellsPerSec   float64 `json:"serial_cells_per_sec"`
+	ParallelCellsPerSec float64 `json:"parallel_cells_per_sec"`
+	Speedup             float64 `json:"speedup_vs_serial"`
+	TablesIdentical     bool    `json:"tables_byte_identical"`
+	PeakRSSBytes        int64   `json:"peak_rss_bytes"`
+}
+
+// runParBench times the Figures 3–6 load sweep once serially and once at
+// the configured parallelism, verifies the rendered tables are
+// byte-identical, and writes the perf record to path.
+func runParBench(cfg experiments.Config, path string) error {
+	serialCfg := cfg
+	serialCfg.Parallelism = 1
+	fmt.Printf("=== parallel sweep benchmark (load sweep, factor %g, reps %d) ===\n", cfg.JobFactor, cfg.Reps)
+
+	start := time.Now()
+	serial, err := experiments.RunLoadSweep(serialCfg)
+	if err != nil {
+		return err
+	}
+	serialDur := time.Since(start)
+	fmt.Printf("serial   (1 worker):  %v\n", serialDur.Round(time.Millisecond))
+
+	workers := parallel.Workers(cfg.Parallelism)
+	start = time.Now()
+	par, err := experiments.RunLoadSweep(cfg)
+	if err != nil {
+		return err
+	}
+	parDur := time.Since(start)
+	fmt.Printf("parallel (%d workers): %v\n", workers, parDur.Round(time.Millisecond))
+
+	serialTables := renderLoadTables(serial)
+	parTables := renderLoadTables(par)
+	identical := serialTables == parTables
+	if !identical {
+		fmt.Println("WARNING: parallel tables differ from serial tables — determinism bug")
+	} else {
+		fmt.Println("tables byte-identical across worker counts")
+	}
+
+	cells := len(serial.Utils) * (len(experiments.Combos) + 1) * serial.Config.Reps
+	rec := parBenchRecord{
+		Experiment:          "load",
+		JobFactor:           serial.Config.JobFactor,
+		Reps:                serial.Config.Reps,
+		Cells:               cells,
+		GoMaxProcs:          runtime.GOMAXPROCS(0),
+		ParallelWorkers:     workers,
+		SerialSeconds:       serialDur.Seconds(),
+		ParallelSeconds:     parDur.Seconds(),
+		SerialCellsPerSec:   float64(cells) / serialDur.Seconds(),
+		ParallelCellsPerSec: float64(cells) / parDur.Seconds(),
+		Speedup:             serialDur.Seconds() / parDur.Seconds(),
+		TablesIdentical:     identical,
+		PeakRSSBytes:        peakRSSBytes(),
+	}
+	fmt.Printf("speedup vs serial: %.2fx (%d cells, %.2f -> %.2f cells/sec)\n",
+		rec.Speedup, cells, rec.SerialCellsPerSec, rec.ParallelCellsPerSec)
+
+	if err := writeParBench(path, rec); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	if !identical {
+		return fmt.Errorf("parallel tables not byte-identical to serial")
+	}
+	return nil
+}
+
+// renderLoadTables renders every Figures 3–6 table plus the paired
+// fractions into one string for byte-level comparison.
+func renderLoadTables(s *experiments.LoadSweep) string {
+	var b []byte
+	for _, util := range s.Utils {
+		b = append(b, fmt.Sprintf("paired %.2f: %.6f\n", util, s.PairedFraction[util])...)
+	}
+	f3a, f3b := s.Fig3Table()
+	f4a, f4b := s.Fig4Table()
+	f5a, f5b := s.Fig5Table()
+	f6a, f6b := s.Fig6Table()
+	for _, t := range []interface{ Render() string }{f3a, f3b, f4a, f4b, f5a, f5b, f6a, f6b} {
+		b = append(b, t.Render()...)
+		b = append(b, '\n')
+	}
+	return string(b)
+}
+
+// writeParBench merges rec into any existing JSON at path, preserving
+// unknown keys (e.g. the hand-maintained alloc_benchmarks section).
+func writeParBench(path string, rec parBenchRecord) error {
+	merged := map[string]any{}
+	if old, err := os.ReadFile(path); err == nil {
+		_ = json.Unmarshal(old, &merged) // a malformed file is overwritten
+	}
+	recJSON, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	var recMap map[string]any
+	if err := json.Unmarshal(recJSON, &recMap); err != nil {
+		return err
+	}
+	for k, v := range recMap {
+		merged[k] = v
+	}
+	out, err := json.MarshalIndent(merged, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

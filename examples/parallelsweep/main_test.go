@@ -1,0 +1,39 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// Example pins the exact report, go-doc style: the sweep runs with one
+// worker per core, and the output must still match this serial golden
+// byte-for-byte.
+func Example() {
+	if err := run(os.Stdout, 0); err != nil {
+		panic(err)
+	}
+	// Output:
+	// parallelsweep: 2-point load sweep, aggregated by cell index
+	//   util 0.25: 200/200 jobs completed, avg wait 3.1 min, stuck 0
+	//   util 0.60: 200/200 jobs completed, avg wait 14.7 min, stuck 0
+}
+
+// TestRunByteIdenticalAcrossWorkers is the example-sized version of the
+// pool's determinism guarantee: the same bytes at every worker count.
+func TestRunByteIdenticalAcrossWorkers(t *testing.T) {
+	var want string
+	for _, workers := range []int{1, 2, 8} {
+		var b strings.Builder
+		if err := run(&b, workers); err != nil {
+			t.Fatalf("workers %d: %v", workers, err)
+		}
+		if workers == 1 {
+			want = b.String()
+			continue
+		}
+		if b.String() != want {
+			t.Fatalf("workers %d output differs from serial:\n%s\nwant:\n%s", workers, b.String(), want)
+		}
+	}
+}

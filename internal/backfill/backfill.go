@@ -64,7 +64,10 @@ func Plan(ordered []*job.Job, free int, charge ChargeFunc, releases []Release, n
 	if estimate == nil {
 		estimate = func(j *job.Job) sim.Duration { return j.Walltime }
 	}
-	var plan []Decision
+	// One up-front allocation sized to the queue: the plan can never hold
+	// more decisions than there are queued jobs, and the append-growth
+	// reallocations this replaces ran on every scheduling iteration.
+	plan := make([]Decision, 0, len(ordered))
 	avail := free
 
 	i := 0

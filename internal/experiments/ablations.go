@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"cosched/internal/cosched"
 	"cosched/internal/coupled"
 	"cosched/internal/job"
 	"cosched/internal/metrics"
+	"cosched/internal/parallel"
 	"cosched/internal/sim"
 	"cosched/internal/workload"
 )
@@ -97,42 +99,77 @@ func RunAblations(cfg Config) (*Ablations, error) {
 			mutate: func(s *ablationSetup) { s.estimator = "user-average" }},
 	)
 
-	for _, v := range variants {
-		row := AblationRow{Group: v.group, Variant: v.name}
+	// Every (variant, rep) cell regenerates the shared workload from the
+	// rep seed and runs on its own engine; cells fan out across
+	// Config.Parallelism workers and merge variant-major, rep-ascending.
+	type ablationUnit struct {
+		vi, rep int
+	}
+	var units []ablationUnit
+	for vi := range variants {
 		for rep := 0; rep < cfg.Reps; rep++ {
-			intr, eur, err := ablationTraces(cfg, cfg.Seed+uint64(rep*271))
-			if err != nil {
-				return nil, err
-			}
-			setup := ablationSetup{
-				intrepid:     cosched.DefaultConfig(cosched.Hold),
-				eureka:       cosched.DefaultConfig(cosched.Hold),
-				backfillMode: "easy",
-				estimator:    "walltime",
-			}
-			setup.intrepid.ReleaseInterval = cfg.ReleaseInterval
-			setup.eureka.ReleaseInterval = cfg.ReleaseInterval
-			v.mutate(&setup)
+			units = append(units, ablationUnit{vi, rep})
+		}
+	}
 
-			s, err := coupled.New(coupled.Options{Domains: []coupled.DomainConfig{
-				{Name: DomIntrepid, Nodes: IntrepidNodes, Backfilling: true,
-					BackfillMode: setup.backfillMode, Estimator: setup.estimator,
-					Cosched: setup.intrepid, Trace: intr},
-				{Name: DomEureka, Nodes: EurekaNodes, Backfilling: true,
-					BackfillMode: setup.backfillMode, Estimator: setup.estimator,
-					Cosched: setup.eureka, Trace: eur},
-			}})
-			if err != nil {
-				return nil, err
+	results, err := parallel.Map(context.Background(), cfg.workers(), len(units), func(i int) (*AblationRow, error) {
+		u := units[i]
+		v := variants[u.vi]
+		intr, eur, err := ablationTraces(cfg, cfg.Seed+uint64(u.rep*271))
+		if err != nil {
+			return nil, err
+		}
+		setup := ablationSetup{
+			intrepid:     cosched.DefaultConfig(cosched.Hold),
+			eureka:       cosched.DefaultConfig(cosched.Hold),
+			backfillMode: "easy",
+			estimator:    "walltime",
+		}
+		setup.intrepid.ReleaseInterval = cfg.ReleaseInterval
+		setup.eureka.ReleaseInterval = cfg.ReleaseInterval
+		v.mutate(&setup)
+
+		s, err := coupled.New(coupled.Options{Domains: []coupled.DomainConfig{
+			{Name: DomIntrepid, Nodes: IntrepidNodes, Backfilling: true,
+				BackfillMode: setup.backfillMode, Estimator: setup.estimator,
+				Cosched: setup.intrepid, Trace: intr},
+			{Name: DomEureka, Nodes: EurekaNodes, Backfilling: true,
+				BackfillMode: setup.backfillMode, Estimator: setup.estimator,
+				Cosched: setup.eureka, Trace: eur},
+		}})
+		if err != nil {
+			return nil, err
+		}
+		res := s.Run()
+		ri, re := res.Reports[DomIntrepid], res.Reports[DomEureka]
+		return &AblationRow{
+			Group:        v.group,
+			Variant:      v.name,
+			IntrepidWait: ri.Wait.Mean,
+			EurekaWait:   re.Wait.Mean,
+			SyncMin:      (ri.PairedSync.Mean + re.PairedSync.Mean) / 2,
+			LossNH:       ri.LostNodeHours + re.LostNodeHours,
+			Stuck:        res.StuckJobs,
+			CoStartViol:  res.CoStartViolations,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for vi, v := range variants {
+		row := AblationRow{Group: v.group, Variant: v.name}
+		for i, u := range units {
+			if u.vi != vi {
+				continue
 			}
-			res := s.Run()
-			ri, re := res.Reports[DomIntrepid], res.Reports[DomEureka]
-			row.IntrepidWait += ri.Wait.Mean
-			row.EurekaWait += re.Wait.Mean
-			row.SyncMin += (ri.PairedSync.Mean + re.PairedSync.Mean) / 2
-			row.LossNH += ri.LostNodeHours + re.LostNodeHours
-			row.Stuck += res.StuckJobs
-			row.CoStartViol += res.CoStartViolations
+			r := results[i]
+			row.IntrepidWait += r.IntrepidWait
+			row.EurekaWait += r.EurekaWait
+			row.SyncMin += r.SyncMin
+			row.LossNH += r.LossNH
+			row.Stuck += r.Stuck
+			row.CoStartViol += r.CoStartViol
 		}
 		f := 1.0 / float64(cfg.Reps)
 		row.IntrepidWait *= f

@@ -17,6 +17,7 @@ import (
 	"cosched/internal/coupled"
 	"cosched/internal/job"
 	"cosched/internal/metrics"
+	"cosched/internal/parallel"
 	"cosched/internal/sim"
 	"cosched/internal/workload"
 )
@@ -88,6 +89,13 @@ type Config struct {
 	// default here (1.0); the threshold is exercised by the ablation
 	// bench.
 	MaxHeldFraction float64
+	// Parallelism caps how many sweep cells execute concurrently: 0 uses
+	// one worker per core (GOMAXPROCS), 1 reproduces the serial path, and
+	// N > 1 uses min(N, cells) workers. Every cell owns a private engine
+	// and traces seeded by its (point, rep) coordinates, and results are
+	// aggregated by cell index, so every setting yields bit-identical
+	// tables; only wall-clock time changes.
+	Parallelism int
 }
 
 // DefaultConfig returns the paper's experiment parameters at the given
@@ -121,6 +129,9 @@ func (c Config) normalized() Config {
 	}
 	return c
 }
+
+// workers resolves Parallelism to a concrete worker count.
+func (c Config) workers() int { return parallel.Workers(c.Parallelism) }
 
 // intrepidTrace builds one month of Intrepid-like workload at the
 // configured utilization.
@@ -212,6 +223,12 @@ type Cell struct {
 	IntrepidWaitSamples, EurekaWaitSamples []float64
 }
 
+// cellKey indexes sweep cells by (sweep point, combo) for O(1) lookup.
+type cellKey struct {
+	x     float64
+	combo Combo
+}
+
 // Baseline is the no-coscheduling reference for one sweep point.
 type Baseline struct {
 	X                                float64
@@ -257,6 +274,28 @@ func runCell(c *Cell, cfg Config, combo Combo, intrepid, eureka []*job.Job) erro
 	return nil
 }
 
+// add accumulates one rep's result into c. The parallel sweep runners
+// execute each rep as its own cell and merge in ascending rep order, so
+// every float lands in the accumulator in exactly the order the serial
+// loop produced — bit-identical output for any worker count.
+func (c *Cell) add(o *Cell) {
+	c.IntrepidWait += o.IntrepidWait
+	c.EurekaWait += o.EurekaWait
+	c.IntrepidWaitSamples = append(c.IntrepidWaitSamples, o.IntrepidWaitSamples...)
+	c.EurekaWaitSamples = append(c.EurekaWaitSamples, o.EurekaWaitSamples...)
+	c.IntrepidSlowdown += o.IntrepidSlowdown
+	c.EurekaSlowdown += o.EurekaSlowdown
+	c.IntrepidSync += o.IntrepidSync
+	c.EurekaSync += o.EurekaSync
+	c.IntrepidLossNH += o.IntrepidLossNH
+	c.EurekaLossNH += o.EurekaLossNH
+	c.IntrepidLossPct += o.IntrepidLossPct
+	c.EurekaLossPct += o.EurekaLossPct
+	c.PairedJobs += o.PairedJobs
+	c.Stuck += o.Stuck
+	c.CoStartViol += o.CoStartViol
+}
+
 func (c *Cell) average(reps int) {
 	f := 1.0 / float64(reps)
 	c.IntrepidWait *= f
@@ -290,6 +329,16 @@ func runBaseline(b *Baseline, intrepid, eureka []*job.Job) error {
 	b.IntrepidUtil += ri.Utilization
 	b.EurekaUtil += re.Utilization
 	return nil
+}
+
+// add accumulates one rep's baseline into b (see Cell.add).
+func (b *Baseline) add(o *Baseline) {
+	b.IntrepidWait += o.IntrepidWait
+	b.EurekaWait += o.EurekaWait
+	b.IntrepidSlowdown += o.IntrepidSlowdown
+	b.EurekaSlowdown += o.EurekaSlowdown
+	b.IntrepidUtil += o.IntrepidUtil
+	b.EurekaUtil += o.EurekaUtil
 }
 
 func (b *Baseline) average(reps int) {

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"cosched/internal/cosched"
 	"cosched/internal/job"
 	"cosched/internal/metrics"
+	"cosched/internal/parallel"
 	"cosched/internal/sim"
 	"cosched/internal/workload"
 )
@@ -27,10 +29,17 @@ type LoadSweep struct {
 	// PairedFraction records the resulting proportion of paired Intrepid
 	// jobs per util (the paper reports 5–10%).
 	PairedFraction map[float64]float64
+
+	// byKey indexes Cells for O(1) lookup; the figure tables call Cell in
+	// O(points × combos) loops, which was an O(cells²) scan overall.
+	byKey map[cellKey]*Cell
 }
 
 // Cell returns the sweep cell for (util, combo), or nil.
 func (s *LoadSweep) Cell(util float64, combo Combo) *Cell {
+	if s.byKey != nil {
+		return s.byKey[cellKey{util, combo}]
+	}
 	for _, c := range s.Cells {
 		if c.X == util && c.Combo == combo {
 			return c
@@ -39,9 +48,27 @@ func (s *LoadSweep) Cell(util float64, combo Combo) *Cell {
 	return nil
 }
 
+// loadUnit is one independently simulatable cell of the load sweep:
+// combo < 0 runs the no-coscheduling baseline for (util, rep).
+type loadUnit struct {
+	ui, rep, combo int
+}
+
+// loadResult is what one unit produces; exactly one of cell/base is set.
+type loadResult struct {
+	cell Cell
+	base Baseline
+	frac float64
+}
+
 // RunLoadSweep reproduces the §V-D experiment: Intrepid's trace fixed at
 // high load, Eureka's load varied, pairs formed by the 2-minute submission
 // window, each (util, combo) cell simulated Reps times.
+//
+// Every (util, combo-or-baseline, rep) cell is independent — it generates
+// its own traces from the (util, rep) seed and owns a private engine — so
+// the cells fan out across Config.Parallelism workers and are merged back
+// in index order, which reproduces the serial accumulation bit-for-bit.
 func RunLoadSweep(cfg Config) (*LoadSweep, error) {
 	cfg = cfg.normalized()
 	sweep := &LoadSweep{
@@ -50,34 +77,79 @@ func RunLoadSweep(cfg Config) (*LoadSweep, error) {
 		Baselines:      make(map[float64]*Baseline),
 		PairedFraction: make(map[float64]float64),
 	}
-	for ui, util := range sweep.Utils {
-		base := &Baseline{X: util}
-		cells := make([]*Cell, len(Combos))
-		for ci, combo := range Combos {
-			cells[ci] = &Cell{Combo: combo, X: util}
-		}
+
+	// Enumerate all cells up front with a stable index: util-major,
+	// rep-middle, baseline-then-combos minor (the serial loop's order).
+	var units []loadUnit
+	for ui := range sweep.Utils {
 		for rep := 0; rep < cfg.Reps; rep++ {
-			seed := cfg.Seed + uint64(ui*1000+rep*7919)
-			intr, eur, frac, err := loadSweepTraces(cfg, seed, util)
-			if err != nil {
-				return nil, err
-			}
-			sweep.PairedFraction[util] += frac / float64(cfg.Reps)
-			if err := runBaseline(base, workload.Clone(intr), workload.Clone(eur)); err != nil {
-				return nil, err
-			}
-			for ci, combo := range Combos {
-				if err := runCell(cells[ci], cfg, combo, workload.Clone(intr), workload.Clone(eur)); err != nil {
-					return nil, err
-				}
+			units = append(units, loadUnit{ui, rep, -1})
+			for ci := range Combos {
+				units = append(units, loadUnit{ui, rep, ci})
 			}
 		}
-		base.average(cfg.Reps)
-		for _, c := range cells {
+	}
+
+	results, err := parallel.Map(context.Background(), cfg.workers(), len(units), func(i int) (*loadResult, error) {
+		u := units[i]
+		util := sweep.Utils[u.ui]
+		seed := cfg.Seed + uint64(u.ui*1000+u.rep*7919)
+		intr, eur, frac, err := loadSweepTraces(cfg, seed, util)
+		if err != nil {
+			return nil, err
+		}
+		r := &loadResult{}
+		if u.combo < 0 {
+			r.base = Baseline{X: util}
+			r.frac = frac
+			if err := runBaseline(&r.base, intr, eur); err != nil {
+				return nil, err
+			}
+		} else {
+			combo := Combos[u.combo]
+			r.cell = Cell{Combo: combo, X: util}
+			if err := runCell(&r.cell, cfg, combo, intr, eur); err != nil {
+				return nil, err
+			}
+		}
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Aggregate by index, never by completion order: the unit slice is
+	// already rep-ascending per cell, so merging in index order replays
+	// the serial loop's float-addition order exactly.
+	perUtil := make([]struct {
+		base  *Baseline
+		cells []*Cell
+	}, len(sweep.Utils))
+	for ui, util := range sweep.Utils {
+		perUtil[ui].base = &Baseline{X: util}
+		perUtil[ui].cells = make([]*Cell, len(Combos))
+		for ci, combo := range Combos {
+			perUtil[ui].cells[ci] = &Cell{Combo: combo, X: util}
+		}
+	}
+	for i, u := range units {
+		r := results[i]
+		if u.combo < 0 {
+			sweep.PairedFraction[sweep.Utils[u.ui]] += r.frac / float64(cfg.Reps)
+			perUtil[u.ui].base.add(&r.base)
+		} else {
+			perUtil[u.ui].cells[u.combo].add(&r.cell)
+		}
+	}
+	sweep.byKey = make(map[cellKey]*Cell, len(sweep.Utils)*len(Combos))
+	for ui, util := range sweep.Utils {
+		perUtil[ui].base.average(cfg.Reps)
+		sweep.Baselines[util] = perUtil[ui].base
+		for _, c := range perUtil[ui].cells {
 			c.average(cfg.Reps)
+			sweep.byKey[cellKey{c.X, c.Combo}] = c
 		}
-		sweep.Baselines[util] = base
-		sweep.Cells = append(sweep.Cells, cells...)
+		sweep.Cells = append(sweep.Cells, perUtil[ui].cells...)
 	}
 	return sweep, nil
 }

@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"cosched/internal/cosched"
 	"cosched/internal/coupled"
 	"cosched/internal/job"
 	"cosched/internal/metrics"
+	"cosched/internal/parallel"
 	"cosched/internal/sim"
 	"cosched/internal/workload"
 )
@@ -65,25 +67,34 @@ type NWaySweep struct {
 }
 
 // RunNWaySweep measures co-start group widths 2–4 across four
-// heterogeneous domains under both schemes.
+// heterogeneous domains under both schemes. Each (width, scheme) cell
+// builds its own four traces and engine, so the cells — including the
+// no-groups baseline — fan out across Config.Parallelism workers and the
+// rows keep their fixed enumeration order.
 func RunNWaySweep(cfg Config) (*NWaySweep, error) {
 	cfg = cfg.normalized()
 	out := &NWaySweep{Config: cfg}
 
-	baseline, err := runNWayCell(cfg, 0, cosched.Yield)
+	type nwayUnit struct {
+		width  int
+		scheme cosched.Scheme
+	}
+	units := []nwayUnit{{0, cosched.Yield}} // index 0: the no-groups baseline
+	for _, width := range NWayWidths {
+		for _, scheme := range []cosched.Scheme{cosched.Hold, cosched.Yield} {
+			units = append(units, nwayUnit{width, scheme})
+		}
+	}
+
+	rows, err := parallel.Map(context.Background(), cfg.workers(), len(units), func(i int) (*NWayRow, error) {
+		return runNWayCell(cfg, units[i].width, units[i].scheme)
+	})
 	if err != nil {
 		return nil, err
 	}
-	out.BaselineWait = baseline.AvgWait
-
-	for _, width := range NWayWidths {
-		for _, scheme := range []cosched.Scheme{cosched.Hold, cosched.Yield} {
-			row, err := runNWayCell(cfg, width, scheme)
-			if err != nil {
-				return nil, err
-			}
-			out.Rows = append(out.Rows, *row)
-		}
+	out.BaselineWait = rows[0].AvgWait
+	for _, row := range rows[1:] {
+		out.Rows = append(out.Rows, *row)
 	}
 	return out, nil
 }

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"cosched/internal/cosched"
 	"cosched/internal/job"
 	"cosched/internal/metrics"
+	"cosched/internal/parallel"
 	"cosched/internal/sim"
 	"cosched/internal/workload"
 )
@@ -30,10 +32,15 @@ type ProportionSweep struct {
 	Proportions []float64
 	Baselines   map[float64]*Baseline
 	Cells       []*Cell
+
+	byKey map[cellKey]*Cell // O(1) Cell lookup; see LoadSweep.byKey
 }
 
 // Cell returns the sweep cell for (proportion, combo), or nil.
 func (s *ProportionSweep) Cell(prop float64, combo Combo) *Cell {
+	if s.byKey != nil {
+		return s.byKey[cellKey{prop, combo}]
+	}
 	for _, c := range s.Cells {
 		if c.X == prop && c.Combo == combo {
 			return c
@@ -42,7 +49,8 @@ func (s *ProportionSweep) Cell(prop float64, combo Combo) *Cell {
 	return nil
 }
 
-// RunProportionSweep reproduces the §V-E experiment.
+// RunProportionSweep reproduces the §V-E experiment. Cells fan out across
+// Config.Parallelism workers and merge in index order (see RunLoadSweep).
 func RunProportionSweep(cfg Config) (*ProportionSweep, error) {
 	cfg = cfg.normalized()
 	sweep := &ProportionSweep{
@@ -50,33 +58,71 @@ func RunProportionSweep(cfg Config) (*ProportionSweep, error) {
 		Proportions: ProportionSweepPoints,
 		Baselines:   make(map[float64]*Baseline),
 	}
-	for pi, prop := range sweep.Proportions {
-		base := &Baseline{X: prop}
-		cells := make([]*Cell, len(Combos))
-		for ci, combo := range Combos {
-			cells[ci] = &Cell{Combo: combo, X: prop}
-		}
+
+	var units []loadUnit // ui here indexes Proportions
+	for pi := range sweep.Proportions {
 		for rep := 0; rep < cfg.Reps; rep++ {
-			seed := cfg.Seed + uint64(pi*1000+rep*104729)
-			intr, eur, err := proportionTraces(cfg, seed, prop)
-			if err != nil {
-				return nil, err
-			}
-			if err := runBaseline(base, workload.Clone(intr), workload.Clone(eur)); err != nil {
-				return nil, err
-			}
-			for ci, combo := range Combos {
-				if err := runCell(cells[ci], cfg, combo, workload.Clone(intr), workload.Clone(eur)); err != nil {
-					return nil, err
-				}
+			units = append(units, loadUnit{pi, rep, -1})
+			for ci := range Combos {
+				units = append(units, loadUnit{pi, rep, ci})
 			}
 		}
-		base.average(cfg.Reps)
-		for _, c := range cells {
+	}
+
+	results, err := parallel.Map(context.Background(), cfg.workers(), len(units), func(i int) (*loadResult, error) {
+		u := units[i]
+		prop := sweep.Proportions[u.ui]
+		seed := cfg.Seed + uint64(u.ui*1000+u.rep*104729)
+		intr, eur, err := proportionTraces(cfg, seed, prop)
+		if err != nil {
+			return nil, err
+		}
+		r := &loadResult{}
+		if u.combo < 0 {
+			r.base = Baseline{X: prop}
+			if err := runBaseline(&r.base, intr, eur); err != nil {
+				return nil, err
+			}
+		} else {
+			combo := Combos[u.combo]
+			r.cell = Cell{Combo: combo, X: prop}
+			if err := runCell(&r.cell, cfg, combo, intr, eur); err != nil {
+				return nil, err
+			}
+		}
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	perProp := make([]struct {
+		base  *Baseline
+		cells []*Cell
+	}, len(sweep.Proportions))
+	for pi, prop := range sweep.Proportions {
+		perProp[pi].base = &Baseline{X: prop}
+		perProp[pi].cells = make([]*Cell, len(Combos))
+		for ci, combo := range Combos {
+			perProp[pi].cells[ci] = &Cell{Combo: combo, X: prop}
+		}
+	}
+	for i, u := range units {
+		if u.combo < 0 {
+			perProp[u.ui].base.add(&results[i].base)
+		} else {
+			perProp[u.ui].cells[u.combo].add(&results[i].cell)
+		}
+	}
+	sweep.byKey = make(map[cellKey]*Cell, len(sweep.Proportions)*len(Combos))
+	for pi, prop := range sweep.Proportions {
+		perProp[pi].base.average(cfg.Reps)
+		sweep.Baselines[prop] = perProp[pi].base
+		for _, c := range perProp[pi].cells {
 			c.average(cfg.Reps)
+			sweep.byKey[cellKey{c.X, c.Combo}] = c
 		}
-		sweep.Baselines[prop] = base
-		sweep.Cells = append(sweep.Cells, cells...)
+		sweep.Cells = append(sweep.Cells, perProp[pi].cells...)
 	}
 	return sweep, nil
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"cosched/internal/cosched"
@@ -8,6 +9,7 @@ import (
 	"cosched/internal/job"
 	"cosched/internal/metasched"
 	"cosched/internal/metrics"
+	"cosched/internal/parallel"
 	"cosched/internal/reserve"
 	"cosched/internal/workload"
 )
@@ -34,94 +36,121 @@ type ReservationComparison struct {
 	Rows   []ReservationRow
 }
 
+// reservationSystems enumerates the compared coordination mechanisms in
+// table order. The coupled-simulator systems carry their scheme configs;
+// kind selects the simulator.
+var reservationSystems = []struct {
+	label string
+	kind  string // "cosched", "metasched", "reserve"
+	cc    func(cfg Config) (cosched.Config, cosched.Config)
+}{
+	// (a) uncoordinated baseline.
+	{"baseline", "cosched", func(Config) (cosched.Config, cosched.Config) {
+		return cosched.Config{}, cosched.Config{}
+	}},
+	// (b) coscheduling hold-yield; (c) yield-yield.
+	{"cosched(HY)", "cosched", func(cfg Config) (cosched.Config, cosched.Config) {
+		ci := cosched.DefaultConfig(cosched.Hold)
+		ce := cosched.DefaultConfig(cosched.Yield)
+		ci.ReleaseInterval, ce.ReleaseInterval = cfg.ReleaseInterval, cfg.ReleaseInterval
+		return ci, ce
+	}},
+	{"cosched(YY)", "cosched", func(cfg Config) (cosched.Config, cosched.Config) {
+		ci := cosched.DefaultConfig(cosched.Yield)
+		ce := cosched.DefaultConfig(cosched.Yield)
+		ci.ReleaseInterval, ce.ReleaseInterval = cfg.ReleaseInterval, cfg.ReleaseInterval
+		return ci, ce
+	}},
+	// (d) metascheduler: a single global portal owning both machines.
+	{"metascheduler", "metasched", nil},
+	// (e) advance co-reservation (HARC/GUR style).
+	{"co-reservation", "reserve", nil},
+}
+
 // RunReservationComparison runs the same paired workload (Intrepid at high
 // load, Eureka at medium, 10 % pairs) under (a) no coordination,
 // (b) coscheduling with hold-yield, (c) coscheduling with yield-yield,
 // (d) a metascheduler with a global submission portal (GridWay/Moab
 // style), and (e) the advance co-reservation baseline (HARC/GUR style).
+// Each (system, rep) cell builds its own traces from the rep seed and runs
+// on its own engine; cells fan out across Config.Parallelism workers and
+// merge back system-major, rep-ascending.
 func RunReservationComparison(cfg Config) (*ReservationComparison, error) {
 	cfg = cfg.normalized()
 	out := &ReservationComparison{Config: cfg}
 
-	build := func(seed uint64) (intr, eur []*job.Job, err error) {
-		intr, err = intrepidTrace(cfg, seed)
-		if err != nil {
-			return nil, nil, err
+	type resUnit struct {
+		sys, rep int
+	}
+	var units []resUnit
+	for si := range reservationSystems {
+		for rep := 0; rep < cfg.Reps; rep++ {
+			units = append(units, resUnit{si, rep})
 		}
-		eur, err = eurekaProportionTrace(cfg, seed+1, len(intr))
-		if err != nil {
-			return nil, nil, err
-		}
-		want := len(intr) / 10
-		workload.PairNearest(workload.NewRNG(seed+2),
-			workload.Eligible(intr, MaxPairedIntrepidNodes),
-			workload.Eligible(eur, MaxPairedEurekaNodes),
-			DomIntrepid, DomEureka, want, PairMaxGap)
-		return intr, eur, nil
 	}
 
-	runCosched := func(label string, cc func() (cosched.Config, cosched.Config)) error {
-		row := ReservationRow{System: label}
-		for rep := 0; rep < cfg.Reps; rep++ {
-			intr, eur, err := build(cfg.Seed + uint64(rep*613))
-			if err != nil {
-				return err
+	results, err := parallel.Map(context.Background(), cfg.workers(), len(units), func(i int) (*ReservationRow, error) {
+		u := units[i]
+		return runReservationRep(cfg, u.sys, u.rep)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for si, sys := range reservationSystems {
+		row := ReservationRow{System: sys.label}
+		for i, u := range units {
+			if u.sys == si {
+				row.add(results[i])
 			}
-			ci, ce := cc()
-			s, err := coupled.New(coupled.Options{Domains: []coupled.DomainConfig{
-				{Name: DomIntrepid, Nodes: IntrepidNodes, Backfilling: true, Cosched: ci, Trace: intr},
-				{Name: DomEureka, Nodes: EurekaNodes, Backfilling: true, Cosched: ce, Trace: eur},
-			}})
-			if err != nil {
-				return err
-			}
-			res := s.Run()
-			ri, re := res.Reports[DomIntrepid], res.Reports[DomEureka]
-			row.IntrepidWait += ri.Wait.Mean
-			row.EurekaWait += re.Wait.Mean
-			row.IntrepidUtil += ri.Utilization
-			row.EurekaUtil += re.Utilization
-			row.PairSync += (ri.PairedSync.Mean + re.PairedSync.Mean) / 2
-			row.LossNH += ri.LostNodeHours + re.LostNodeHours
-			row.Stuck += res.StuckJobs
-			row.CoStartViolations += res.CoStartViolations
 		}
 		scaleRow(&row, cfg.Reps)
 		out.Rows = append(out.Rows, row)
-		return nil
 	}
+	return out, nil
+}
 
-	// (a) uncoordinated baseline.
-	if err := runCosched("baseline", func() (cosched.Config, cosched.Config) {
-		return cosched.Config{}, cosched.Config{}
-	}); err != nil {
+// runReservationRep executes one rep of one compared system and returns
+// its unscaled (single-rep) row.
+func runReservationRep(cfg Config, si, rep int) (*ReservationRow, error) {
+	sys := reservationSystems[si]
+	seed := cfg.Seed + uint64(rep*613)
+	intr, err := intrepidTrace(cfg, seed)
+	if err != nil {
 		return nil, err
 	}
-	// (b) coscheduling hold-yield; (c) yield-yield.
-	if err := runCosched("cosched(HY)", func() (cosched.Config, cosched.Config) {
-		ci := cosched.DefaultConfig(cosched.Hold)
-		ce := cosched.DefaultConfig(cosched.Yield)
-		ci.ReleaseInterval, ce.ReleaseInterval = cfg.ReleaseInterval, cfg.ReleaseInterval
-		return ci, ce
-	}); err != nil {
+	eur, err := eurekaProportionTrace(cfg, seed+1, len(intr))
+	if err != nil {
 		return nil, err
 	}
-	if err := runCosched("cosched(YY)", func() (cosched.Config, cosched.Config) {
-		ci := cosched.DefaultConfig(cosched.Yield)
-		ce := cosched.DefaultConfig(cosched.Yield)
-		ci.ReleaseInterval, ce.ReleaseInterval = cfg.ReleaseInterval, cfg.ReleaseInterval
-		return ci, ce
-	}); err != nil {
-		return nil, err
-	}
+	want := len(intr) / 10
+	workload.PairNearest(workload.NewRNG(seed+2),
+		workload.Eligible(intr, MaxPairedIntrepidNodes),
+		workload.Eligible(eur, MaxPairedEurekaNodes),
+		DomIntrepid, DomEureka, want, PairMaxGap)
 
-	// (d) metascheduler: a single global portal owning both machines.
-	meta := ReservationRow{System: "metascheduler"}
-	for rep := 0; rep < cfg.Reps; rep++ {
-		intr, eur, err := build(cfg.Seed + uint64(rep*613))
+	row := &ReservationRow{System: sys.label}
+	switch sys.kind {
+	case "cosched":
+		ci, ce := sys.cc(cfg)
+		s, err := coupled.New(coupled.Options{Domains: []coupled.DomainConfig{
+			{Name: DomIntrepid, Nodes: IntrepidNodes, Backfilling: true, Cosched: ci, Trace: intr},
+			{Name: DomEureka, Nodes: EurekaNodes, Backfilling: true, Cosched: ce, Trace: eur},
+		}})
 		if err != nil {
 			return nil, err
 		}
+		res := s.Run()
+		ri, re := res.Reports[DomIntrepid], res.Reports[DomEureka]
+		row.IntrepidWait = ri.Wait.Mean
+		row.EurekaWait = re.Wait.Mean
+		row.IntrepidUtil = ri.Utilization
+		row.EurekaUtil = re.Utilization
+		row.PairSync = (ri.PairedSync.Mean + re.PairedSync.Mean) / 2
+		row.LossNH = ri.LostNodeHours + re.LostNodeHours
+		row.Stuck = res.StuckJobs
+		row.CoStartViolations = res.CoStartViolations
+	case "metasched":
 		tr := map[string][]*job.Job{DomIntrepid: intr, DomEureka: eur}
 		s, err := metasched.New(metasched.Options{Domains: []metasched.DomainConfig{
 			{Name: DomIntrepid, Nodes: IntrepidNodes, Trace: intr},
@@ -132,24 +161,14 @@ func RunReservationComparison(cfg Config) (*ReservationComparison, error) {
 		}
 		res := s.Run(tr)
 		ri, re := res.Reports[DomIntrepid], res.Reports[DomEureka]
-		meta.IntrepidWait += ri.Wait.Mean
-		meta.EurekaWait += re.Wait.Mean
-		meta.IntrepidUtil += ri.Utilization
-		meta.EurekaUtil += re.Utilization
-		meta.PairSync += (ri.PairedSync.Mean + re.PairedSync.Mean) / 2
-		meta.Stuck += res.StuckJobs
-		meta.CoStartViolations += res.CoStartViolations
-	}
-	scaleRow(&meta, cfg.Reps)
-	out.Rows = append(out.Rows, meta)
-
-	// (e) advance co-reservation.
-	row := ReservationRow{System: "co-reservation"}
-	for rep := 0; rep < cfg.Reps; rep++ {
-		intr, eur, err := build(cfg.Seed + uint64(rep*613))
-		if err != nil {
-			return nil, err
-		}
+		row.IntrepidWait = ri.Wait.Mean
+		row.EurekaWait = re.Wait.Mean
+		row.IntrepidUtil = ri.Utilization
+		row.EurekaUtil = re.Utilization
+		row.PairSync = (ri.PairedSync.Mean + re.PairedSync.Mean) / 2
+		row.Stuck = res.StuckJobs
+		row.CoStartViolations = res.CoStartViolations
+	case "reserve":
 		s, err := reserve.New(reserve.Options{Domains: []reserve.DomainConfig{
 			{Name: DomIntrepid, Nodes: IntrepidNodes, Trace: intr},
 			{Name: DomEureka, Nodes: EurekaNodes, Trace: eur},
@@ -159,17 +178,29 @@ func RunReservationComparison(cfg Config) (*ReservationComparison, error) {
 		}
 		res := s.Run()
 		ri, re := res.Reports[DomIntrepid], res.Reports[DomEureka]
-		row.IntrepidWait += ri.Wait.Mean
-		row.EurekaWait += re.Wait.Mean
-		row.IntrepidUtil += ri.Utilization
-		row.EurekaUtil += re.Utilization
-		row.PairSync += res.PairLatency.Mean
-		row.Stuck += res.StuckJobs
-		row.CoStartViolations += res.CoStartViolations
+		row.IntrepidWait = ri.Wait.Mean
+		row.EurekaWait = re.Wait.Mean
+		row.IntrepidUtil = ri.Utilization
+		row.EurekaUtil = re.Utilization
+		row.PairSync = res.PairLatency.Mean
+		row.Stuck = res.StuckJobs
+		row.CoStartViolations = res.CoStartViolations
+	default:
+		return nil, fmt.Errorf("experiments: unknown comparison system kind %q", sys.kind)
 	}
-	scaleRow(&row, cfg.Reps)
-	out.Rows = append(out.Rows, row)
-	return out, nil
+	return row, nil
+}
+
+// add accumulates one rep's row into r (see Cell.add).
+func (r *ReservationRow) add(o *ReservationRow) {
+	r.IntrepidWait += o.IntrepidWait
+	r.EurekaWait += o.EurekaWait
+	r.IntrepidUtil += o.IntrepidUtil
+	r.EurekaUtil += o.EurekaUtil
+	r.PairSync += o.PairSync
+	r.LossNH += o.LossNH
+	r.Stuck += o.Stuck
+	r.CoStartViolations += o.CoStartViolations
 }
 
 func scaleRow(r *ReservationRow, reps int) {

@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"cosched/internal/cosched"
 	"cosched/internal/coupled"
 	"cosched/internal/job"
 	"cosched/internal/metrics"
+	"cosched/internal/parallel"
 	"cosched/internal/sim"
 	"cosched/internal/workload"
 )
@@ -48,43 +50,60 @@ func (v *Validation) Passed() bool {
 
 // RunValidation executes the capability-validation grid: every scheme
 // combination × Eureka load × pair proportion, plus the deadlock
-// demonstration.
+// demonstration. Grid cells are independent (each regenerates its traces
+// from the (util, proportion) seed) and fan out across
+// Config.Parallelism workers; cases are collected in grid-index order.
 func RunValidation(cfg Config) (*Validation, error) {
 	cfg = cfg.normalized()
 	v := &Validation{}
 	utils := []float64{0.25, 0.50, 0.75}
 	props := []float64{0.05, 0.10}
-	for ui, util := range utils {
-		for pi, prop := range props {
-			seed := cfg.Seed + uint64(ui*100+pi*10)
-			intr, err := intrepidTrace(cfg, seed)
-			if err != nil {
-				return nil, err
-			}
-			eur, err := eurekaTraceAtUtil(cfg, seed+1, util)
-			if err != nil {
-				return nil, err
-			}
-			rng := workload.NewRNG(seed + 2)
-			want := int(float64(len(intr))*prop + 0.5)
-			workload.PairNearest(rng,
-				workload.Eligible(intr, MaxPairedIntrepidNodes),
-				workload.Eligible(eur, MaxPairedEurekaNodes),
-				DomIntrepid, DomEureka, want, PairMaxGap)
-			for _, combo := range Combos {
-				vc := ValidationCase{Combo: combo, EurekaUtil: util, PairProp: prop}
-				cell := &Cell{Combo: combo, X: util}
-				if err := runCell(cell, cfg, combo, workload.Clone(intr), workload.Clone(eur)); err != nil {
-					return nil, err
-				}
-				vc.TotalJobs = len(intr) + len(eur)
-				vc.Completed = vc.TotalJobs - cell.Stuck
-				vc.CoStartViolations = cell.CoStartViol
-				vc.Deadlocked = cell.Stuck > 0
-				v.Cases = append(v.Cases, vc)
+
+	type gridUnit struct {
+		ui, pi, ci int
+	}
+	var units []gridUnit
+	for ui := range utils {
+		for pi := range props {
+			for ci := range Combos {
+				units = append(units, gridUnit{ui, pi, ci})
 			}
 		}
 	}
+
+	cases, err := parallel.Map(context.Background(), cfg.workers(), len(units), func(i int) (ValidationCase, error) {
+		u := units[i]
+		util, prop, combo := utils[u.ui], props[u.pi], Combos[u.ci]
+		vc := ValidationCase{Combo: combo, EurekaUtil: util, PairProp: prop}
+		seed := cfg.Seed + uint64(u.ui*100+u.pi*10)
+		intr, err := intrepidTrace(cfg, seed)
+		if err != nil {
+			return vc, err
+		}
+		eur, err := eurekaTraceAtUtil(cfg, seed+1, util)
+		if err != nil {
+			return vc, err
+		}
+		rng := workload.NewRNG(seed + 2)
+		want := int(float64(len(intr))*prop + 0.5)
+		workload.PairNearest(rng,
+			workload.Eligible(intr, MaxPairedIntrepidNodes),
+			workload.Eligible(eur, MaxPairedEurekaNodes),
+			DomIntrepid, DomEureka, want, PairMaxGap)
+		cell := &Cell{Combo: combo, X: util}
+		if err := runCell(cell, cfg, combo, intr, eur); err != nil {
+			return vc, err
+		}
+		vc.TotalJobs = len(intr) + len(eur)
+		vc.Completed = vc.TotalJobs - cell.Stuck
+		vc.CoStartViolations = cell.CoStartViol
+		vc.Deadlocked = cell.Stuck > 0
+		return vc, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	v.Cases = cases
 	v.DeadlockWithoutRelease = runFig2Scenario(0)
 	v.DeadlockWithRelease = runFig2Scenario(cfg.ReleaseInterval)
 	return v, nil

@@ -1,0 +1,126 @@
+// Package parallel provides the deterministic worker pool the experiment
+// sweeps fan their cells across.
+//
+// The pool executes n index-addressed tasks on a bounded number of
+// workers. Callers enumerate every cell of a sweep up front, run them via
+// Map or ForEach, and aggregate results **by index, never by completion
+// order** — Map already returns results in index order. Because each cell
+// derives its randomness from its own (point, rep) seed and owns its
+// private traces and engine, the output is bit-identical for every worker
+// count: parallelism changes only wall-clock time, never a table byte.
+//
+// Error handling mirrors the serial loop: the first failing index (lowest
+// index, not first in wall-clock time) determines the returned error, and
+// a failure cancels the context so in-flight cells can stop early and
+// queued cells never start.
+package parallel
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a parallelism setting: n <= 0 selects one worker per
+// core (GOMAXPROCS), anything else is returned unchanged. 1 reproduces
+// the serial path exactly (the calling goroutine runs every task inline).
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ForEach runs fn(ctx, i) for every i in [0, n) across at most
+// Workers(workers) goroutines and blocks until all started tasks return.
+//
+// Indexes are claimed from an atomic counter, so assignment to workers is
+// nondeterministic — callers must write any output into index-addressed
+// slots (or use Map, which does). When a task fails, the derived context
+// is canceled, tasks not yet started are skipped, and the error of the
+// lowest failing index is returned, matching what a serial loop over the
+// same tasks would have reported.
+func ForEach(ctx context.Context, workers, n int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+
+	if workers == 1 {
+		// Serial fast path: no goroutines, no cancellation plumbing beyond
+		// honoring an already-canceled context between tasks.
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(ctx, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	errs := make([]error, n)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if ctx.Err() != nil {
+					return
+				}
+				if err := fn(ctx, i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+					cancel()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if failed.Load() {
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+	}
+	// No task failed, so the derived context was never canceled by us; a
+	// non-nil error here means the parent was canceled and tasks were
+	// skipped — surface that rather than reporting partial work as success.
+	return ctx.Err()
+}
+
+// Map runs fn(i) for every i in [0, n) across at most Workers(workers)
+// goroutines and returns the results in index order. On error the slice is
+// nil and the error of the lowest failing index is returned.
+func Map[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(ctx, workers, n, func(_ context.Context, i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

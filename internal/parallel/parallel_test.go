@@ -1,0 +1,142 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersNormalization(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS = %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3) = %d", got)
+	}
+	if got := Workers(1); got != 1 {
+		t.Fatalf("Workers(1) = %d", got)
+	}
+	if got := Workers(7); got != 7 {
+		t.Fatalf("Workers(7) = %d", got)
+	}
+}
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		const n = 53
+		var hits [n]atomic.Int32
+		err := ForEach(context.Background(), workers, n, func(_ context.Context, i int) error {
+			hits[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(context.Background(), 4, 0, func(context.Context, int) error {
+		t.Fatal("fn called for n=0")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestForEachReturnsLowestFailingIndex checks the serial-equivalent error
+// rule: whichever worker fails first in wall-clock time, the reported
+// error is the one a serial loop would have hit.
+func TestForEachReturnsLowestFailingIndex(t *testing.T) {
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	for _, workers := range []int{1, 4} {
+		err := ForEach(context.Background(), workers, 16, func(_ context.Context, i int) error {
+			switch i {
+			case 3:
+				return errLow
+			case 11:
+				return errHigh
+			}
+			return nil
+		})
+		// With workers=1 index 11 never runs; either way index 3's error
+		// must win.
+		if !errors.Is(err, errLow) {
+			t.Fatalf("workers=%d: err = %v, want %v", workers, err, errLow)
+		}
+	}
+}
+
+func TestForEachCancelsRemainingWork(t *testing.T) {
+	var ran atomic.Int32
+	err := ForEach(context.Background(), 2, 1000, func(_ context.Context, i int) error {
+		ran.Add(1)
+		if i < 2 {
+			return fmt.Errorf("fail at %d", i)
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if got := ran.Load(); got >= 1000 {
+		t.Fatalf("cancellation did not skip any of the %d tasks", got)
+	}
+}
+
+func TestForEachHonorsParentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int32
+	err := ForEach(ctx, 4, 100, func(_ context.Context, i int) error {
+		ran.Add(1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got != 0 {
+		t.Fatalf("%d tasks ran under a canceled context", got)
+	}
+}
+
+func TestMapReturnsIndexOrderedResults(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		got, err := Map(context.Background(), workers, 40, func(i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: got[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapError(t *testing.T) {
+	boom := errors.New("boom")
+	got, err := Map(context.Background(), 4, 10, func(i int) (int, error) {
+		if i == 5 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if got != nil {
+		t.Fatalf("results = %v, want nil on error", got)
+	}
+}

@@ -33,17 +33,36 @@ type Policy interface {
 // coscheduling.
 type Boost func(j *job.Job) float64
 
+// scored pairs a job with its precomputed ordering key so the sort
+// comparator stays allocation- and hash-free.
+type scored struct {
+	j *job.Job
+	s float64
+}
+
+// Orderer sorts queues for scheduling while reusing its internal score and
+// output buffers across calls. Each resource manager owns one (they are
+// not safe for concurrent use), which removes the two per-iteration
+// allocations Order pays — significant once the experiment harness runs
+// many simulations at once and every engine sorts thousand-entry queues
+// each scheduling iteration.
+//
+// The slice returned by Order is valid only until the next Order call on
+// the same Orderer; callers that retain it must copy.
+type Orderer struct {
+	tmp []scored
+	out []*job.Job
+}
+
 // Order returns the queue sorted for scheduling: descending score (+boost),
 // ties by earlier submit time, then smaller ID. The input slice is not
-// modified. Scores are precomputed into a parallel slice so the comparator
-// stays allocation- and hash-free — Order runs on every scheduling
-// iteration over queues that reach thousands of entries under saturation.
-func Order(p Policy, q []*job.Job, now sim.Time, boost Boost) []*job.Job {
-	type scored struct {
-		j *job.Job
-		s float64
+// modified. The result is backed by the Orderer's reusable buffer.
+func (o *Orderer) Order(p Policy, q []*job.Job, now sim.Time, boost Boost) []*job.Job {
+	if cap(o.tmp) < len(q) {
+		o.tmp = make([]scored, len(q))
+		o.out = make([]*job.Job, len(q))
 	}
-	tmp := make([]scored, len(q))
+	tmp := o.tmp[:len(q)]
 	for i, j := range q {
 		s := p.Score(j, now)
 		if boost != nil {
@@ -62,11 +81,19 @@ func Order(p Policy, q []*job.Job, now sim.Time, boost Boost) []*job.Job {
 		}
 		return tmp[a].j.ID < tmp[b].j.ID
 	})
-	out := make([]*job.Job, len(q))
+	out := o.out[:len(q)]
 	for i := range tmp {
 		out[i] = tmp[i].j
+		tmp[i].j = nil // drop the reference so reused buffers don't pin jobs
 	}
 	return out
+}
+
+// Order is the allocating convenience form of Orderer.Order: the returned
+// slice is freshly allocated and safe to retain.
+func Order(p Policy, q []*job.Job, now sim.Time, boost Boost) []*job.Job {
+	var o Orderer
+	return o.Order(p, q, now, boost)
 }
 
 // FCFS is first-come-first-served: score is the negated submit time, so the

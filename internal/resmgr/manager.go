@@ -167,6 +167,12 @@ type Manager struct {
 	completed   int
 	cancelled   int
 	iterations  uint64
+
+	// ord and releasesBuf are reusable per-iteration buffers; Iterate runs
+	// on every queue/pool change, so allocating them fresh each time is a
+	// measurable share of a simulation's allocation bill.
+	ord         policy.Orderer
+	releasesBuf []backfill.Release
 }
 
 // New creates a Manager bound to engine eng.
@@ -422,9 +428,9 @@ func (m *Manager) Iterate(now sim.Time) {
 			break
 		}
 	}
-	ordered := policy.Order(m.pol, eligible, now, m.boost)
+	ordered := m.ord.Order(m.pol, eligible, now, m.boost)
 
-	releases := make([]backfill.Release, 0, len(m.running))
+	releases := m.releasesBuf[:0]
 	for id, re := range m.running {
 		j := m.jobs[id]
 		// Plan with the estimator's runtime; once a running job outlives
@@ -441,6 +447,7 @@ func (m *Manager) Iterate(now sim.Time) {
 			EndBy: endBy,
 		})
 	}
+	m.releasesBuf = releases[:0]
 
 	var plan []backfill.Decision
 	if m.bf == BackfillConservative {

@@ -125,8 +125,12 @@ type Engine struct {
 	running bool
 }
 
-// NewEngine returns an engine with the clock at time 0.
-func NewEngine() *Engine { return &Engine{} }
+// NewEngine returns an engine with the clock at time 0. The event heap is
+// preallocated: even small simulations queue hundreds of events, and the
+// doubling reallocations otherwise show up in every experiment cell.
+func NewEngine() *Engine {
+	return &Engine{queue: make(eventHeap, 0, 1024)}
+}
 
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
