@@ -10,3 +10,13 @@ go vet ./...
 go build ./...
 go test -race ./...
 go test -run=NONE -bench=Fig -benchtime=1x .
+
+# Scheduler-core gate: the reference and incremental cores must stay
+# byte-identical. The differential sweep tests rerun under -race (cells fan
+# out across goroutines), the smoke drives one Iterate per benchmark cell on
+# both cores and a tiny differential load sweep (fails on any table
+# mismatch), and the bench pass is a 1-iteration smoke of BenchmarkIterate.
+go test -race -run 'SchedCoreDifferential' ./internal/experiments ./internal/coupled
+go run ./cmd/experiments -schedsmoke -factor 0.05 -reps 1
+go test -run=NONE -bench=Iterate -benchtime=1x ./internal/resmgr
+go test -tags debug ./internal/backfill

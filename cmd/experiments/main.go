@@ -36,20 +36,38 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: validate, fig3..fig10, load, prop, reservation, nway, ablations, or all")
-		seed     = flag.Uint64("seed", 1, "workload random seed")
-		factor   = flag.Float64("factor", 1.0, "job-count scale factor (1.0 = paper scale)")
-		reps     = flag.Int("reps", 1, "repetitions per cell (paper used 10)")
-		svgDir   = flag.String("svg", "", "also render each figure as an SVG into this directory")
-		par      = flag.Int("parallel", 0, "sweep-cell workers: 0 = one per core, 1 = serial, N = at most N")
-		benchOut = flag.String("benchout", "", "time the load sweep serial vs parallel, verify byte-identical tables, and write a JSON perf record to this path")
+		exp           = flag.String("exp", "all", "experiment: validate, fig3..fig10, load, prop, reservation, nway, ablations, or all")
+		seed          = flag.Uint64("seed", 1, "workload random seed")
+		factor        = flag.Float64("factor", 1.0, "job-count scale factor (1.0 = paper scale)")
+		reps          = flag.Int("reps", 1, "repetitions per cell (paper used 10)")
+		svgDir        = flag.String("svg", "", "also render each figure as an SVG into this directory")
+		par           = flag.Int("parallel", 0, "sweep-cell workers: 0 = one per core, 1 = serial, N = at most N")
+		benchOut      = flag.String("benchout", "", "time the load sweep serial vs parallel, verify byte-identical tables, and write a JSON perf record to this path")
+		schedCore     = flag.String("schedcore", "", "scheduler core: incremental (default) or reference")
+		schedBenchOut = flag.String("schedbench", "", "benchmark the scheduler core (reference vs incremental) and write a JSON perf record to this path")
+		schedSmoke    = flag.Bool("schedsmoke", false, "run a tiny load sweep under both scheduler cores and fail unless the rendered tables are byte-identical")
 	)
 	flag.Parse()
 
 	cfg := experiments.DefaultConfig(*seed, *factor)
 	cfg.Reps = *reps
 	cfg.Parallelism = *par
+	cfg.SchedCore = *schedCore
 
+	if *schedSmoke {
+		if err := runSchedSmoke(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: schedsmoke: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *schedBenchOut != "" {
+		if err := runSchedBench(cfg, *schedBenchOut); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: schedbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *benchOut != "" {
 		if err := runParBench(cfg, *benchOut); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: benchout: %v\n", err)

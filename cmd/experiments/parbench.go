@@ -115,6 +115,12 @@ func renderLoadTables(s *experiments.LoadSweep) string {
 // writeParBench merges rec into any existing JSON at path, preserving
 // unknown keys (e.g. the hand-maintained alloc_benchmarks section).
 func writeParBench(path string, rec parBenchRecord) error {
+	return writeBenchJSON(path, rec)
+}
+
+// writeBenchJSON merges a record into any existing JSON file at path,
+// preserving keys the record does not set.
+func writeBenchJSON(path string, rec any) error {
 	merged := map[string]any{}
 	if old, err := os.ReadFile(path); err == nil {
 		_ = json.Unmarshal(old, &merged) // a malformed file is overwritten

@@ -1,0 +1,196 @@
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"cosched/internal/experiments"
+	"cosched/internal/resmgr"
+	"cosched/internal/schedbench"
+)
+
+// schedBenchRow is one Iterate microbenchmark measurement.
+type schedBenchRow struct {
+	Scenario    string  `json:"scenario"` // "steady" | "churn"
+	Core        string  `json:"core"`
+	Queue       int     `json:"queue"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"b_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// schedBenchRecord is the BENCH_sched.json schema. Like parBenchRecord it is
+// merged over any existing file, preserving unknown keys.
+type schedBenchRecord struct {
+	PoolNodes  int             `json:"pool_nodes"`
+	GoMaxProcs int             `json:"go_maxprocs"`
+	JobFactor  float64         `json:"job_factor"`
+	Reps       int             `json:"reps"`
+	Iterate    []schedBenchRow `json:"iterate_benchmarks"`
+	// Speedup4kSteady is reference ns/op ÷ incremental ns/op on the
+	// steady-state 4k-queue cell (the acceptance threshold is ≥ 1.5).
+	Speedup4kSteady float64 `json:"speedup_4k_steady"`
+	// IncrementalSteadyZeroAlloc reports allocs/op == 0 on every
+	// incremental steady-state cell.
+	IncrementalSteadyZeroAlloc bool `json:"incremental_steady_zero_alloc"`
+
+	// End-to-end: the Figures 3–6 load sweep under each core.
+	ReferenceSeconds       float64 `json:"reference_seconds"`
+	IncrementalSeconds     float64 `json:"incremental_seconds"`
+	ReferenceCellsPerSec   float64 `json:"reference_cells_per_sec"`
+	IncrementalCellsPerSec float64 `json:"incremental_cells_per_sec"`
+	EndToEndSpeedup        float64 `json:"end_to_end_speedup"`
+	TablesIdentical        bool    `json:"tables_byte_identical"`
+}
+
+// benchIterate measures b.N scheduling iterations against the shared
+// schedbench scenario at the given queue depth.
+func benchIterate(core resmgr.Core, queue int, churn bool) testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		eng, m, blocked, nextID := schedbench.Steady(core, queue)
+		now := eng.Now()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if churn {
+				k := i % len(blocked)
+				blocked[k], nextID = schedbench.Churn(m, blocked[k], nextID)
+			}
+			m.Iterate(now)
+		}
+	})
+}
+
+// runSchedBench measures the scheduler cores against each other — the
+// Iterate microbenchmarks at every queue depth plus the end-to-end load
+// sweep — verifies the cores' rendered tables match byte-for-byte, and
+// writes BENCH_sched.json.
+func runSchedBench(cfg experiments.Config, path string) error {
+	fmt.Printf("=== scheduler core benchmark (pool %d nodes) ===\n", schedbench.PoolNodes)
+	rec := schedBenchRecord{
+		PoolNodes:  schedbench.PoolNodes,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		JobFactor:  cfg.JobFactor,
+		Reps:       cfg.Reps,
+	}
+
+	var ref4k, inc4k float64
+	rec.IncrementalSteadyZeroAlloc = true
+	for _, scenario := range []string{"steady", "churn"} {
+		for _, queue := range schedbench.QueueSizes {
+			for _, core := range []resmgr.Core{resmgr.CoreReference, resmgr.CoreIncremental} {
+				r := benchIterate(core, queue, scenario == "churn")
+				row := schedBenchRow{
+					Scenario:    scenario,
+					Core:        core.String(),
+					Queue:       queue,
+					NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+					BytesPerOp:  r.AllocedBytesPerOp(),
+					AllocsPerOp: r.AllocsPerOp(),
+				}
+				rec.Iterate = append(rec.Iterate, row)
+				fmt.Printf("Iterate/%s/%s/queue%-5d  %12.1f ns/op  %6d B/op  %4d allocs/op\n",
+					scenario, row.Core, queue, row.NsPerOp, row.BytesPerOp, row.AllocsPerOp)
+				if scenario == "steady" {
+					if queue == 4000 {
+						if core == resmgr.CoreReference {
+							ref4k = row.NsPerOp
+						} else {
+							inc4k = row.NsPerOp
+						}
+					}
+					if core == resmgr.CoreIncremental && row.AllocsPerOp != 0 {
+						rec.IncrementalSteadyZeroAlloc = false
+					}
+				}
+			}
+		}
+	}
+	if inc4k > 0 {
+		rec.Speedup4kSteady = ref4k / inc4k
+	}
+	fmt.Printf("steady 4k-queue speedup: %.2fx; incremental steady allocs zero: %v\n",
+		rec.Speedup4kSteady, rec.IncrementalSteadyZeroAlloc)
+
+	refSweep, refTables, refDur, err := timedLoadSweep(cfg, "reference")
+	if err != nil {
+		return err
+	}
+	_, incTables, incDur, err := timedLoadSweep(cfg, "incremental")
+	if err != nil {
+		return err
+	}
+	sweepCells := len(refSweep.Utils) * (len(experiments.Combos) + 1) * refSweep.Config.Reps
+	rec.ReferenceSeconds = refDur.Seconds()
+	rec.IncrementalSeconds = incDur.Seconds()
+	rec.ReferenceCellsPerSec = float64(sweepCells) / refDur.Seconds()
+	rec.IncrementalCellsPerSec = float64(sweepCells) / incDur.Seconds()
+	rec.EndToEndSpeedup = refDur.Seconds() / incDur.Seconds()
+	rec.TablesIdentical = refTables == incTables
+	fmt.Printf("load sweep: reference %v, incremental %v (%.2fx, %d cells), tables identical: %v\n",
+		refDur.Round(time.Millisecond), incDur.Round(time.Millisecond),
+		rec.EndToEndSpeedup, sweepCells, rec.TablesIdentical)
+
+	if err := writeSchedBench(path, rec); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	if !rec.TablesIdentical {
+		return fmt.Errorf("scheduler cores disagree: rendered load-sweep tables differ")
+	}
+	return nil
+}
+
+// runSchedSmoke is the CI gate: one Iterate per (scenario, core, queue) cell
+// to catch crashes in a single iteration, then the load sweep under both
+// cores at the configured factor, failing unless the rendered tables are
+// byte-identical.
+func runSchedSmoke(cfg experiments.Config) error {
+	fmt.Println("=== scheduler core smoke (1 iteration per cell, then differential sweep) ===")
+	for _, churn := range []bool{false, true} {
+		for _, queue := range schedbench.QueueSizes {
+			for _, core := range []resmgr.Core{resmgr.CoreReference, resmgr.CoreIncremental} {
+				eng, m, blocked, nextID := schedbench.Steady(core, queue)
+				if churn {
+					blocked[0], nextID = schedbench.Churn(m, blocked[0], nextID)
+				}
+				m.Iterate(eng.Now())
+			}
+		}
+	}
+	fmt.Println("microbenchmark cells: ok")
+
+	_, refTables, _, err := timedLoadSweep(cfg, "reference")
+	if err != nil {
+		return err
+	}
+	_, incTables, _, err := timedLoadSweep(cfg, "incremental")
+	if err != nil {
+		return err
+	}
+	if refTables != incTables {
+		return fmt.Errorf("scheduler cores disagree: rendered load-sweep tables differ")
+	}
+	fmt.Println("differential load sweep: tables byte-identical across cores")
+	return nil
+}
+
+// timedLoadSweep runs the Figures 3–6 load sweep under the named scheduler
+// core and returns the sweep, its rendered tables, and wall-clock duration.
+func timedLoadSweep(cfg experiments.Config, core string) (*experiments.LoadSweep, string, time.Duration, error) {
+	cfg.SchedCore = core
+	start := time.Now()
+	sweep, err := experiments.RunLoadSweep(cfg)
+	if err != nil {
+		return nil, "", 0, fmt.Errorf("load sweep (%s core): %w", core, err)
+	}
+	return sweep, renderLoadTables(sweep), time.Since(start), nil
+}
+
+// writeSchedBench merges rec into any existing JSON at path (see
+// writeParBench).
+func writeSchedBench(path string, rec schedBenchRecord) error {
+	return writeBenchJSON(path, rec)
+}

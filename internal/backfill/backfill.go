@@ -27,6 +27,34 @@ type Release struct {
 	EndBy sim.Time
 }
 
+// SortReleases sorts rel in place into the canonical planner order:
+// ascending EndBy, ties by ascending Nodes. Every planner entry point
+// (Plan, PlanInto, PlanConservative) requires its releases argument to
+// already be in this order — the resource manager maintains a persistently
+// sorted timeline, so the planners no longer copy and re-sort on each of
+// the tens of thousands of calls a simulated trace makes. Ad-hoc callers
+// with an unordered list must call SortReleases first.
+func SortReleases(rel []Release) {
+	sort.Slice(rel, func(a, b int) bool {
+		if rel[a].EndBy != rel[b].EndBy {
+			return rel[a].EndBy < rel[b].EndBy
+		}
+		return rel[a].Nodes < rel[b].Nodes
+	})
+}
+
+// ReleasesSorted reports whether rel is in the canonical order required by
+// the planners (ascending EndBy, ties by ascending Nodes).
+func ReleasesSorted(rel []Release) bool {
+	for i := 1; i < len(rel); i++ {
+		if rel[i].EndBy < rel[i-1].EndBy ||
+			(rel[i].EndBy == rel[i-1].EndBy && rel[i].Nodes < rel[i-1].Nodes) {
+			return false
+		}
+	}
+	return true
+}
+
 // ChargeFunc maps a job's requested nodes to the nodes actually consumed
 // (partition rounding). cluster.Pool.ChargeFor satisfies it.
 type ChargeFunc func(int) int
@@ -50,7 +78,8 @@ type Decision struct {
 }
 
 // Plan returns the jobs from ordered (a queue already sorted by descending
-// priority) that may start at time now, in start order.
+// priority) that may start at time now, in start order. releases must be in
+// the canonical sorted order (see SortReleases).
 //
 // With backfilling disabled the plan is the strict prefix of the queue that
 // fits. With it enabled, the first non-fitting job gets a shadow-time
@@ -58,16 +87,30 @@ type Decision struct {
 // Only the single highest-priority blocked job is protected (classic EASY);
 // subsequent blocked jobs may be overtaken.
 func Plan(ordered []*job.Job, free int, charge ChargeFunc, releases []Release, now sim.Time, backfilling bool, estimate EstimateFunc) []Decision {
+	return PlanInto(nil, ordered, free, charge, releases, now, backfilling, estimate)
+}
+
+// PlanInto is Plan with caller-owned result storage: the plan is built in
+// dst[:0] (growing it only when the queue outsizes its capacity) and
+// returned. The resource manager passes the same buffer every scheduling
+// iteration, making the EASY planner allocation-free at steady state. The
+// returned slice aliases dst; it is valid until the next PlanInto call that
+// reuses the buffer.
+func PlanInto(dst []Decision, ordered []*job.Job, free int, charge ChargeFunc, releases []Release, now sim.Time, backfilling bool, estimate EstimateFunc) []Decision {
+	assertReleasesSorted(releases)
 	if charge == nil {
 		charge = func(n int) int { return n }
 	}
 	if estimate == nil {
 		estimate = func(j *job.Job) sim.Duration { return j.Walltime }
 	}
-	// One up-front allocation sized to the queue: the plan can never hold
-	// more decisions than there are queued jobs, and the append-growth
-	// reallocations this replaces ran on every scheduling iteration.
-	plan := make([]Decision, 0, len(ordered))
+	// The plan can never hold more decisions than there are queued jobs, so
+	// one up-front growth (amortised away entirely when dst is reused)
+	// replaces append reallocations on every scheduling iteration.
+	plan := dst[:0]
+	if cap(plan) < len(ordered) {
+		plan = make([]Decision, 0, len(ordered))
+	}
 	avail := free
 
 	i := 0
@@ -116,29 +159,25 @@ func Plan(ordered []*job.Job, free int, charge ChargeFunc, releases []Release, n
 
 // reservation computes the shadow time (earliest instant avail plus future
 // releases reaches need) and the extra nodes spare at that instant after
-// reserving need. When the releases can never satisfy need (e.g. held nodes
-// block it), shadow is +inf represented by math.MaxInt64 and extra is the
-// nodes currently available (backfill then only requires fitting now).
+// reserving need. releases must already be in canonical sorted order — the
+// callers own a persistently sorted timeline, so the per-call copy and
+// sort this loop used to pay are gone. When the releases can never satisfy
+// need (e.g. held nodes block it), shadow is +inf represented by
+// math.MaxInt64 and extra is the nodes currently available (backfill then
+// only requires fitting now).
 func reservation(avail, need int, releases []Release, now sim.Time) (shadow sim.Time, extra int) {
 	if need <= avail {
 		return now, avail - need
 	}
-	rel := append([]Release(nil), releases...)
-	sort.Slice(rel, func(a, b int) bool {
-		if rel[a].EndBy != rel[b].EndBy {
-			return rel[a].EndBy < rel[b].EndBy
-		}
-		return rel[a].Nodes < rel[b].Nodes
-	})
 	acc := avail
-	for i, r := range rel {
+	for i, r := range releases {
 		acc += r.Nodes
 		if acc >= need {
 			// Everything releasing at the same instant frees together:
 			// absorb the rest of the equal-EndBy run so `extra` doesn't
 			// depend on the order equal-time releases were listed in.
-			for k := i + 1; k < len(rel) && rel[k].EndBy == r.EndBy; k++ {
-				acc += rel[k].Nodes
+			for k := i + 1; k < len(releases) && releases[k].EndBy == r.EndBy; k++ {
+				acc += releases[k].Nodes
 			}
 			return maxTime(r.EndBy, now), acc - need
 		}

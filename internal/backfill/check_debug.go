@@ -1,0 +1,14 @@
+//go:build debug
+
+package backfill
+
+// assertReleasesSorted enforces the planners' sortedness contract in debug
+// builds (`go test -tags debug ./...`): a caller handing over an unordered
+// timeline is a bug in the resource manager's incremental maintenance, and
+// silently mis-sorted input would produce a wrong shadow time rather than
+// an error. Release builds compile this to a no-op (check_release.go).
+func assertReleasesSorted(rel []Release) {
+	if !ReleasesSorted(rel) {
+		panic("backfill: releases violate the canonical sorted order (EndBy asc, Nodes asc) — caller must maintain or SortReleases first")
+	}
+}

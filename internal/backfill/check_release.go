@@ -1,0 +1,7 @@
+//go:build !debug
+
+package backfill
+
+// assertReleasesSorted is compiled out unless the debug build tag is set;
+// see check_debug.go for the enforced contract.
+func assertReleasesSorted([]Release) {}

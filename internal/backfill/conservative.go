@@ -16,8 +16,22 @@ import (
 //
 // total is the machine size; free the currently idle nodes; releases the
 // bounded future releases of running jobs (held coscheduling allocations
-// must not be listed — their nodes are modelled as occupied indefinitely).
+// must not be listed — their nodes are modelled as occupied indefinitely),
+// in the canonical sorted order (see SortReleases). The timeline commits
+// below are order-independent, but the shared contract keeps the degraded
+// Plan fallback and the debug-build invariant uniform across planners.
 func PlanConservative(ordered []*job.Job, total, free int, charge ChargeFunc, releases []Release, now sim.Time, estimate EstimateFunc) []Decision {
+	return PlanConservativeInto(nil, ordered, total, free, charge, releases, now, estimate)
+}
+
+// PlanConservativeInto is PlanConservative with caller-owned result
+// storage, mirroring PlanInto: the returned plan is built in dst[:0] and
+// aliases it. The availability timeline itself is still rebuilt per call —
+// conservative reservations depend on every queued job, so there is no
+// cheap incremental form — but the per-iteration result allocation goes
+// away for managers that pass a reusable buffer.
+func PlanConservativeInto(dst []Decision, ordered []*job.Job, total, free int, charge ChargeFunc, releases []Release, now sim.Time, estimate EstimateFunc) []Decision {
+	assertReleasesSorted(releases)
 	if charge == nil {
 		charge = func(n int) int { return n }
 	}
@@ -43,12 +57,12 @@ func PlanConservative(ordered []*job.Job, total, free int, charge ChargeFunc, re
 		if _, err := tl.Commit(now, dur, r.Nodes); err != nil {
 			// Inconsistent snapshot (more claimed than capacity):
 			// degrade to a strict priority-order prefix.
-			return Plan(ordered, free, charge, nil, now, false, estimate)
+			return PlanInto(dst, ordered, free, charge, nil, now, false, estimate)
 		}
 	}
 	if neverFree := total - free - releasing; neverFree > 0 {
 		if _, err := tl.Commit(now, sim.Duration(profile.Infinity-now), neverFree); err != nil {
-			return Plan(ordered, free, charge, nil, now, false, estimate)
+			return PlanInto(dst, ordered, free, charge, nil, now, false, estimate)
 		}
 	}
 
@@ -84,7 +98,10 @@ func PlanConservative(ordered []*job.Job, total, free int, charge ChargeFunc, re
 	// reservation placed): a start may hold only if occupying its nodes
 	// past its own window essentially forever cannot touch any
 	// reservation.
-	plan := make([]Decision, 0, len(starts))
+	plan := dst[:0]
+	if cap(plan) < len(starts) {
+		plan = make([]Decision, 0, len(starts))
+	}
 	for _, cand := range starts {
 		holdSafe := tl.CanCommit(saturate(now, cand.dur), sim.Duration(profile.Infinity/4), cand.c)
 		plan = append(plan, Decision{Job: cand.j, HoldSafe: holdSafe})

@@ -1,0 +1,95 @@
+package backfill
+
+import (
+	"testing"
+
+	"cosched/internal/job"
+)
+
+func TestSortReleasesCanonical(t *testing.T) {
+	rel := []Release{
+		{Nodes: 10, EndBy: 500},
+		{Nodes: 5, EndBy: 100},
+		{Nodes: 7, EndBy: 100},
+		{Nodes: 3, EndBy: 500},
+	}
+	SortReleases(rel)
+	want := []Release{
+		{Nodes: 5, EndBy: 100},
+		{Nodes: 7, EndBy: 100},
+		{Nodes: 3, EndBy: 500},
+		{Nodes: 10, EndBy: 500},
+	}
+	for i := range want {
+		if rel[i] != want[i] {
+			t.Fatalf("SortReleases = %v, want %v", rel, want)
+		}
+	}
+	if !ReleasesSorted(rel) {
+		t.Fatal("ReleasesSorted rejects SortReleases output")
+	}
+}
+
+func TestReleasesSorted(t *testing.T) {
+	cases := []struct {
+		rel  []Release
+		want bool
+	}{
+		{nil, true},
+		{[]Release{{Nodes: 4, EndBy: 10}}, true},
+		{[]Release{{Nodes: 4, EndBy: 10}, {Nodes: 4, EndBy: 10}}, true},
+		{[]Release{{Nodes: 4, EndBy: 10}, {Nodes: 6, EndBy: 10}}, true},
+		{[]Release{{Nodes: 6, EndBy: 10}, {Nodes: 4, EndBy: 10}}, false},
+		{[]Release{{Nodes: 4, EndBy: 20}, {Nodes: 9, EndBy: 10}}, false},
+	}
+	for _, c := range cases {
+		if got := ReleasesSorted(c.rel); got != c.want {
+			t.Errorf("ReleasesSorted(%v) = %v, want %v", c.rel, got, c.want)
+		}
+	}
+}
+
+// PlanInto must build its result in the caller's buffer and, once the
+// buffer has grown to the queue size, plan without allocating — the
+// planner's contribution to the incremental core's zero-alloc steady
+// state.
+func TestPlanIntoReusesBufferWithoutAllocating(t *testing.T) {
+	q := []*job.Job{
+		job.New(1, 40, 0, 600, 600),
+		job.New(2, 80, 1, 600, 600), // blocked: 40+80 > 100
+		job.New(3, 10, 2, 100, 100), // backfills ahead of the shadow
+	}
+	rel := []Release{{Nodes: 40, EndBy: 700}}
+	buf := make([]Decision, 0, len(q))
+	got := PlanInto(buf, q, 100, nil, rel, 0, true, nil)
+	if len(got) != 2 || got[0].Job.ID != 1 || got[1].Job.ID != 3 {
+		t.Fatalf("plan = %v, want jobs [1 3]", idsOf(got))
+	}
+	if &got[0] != &buf[:1][0] {
+		t.Fatal("PlanInto did not build the plan in the caller's buffer")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		PlanInto(buf, q, 100, nil, rel, 0, true, nil)
+	})
+	if allocs != 0 {
+		t.Fatalf("PlanInto with a sized buffer allocated %.0f times per run, want 0", allocs)
+	}
+}
+
+// Same contract for the conservative planner's result slice (its internal
+// availability timeline still allocates; only the returned plan is
+// caller-owned).
+func TestPlanConservativeIntoReusesBuffer(t *testing.T) {
+	q := []*job.Job{
+		job.New(1, 40, 0, 600, 600),
+		job.New(2, 30, 1, 600, 600),
+	}
+	buf := make([]Decision, 0, len(q))
+	got := PlanConservativeInto(buf, q, 100, 100, nil, nil, 0, nil)
+	if len(got) != 2 {
+		t.Fatalf("plan = %v, want both jobs", idsOf(got))
+	}
+	if &got[0] != &buf[:1][0] {
+		t.Fatal("PlanConservativeInto did not build the plan in the caller's buffer")
+	}
+}

@@ -48,6 +48,11 @@ type DomainConfig struct {
 	// Estimator names the backfill planning-runtime source: "walltime"
 	// (default) or "user-average" (Tsafrir-style prediction).
 	Estimator string
+	// SchedCore names the resource manager's scheduling core:
+	// "incremental" (default) or "reference" (the original
+	// allocate-and-sort path, kept for differential testing). Both must
+	// produce byte-identical results.
+	SchedCore string
 	// Cosched is the domain's coscheduling configuration.
 	Cosched cosched.Config
 	// Trace is the domain's workload, sorted by submit time. Jobs are
@@ -145,6 +150,10 @@ func New(opt Options) (*Sim, error) {
 		if !ok {
 			return nil, fmt.Errorf("coupled: domain %q: unknown backfill mode %q", dc.Name, dc.BackfillMode)
 		}
+		core, ok := resmgr.ParseCore(dc.SchedCore)
+		if !ok {
+			return nil, fmt.Errorf("coupled: domain %q: unknown sched core %q", dc.Name, dc.SchedCore)
+		}
 		var pool *cluster.Pool
 		if dc.MinPartition > 0 {
 			pool = cluster.NewPartitioned(dc.Name, dc.Nodes, dc.MinPartition)
@@ -164,6 +173,7 @@ func New(opt Options) (*Sim, error) {
 			Estimator:   est,
 			Cosched:     dc.Cosched,
 			Observer:    obs,
+			Core:        core,
 		})
 		s.managers[dc.Name] = m
 		s.order = append(s.order, dc.Name)
@@ -189,10 +199,15 @@ func New(opt Options) (*Sim, error) {
 		}
 	}
 
-	// Schedule submissions and derive the default horizon.
+	// Schedule submissions and derive the default horizon. Domains are
+	// walked in declaration order, not map order: scheduling assigns the
+	// engine sequence numbers that break ties between same-instant events
+	// across domains, so a random walk here would make whole simulations
+	// differ from run to run.
 	var lastSubmit sim.Time
 	var maxRuntime sim.Duration
-	for name, tr := range s.traces {
+	for _, name := range s.order {
+		tr := s.traces[name]
 		m := s.managers[name]
 		for _, j := range tr {
 			if j.Nodes > m.Pool().Total() {

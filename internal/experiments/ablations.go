@@ -132,10 +132,10 @@ func RunAblations(cfg Config) (*Ablations, error) {
 		s, err := coupled.New(coupled.Options{Domains: []coupled.DomainConfig{
 			{Name: DomIntrepid, Nodes: IntrepidNodes, Backfilling: true,
 				BackfillMode: setup.backfillMode, Estimator: setup.estimator,
-				Cosched: setup.intrepid, Trace: intr},
+				Cosched: setup.intrepid, Trace: intr, SchedCore: cfg.SchedCore},
 			{Name: DomEureka, Nodes: EurekaNodes, Backfilling: true,
 				BackfillMode: setup.backfillMode, Estimator: setup.estimator,
-				Cosched: setup.eureka, Trace: eur},
+				Cosched: setup.eureka, Trace: eur, SchedCore: cfg.SchedCore},
 		}})
 		if err != nil {
 			return nil, err

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+)
+
+// propFingerprint renders every cell metric of a proportion sweep in %x so
+// run-to-run comparisons are exact, not rounded.
+func propFingerprint(s *ProportionSweep) []string {
+	var out []string
+	for _, prop := range s.Proportions {
+		b := s.Baselines[prop]
+		out = append(out, fmt.Sprintf("base %v iw=%x ew=%x isd=%x esd=%x iu=%x eu=%x",
+			prop, b.IntrepidWait, b.EurekaWait, b.IntrepidSlowdown, b.EurekaSlowdown, b.IntrepidUtil, b.EurekaUtil))
+		for _, combo := range Combos {
+			c := s.Cell(prop, combo)
+			out = append(out, fmt.Sprintf("cell %v %s iw=%x ew=%x isd=%x esd=%x isy=%x esy=%x ilnh=%x elnh=%x stuck=%d viol=%d paired=%d",
+				prop, combo.Label(), c.IntrepidWait, c.EurekaWait, c.IntrepidSlowdown, c.EurekaSlowdown,
+				c.IntrepidSync, c.EurekaSync, c.IntrepidLossNH, c.EurekaLossNH, c.Stuck, c.CoStartViol, c.PairedJobs))
+		}
+	}
+	return out
+}
+
+// TestProportionSweepRunToRunDeterminism re-runs the proportion sweep in
+// one process and requires bit-identical cells. Every repeat rebuilds all
+// maps (fresh hash seeds), so any result that leaks map iteration order
+// into the simulation — e.g. scheduling submissions by ranging over the
+// domain map, which assigns the sequence numbers that break same-instant
+// event ties — flips here within a round or two.
+func TestProportionSweepRunToRunDeterminism(t *testing.T) {
+	cfg := Config{Seed: 7, JobFactor: 0.1, Reps: 1, Parallelism: 8}
+	first, err := RunProportionSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := propFingerprint(first)
+	for round := 0; round < 2; round++ {
+		s, err := RunProportionSweep(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := propFingerprint(s)
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Errorf("round %d line %d:\n  first %s\n  now   %s", round, i, ref[i], got[i])
+			}
+		}
+		if t.Failed() {
+			return
+		}
+	}
+}

@@ -89,6 +89,12 @@ type Config struct {
 	// default here (1.0); the threshold is exercised by the ablation
 	// bench.
 	MaxHeldFraction float64
+	// SchedCore names the resource manager scheduling core forwarded to
+	// every simulated domain: "" or "incremental" for the default
+	// incremental core, "reference" for the original allocate-and-sort
+	// path. Both must produce byte-identical tables; the differential
+	// tests assert it.
+	SchedCore string
 	// Parallelism caps how many sweep cells execute concurrently: 0 uses
 	// one worker per core (GOMAXPROCS), 1 reproduces the serial path, and
 	// N > 1 uses min(N, cells) workers. Every cell owns a private engine
@@ -247,8 +253,8 @@ func runCell(c *Cell, cfg Config, combo Combo, intrepid, eureka []*job.Job) erro
 	eurCfg.MaxHeldFraction = cfg.MaxHeldFraction
 
 	s, err := coupled.New(coupled.Options{Domains: []coupled.DomainConfig{
-		{Name: DomIntrepid, Nodes: IntrepidNodes, Backfilling: true, Cosched: intrCfg, Trace: intrepid},
-		{Name: DomEureka, Nodes: EurekaNodes, Backfilling: true, Cosched: eurCfg, Trace: eureka},
+		{Name: DomIntrepid, Nodes: IntrepidNodes, Backfilling: true, Cosched: intrCfg, Trace: intrepid, SchedCore: cfg.SchedCore},
+		{Name: DomEureka, Nodes: EurekaNodes, Backfilling: true, Cosched: eurCfg, Trace: eureka, SchedCore: cfg.SchedCore},
 	}})
 	if err != nil {
 		return err
@@ -311,10 +317,10 @@ func (c *Cell) average(reps int) {
 }
 
 // runBaseline executes the no-coscheduling reference for one trace pair.
-func runBaseline(b *Baseline, intrepid, eureka []*job.Job) error {
+func runBaseline(b *Baseline, cfg Config, intrepid, eureka []*job.Job) error {
 	s, err := coupled.New(coupled.Options{Domains: []coupled.DomainConfig{
-		{Name: DomIntrepid, Nodes: IntrepidNodes, Backfilling: true, Trace: intrepid},
-		{Name: DomEureka, Nodes: EurekaNodes, Backfilling: true, Trace: eureka},
+		{Name: DomIntrepid, Nodes: IntrepidNodes, Backfilling: true, Trace: intrepid, SchedCore: cfg.SchedCore},
+		{Name: DomEureka, Nodes: EurekaNodes, Backfilling: true, Trace: eureka, SchedCore: cfg.SchedCore},
 	}})
 	if err != nil {
 		return err

@@ -102,7 +102,7 @@ func RunLoadSweep(cfg Config) (*LoadSweep, error) {
 		if u.combo < 0 {
 			r.base = Baseline{X: util}
 			r.frac = frac
-			if err := runBaseline(&r.base, intr, eur); err != nil {
+			if err := runBaseline(&r.base, cfg, intr, eur); err != nil {
 				return nil, err
 			}
 		} else {

@@ -169,7 +169,7 @@ func runNWayCell(cfg Config, width int, scheme cosched.Scheme) (*NWayRow, error)
 	for i, d := range nwayDomains {
 		dcs = append(dcs, coupled.DomainConfig{
 			Name: d.name, Nodes: d.nodes, Backfilling: true,
-			Cosched: cc, Trace: traces[i],
+			Cosched: cc, Trace: traces[i], SchedCore: cfg.SchedCore,
 		})
 	}
 	s, err := coupled.New(coupled.Options{Domains: dcs})

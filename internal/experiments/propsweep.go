@@ -80,7 +80,7 @@ func RunProportionSweep(cfg Config) (*ProportionSweep, error) {
 		r := &loadResult{}
 		if u.combo < 0 {
 			r.base = Baseline{X: prop}
-			if err := runBaseline(&r.base, intr, eur); err != nil {
+			if err := runBaseline(&r.base, cfg, intr, eur); err != nil {
 				return nil, err
 			}
 		} else {

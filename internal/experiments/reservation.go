@@ -134,8 +134,8 @@ func runReservationRep(cfg Config, si, rep int) (*ReservationRow, error) {
 	case "cosched":
 		ci, ce := sys.cc(cfg)
 		s, err := coupled.New(coupled.Options{Domains: []coupled.DomainConfig{
-			{Name: DomIntrepid, Nodes: IntrepidNodes, Backfilling: true, Cosched: ci, Trace: intr},
-			{Name: DomEureka, Nodes: EurekaNodes, Backfilling: true, Cosched: ce, Trace: eur},
+			{Name: DomIntrepid, Nodes: IntrepidNodes, Backfilling: true, Cosched: ci, Trace: intr, SchedCore: cfg.SchedCore},
+			{Name: DomEureka, Nodes: EurekaNodes, Backfilling: true, Cosched: ce, Trace: eur, SchedCore: cfg.SchedCore},
 		}})
 		if err != nil {
 			return nil, err

@@ -104,14 +104,14 @@ func RunValidation(cfg Config) (*Validation, error) {
 		return nil, err
 	}
 	v.Cases = cases
-	v.DeadlockWithoutRelease = runFig2Scenario(0)
-	v.DeadlockWithRelease = runFig2Scenario(cfg.ReleaseInterval)
+	v.DeadlockWithoutRelease = runFig2Scenario(cfg.SchedCore, 0)
+	v.DeadlockWithRelease = runFig2Scenario(cfg.SchedCore, cfg.ReleaseInterval)
 	return v, nil
 }
 
 // runFig2Scenario reproduces the paper's Figure 2 circular-wait scenario
 // and reports whether it deadlocked.
-func runFig2Scenario(release sim.Duration) bool {
+func runFig2Scenario(core string, release sim.Duration) bool {
 	a1 := job.New(1, 6, 0, 600, 600)
 	a2 := job.New(2, 6, 10, 600, 600)
 	b2 := job.New(2, 6, 0, 600, 600)
@@ -123,8 +123,8 @@ func runFig2Scenario(release sim.Duration) bool {
 	cfg := cosched.DefaultConfig(cosched.Hold)
 	cfg.ReleaseInterval = release
 	s, err := coupled.New(coupled.Options{Domains: []coupled.DomainConfig{
-		{Name: "A", Nodes: 6, Cosched: cfg, Trace: []*job.Job{a1, a2}},
-		{Name: "B", Nodes: 6, Cosched: cfg, Trace: []*job.Job{b2, b1}},
+		{Name: "A", Nodes: 6, Cosched: cfg, Trace: []*job.Job{a1, a2}, SchedCore: core},
+		{Name: "B", Nodes: 6, Cosched: cfg, Trace: []*job.Job{b2, b1}, SchedCore: core},
 	}})
 	if err != nil {
 		panic(fmt.Sprintf("experiments: fig2 scenario: %v", err))

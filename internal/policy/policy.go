@@ -33,6 +33,40 @@ type Policy interface {
 // coscheduling.
 type Boost func(j *job.Job) float64
 
+// TimeInvariant marks policies whose Score depends only on the job's
+// immutable request fields — not on `now` and not on mutable scheduler
+// state. For such policies the canonical queue order is a property of the
+// queue's membership alone, so the resource manager's incremental core can
+// keep the queue sorted across iterations instead of re-sorting it on every
+// one. FCFS, SJF, and LargestFirst qualify; WFP (wait-time dependent) and
+// FairShare (usage-stateful) do not and must not implement this interface.
+type TimeInvariant interface {
+	// TimeInvariant reports that Score(j, t1) == Score(j, t2) for all t1,
+	// t2 while j's request fields are unchanged.
+	TimeInvariant() bool
+}
+
+// IsTimeInvariant reports whether p declares a time-invariant score.
+func IsTimeInvariant(p Policy) bool {
+	ti, ok := p.(TimeInvariant)
+	return ok && ti.TimeInvariant()
+}
+
+// Precedes is the canonical scheduling order shared by Orderer.Order and
+// the resource manager's incrementally sorted queue: descending score,
+// ties by earlier submit time, then smaller ID. Both consumers MUST use
+// this exact comparator — the incremental core's determinism guarantee is
+// that binary-search insertion and a full sort agree on every permutation.
+func Precedes(sa float64, a *job.Job, sb float64, b *job.Job) bool {
+	if sa != sb {
+		return sa > sb
+	}
+	if a.SubmitTime != b.SubmitTime {
+		return a.SubmitTime < b.SubmitTime
+	}
+	return a.ID < b.ID
+}
+
 // scored pairs a job with its precomputed ordering key so the sort
 // comparator stays allocation- and hash-free.
 type scored struct {
@@ -73,13 +107,7 @@ func (o *Orderer) Order(p Policy, q []*job.Job, now sim.Time, boost Boost) []*jo
 	// The comparator is a total order (ID breaks all ties), so an
 	// unstable sort is safe and faster than SliceStable.
 	sort.Slice(tmp, func(a, b int) bool {
-		if tmp[a].s != tmp[b].s {
-			return tmp[a].s > tmp[b].s
-		}
-		if tmp[a].j.SubmitTime != tmp[b].j.SubmitTime {
-			return tmp[a].j.SubmitTime < tmp[b].j.SubmitTime
-		}
-		return tmp[a].j.ID < tmp[b].j.ID
+		return Precedes(tmp[a].s, tmp[a].j, tmp[b].s, tmp[b].j)
 	})
 	out := o.out[:len(q)]
 	for i := range tmp {
@@ -105,6 +133,9 @@ func (FCFS) Name() string { return "fcfs" }
 
 // Score implements Policy.
 func (FCFS) Score(j *job.Job, _ sim.Time) float64 { return -float64(j.SubmitTime) }
+
+// TimeInvariant implements TimeInvariant.
+func (FCFS) TimeInvariant() bool { return true }
 
 // WFP is the "wait-fair-priority" utility Cobalt used on Intrepid:
 //
@@ -143,6 +174,9 @@ func (SJF) Name() string { return "sjf" }
 // Score implements Policy.
 func (SJF) Score(j *job.Job, _ sim.Time) float64 { return -float64(j.Walltime) }
 
+// TimeInvariant implements TimeInvariant.
+func (SJF) TimeInvariant() bool { return true }
+
 // LargestFirst orders by node count descending, breaking ties FCFS via
 // Order's tie rules.
 type LargestFirst struct{}
@@ -152,6 +186,9 @@ func (LargestFirst) Name() string { return "largest" }
 
 // Score implements Policy.
 func (LargestFirst) Score(j *job.Job, _ sim.Time) float64 { return float64(j.Nodes) }
+
+// TimeInvariant implements TimeInvariant.
+func (LargestFirst) TimeInvariant() bool { return true }
 
 // ByName returns the named policy, defaulting to WFP for "" and returning
 // ok=false for unknown names.

@@ -194,6 +194,122 @@ func TestOrderPermutationProperty(t *testing.T) {
 	}
 }
 
+func TestIsTimeInvariant(t *testing.T) {
+	cases := []struct {
+		p    Policy
+		want bool
+	}{
+		{FCFS{}, true},
+		{SJF{}, true},
+		{LargestFirst{}, true},
+		{WFP{}, false},
+		{NewFairShare(WFP{}, 0), false},
+	}
+	for _, c := range cases {
+		if got := IsTimeInvariant(c.p); got != c.want {
+			t.Errorf("IsTimeInvariant(%s) = %v, want %v", c.p.Name(), got, c.want)
+		}
+	}
+}
+
+// The marker must be truthful: invariant policies really do score
+// identically at every instant.
+func TestTimeInvariantScoresDoNotDependOnNow(t *testing.T) {
+	j := mkjob(3, 128, 500, 2*sim.Hour)
+	for _, p := range []Policy{FCFS{}, SJF{}, LargestFirst{}} {
+		base := p.Score(j, 0)
+		for _, now := range []sim.Time{1, 600, 86400, 30 * sim.Day} {
+			if s := p.Score(j, now); s != base {
+				t.Errorf("%s.Score changed with now: %g vs %g", p.Name(), s, base)
+			}
+		}
+	}
+}
+
+// Precedes is the single comparator shared by Orderer.Order and the
+// resource manager's binary-search queue insertion; it must be a strict
+// total order over distinct jobs.
+func TestPrecedesTotalOrder(t *testing.T) {
+	a := mkjob(1, 4, 100, 600)
+	b := mkjob(2, 4, 100, 600)
+	if Precedes(0, a, 0, a) {
+		t.Fatal("Precedes must be irreflexive")
+	}
+	if !Precedes(0, a, 0, b) || Precedes(0, b, 0, a) {
+		t.Fatal("equal score+submit must break by ID exactly one way")
+	}
+	if !Precedes(1, b, 0, a) {
+		t.Fatal("higher score must precede")
+	}
+	c := mkjob(3, 4, 50, 600)
+	if !Precedes(0, c, 0, a) {
+		t.Fatal("earlier submit must precede at equal score")
+	}
+}
+
+// Satellite: Orderer buffer reuse across nested Order calls. The contract
+// is that the returned slice is valid only until the next Order call on
+// the same Orderer; this pins the aliasing (same backing array reused),
+// that a copy taken before the nested call survives it, and that growth
+// past the buffer capacity still orders correctly.
+func TestOrdererBufferReuseAcrossNestedCalls(t *testing.T) {
+	var o Orderer
+	q1 := []*job.Job{
+		mkjob(1, 4, 300, 600),
+		mkjob(2, 4, 100, 600),
+		mkjob(3, 4, 200, 600),
+	}
+	first := o.Order(FCFS{}, q1, 1000, nil)
+	saved := append([]job.ID(nil), ids(first)...)
+	wantFirst := []job.ID{2, 3, 1}
+	for i := range wantFirst {
+		if saved[i] != wantFirst[i] {
+			t.Fatalf("first order = %v, want %v", saved, wantFirst)
+		}
+	}
+
+	// Nested call while `first` is still in scope: same-size queue must
+	// reuse the same backing array, invalidating `first` as documented.
+	q2 := []*job.Job{
+		mkjob(7, 4, 30, 600),
+		mkjob(8, 4, 10, 600),
+		mkjob(9, 4, 20, 600),
+	}
+	second := o.Order(FCFS{}, q2, 1000, nil)
+	if &first[0] != &second[0] {
+		t.Fatal("Orderer allocated a fresh output buffer for a same-size nested call")
+	}
+	wantSecond := []job.ID{8, 9, 7}
+	for i := range wantSecond {
+		if second[i].ID != wantSecond[i] {
+			t.Fatalf("nested order = %v, want %v", ids(second), wantSecond)
+		}
+	}
+	// The pre-nesting copy still holds the first ordering.
+	for i := range wantFirst {
+		if saved[i] != wantFirst[i] {
+			t.Fatalf("saved copy corrupted by nested call: %v", saved)
+		}
+	}
+
+	// Growth: a larger queue reallocates but must still be correct, and a
+	// subsequent small call reuses the grown buffer.
+	var q3 []*job.Job
+	for i := 0; i < 64; i++ {
+		q3 = append(q3, mkjob(job.ID(100+i), 4, sim.Time(1000-i), 600))
+	}
+	third := o.Order(FCFS{}, q3, 2000, nil)
+	for i := 1; i < len(third); i++ {
+		if third[i-1].SubmitTime > third[i].SubmitTime {
+			t.Fatal("grown-buffer order not sorted by submit time")
+		}
+	}
+	fourth := o.Order(FCFS{}, q2, 1000, nil)
+	if &fourth[0] != &third[0] {
+		t.Fatal("Orderer did not reuse the grown buffer for a smaller call")
+	}
+}
+
 func ids(js []*job.Job) []job.ID {
 	out := make([]job.ID, len(js))
 	for i, j := range js {

@@ -26,11 +26,33 @@ type Estimator interface {
 	Observe(j *job.Job)
 }
 
+// Stable marks estimators whose Estimate for a given job is a pure
+// function of the job's immutable request fields: Observe never changes
+// what Estimate returns. The resource manager's incremental core relies on
+// this to cache a running job's planned release time at start instead of
+// re-querying the estimator every scheduling iteration. Walltime qualifies;
+// UserAverage (whose history shifts with every completion) must not
+// implement this interface.
+type Stable interface {
+	// StableEstimates reports that Estimate(j) is constant over j's
+	// lifetime for every job j.
+	StableEstimates() bool
+}
+
+// IsStable reports whether e declares stable estimates.
+func IsStable(e Estimator) bool {
+	s, ok := e.(Stable)
+	return ok && s.StableEstimates()
+}
+
 // Walltime is the classic estimator: trust the user's request.
 type Walltime struct{}
 
 // Name implements Estimator.
 func (Walltime) Name() string { return "walltime" }
+
+// StableEstimates implements Stable: the walltime never changes.
+func (Walltime) StableEstimates() bool { return true }
 
 // Estimate implements Estimator.
 func (Walltime) Estimate(j *job.Job) sim.Duration { return j.Walltime }

@@ -71,10 +71,13 @@ func (NullObserver) JobReleased(sim.Time, *job.Job, bool) {}
 // JobCancelled implements Observer.
 func (NullObserver) JobCancelled(sim.Time, *job.Job) {}
 
-// runEntry tracks a running job's allocation and completion event.
+// runEntry tracks a running job's allocation, completion event, and the
+// release bound the planners were told (endBy), which doubles as the key
+// for removing the job's entry from the maintained sorted timeline.
 type runEntry struct {
 	alloc *cluster.Allocation
 	end   sim.EventRef
+	endBy sim.Time
 }
 
 // holdEntry tracks a holding job's allocation. Release timing is handled
@@ -132,6 +135,7 @@ type Options struct {
 	Estimator   predict.Estimator // backfill planning runtimes; nil = walltime
 	Cosched     cosched.Config    // coscheduling configuration
 	Observer    Observer          // nil = NullObserver
+	Core        Core              // scheduling core; zero value = incremental
 }
 
 // Manager is the resource manager for one domain. Not safe for concurrent
@@ -168,11 +172,37 @@ type Manager struct {
 	cancelled   int
 	iterations  uint64
 
-	// ord and releasesBuf are reusable per-iteration buffers; Iterate runs
-	// on every queue/pool change, so allocating them fresh each time is a
-	// measurable share of a simulation's allocation bill.
+	// ord, releasesBuf, eligBuf, and planBuf are reusable per-iteration
+	// buffers; Iterate runs on every queue/pool change, so allocating them
+	// fresh each time is a measurable share of a simulation's allocation
+	// bill. boostFn and estFn pin the bound-method closures once instead
+	// of re-creating (and heap-allocating) them every iteration.
 	ord         policy.Orderer
 	releasesBuf []backfill.Release
+	eligBuf     []*job.Job
+	planBuf     []backfill.Decision
+	boostFn     policy.Boost
+	estFn       backfill.EstimateFunc
+
+	// Incremental core state (see Core in incremental.go). The mode flags
+	// are fixed at construction: sortedQueue keeps the queue canonically
+	// ordered (time-invariant policy, yield-boost off); queuePos indexes
+	// positions for O(1) removal otherwise; maintainTL keeps the release
+	// timeline sorted across iterations (stable estimator); acrossInstant
+	// widens the skip-cache beyond a single simulated instant.
+	core          Core
+	sortedQueue   bool
+	maintainTL    bool
+	acrossInstant bool
+	queuePos      map[job.ID]int
+	timeline      []backfill.Release
+
+	queueV, timelineV, yieldV uint64
+
+	lastFP      iterFP
+	lastFPValid bool
+	lastEmpty   bool
+	skips       uint64
 }
 
 // New creates a Manager bound to engine eng.
@@ -203,7 +233,7 @@ func New(eng *sim.Engine, opt Options) *Manager {
 			mode = opt.Mode
 		}
 	}
-	return &Manager{
+	m := &Manager{
 		name:        name,
 		eng:         eng,
 		pool:        opt.Pool,
@@ -218,7 +248,31 @@ func New(eng *sim.Engine, opt Options) *Manager {
 		holding:     make(map[job.ID]*holdEntry),
 		demoted:     make(map[job.ID]bool),
 		lastYieldAt: make(map[job.ID]sim.Time),
+		core:        opt.Core,
 	}
+	m.boostFn = m.boost
+	m.estFn = m.est.Estimate
+	if m.core == CoreIncremental {
+		// The queue stays pre-sorted only when the canonical order is a
+		// function of queue membership alone: time-invariant scores and no
+		// per-yield boosts (demotion iterations fall back to a full sort
+		// per iteration instead of disabling the mode). Otherwise an
+		// id→position index gives O(1) removal.
+		m.sortedQueue = policy.IsTimeInvariant(pol) && !m.cfg.YieldBoost
+		if !m.sortedQueue {
+			m.queuePos = make(map[job.ID]int)
+		}
+		// The timeline caches each running job's endBy at start, so it is
+		// maintainable only while the estimator's predictions cannot drift
+		// afterwards; unstable estimators rebuild per iteration.
+		m.maintainTL = predict.IsStable(est)
+		// Skips may span instants only when plan emptiness is monotone in
+		// now — see iterFP. Conservative backfilling re-derives every
+		// reservation from a full profile, so it stays same-instant.
+		m.acrossInstant = policy.IsTimeInvariant(pol) && m.maintainTL &&
+			mode != BackfillConservative
+	}
+	return m
 }
 
 // Name returns the domain name.
@@ -282,7 +336,7 @@ func (m *Manager) Submit(j *job.Job) error {
 	}
 	now := m.eng.Now()
 	j.SubmitTime = now
-	m.queue = append(m.queue, j)
+	m.enqueue(j)
 	m.obs.JobSubmitted(now, j)
 	m.RequestIteration()
 	return nil
@@ -367,6 +421,7 @@ func (m *Manager) Cancel(id job.ID) error {
 		if err := m.pool.Release(now, re.alloc.ID); err != nil {
 			panic(fmt.Sprintf("resmgr %s: cancel run: %v", m.name, err))
 		}
+		m.runReleaseDrop(re)
 		delete(m.running, id)
 	default:
 		return fmt.Errorf("%w: job %d is %s", ErrBadState, id, j.State)
@@ -408,6 +463,9 @@ func (m *Manager) boost(j *job.Job) float64 {
 
 // Iterate runs one scheduling iteration: order the queue, plan starts with
 // (optional) EASY backfill, then push each planned job through Run_Job.
+// The incremental core consults its skip-cache first — when no planner
+// input has changed since an iteration whose plan was empty, planning is
+// elided outright (the iteration still counts in Iterations()).
 func (m *Manager) Iterate(now sim.Time) {
 	m.iterations++
 	// A job that yielded at this instant gave up its slot for the rest of
@@ -415,48 +473,81 @@ func (m *Manager) Iterate(now sim.Time) {
 	// nodes it declined (the "additional scheduling iteration" yieldJob
 	// requests), and prevents a yield livelock within one event time.
 	eligible := m.queue
+	excluded := 0
 	for i, j := range m.queue {
 		if j.YieldCount > 0 && m.lastYieldAt[j.ID] == now {
-			eligible = make([]*job.Job, 0, len(m.queue)-1)
-			eligible = append(eligible, m.queue[:i]...)
+			buf := m.eligBuf[:0]
+			if cap(buf) < len(m.queue) {
+				buf = make([]*job.Job, 0, len(m.queue))
+			}
+			buf = append(buf, m.queue[:i]...)
+			excluded++
 			for _, k := range m.queue[i+1:] {
 				if k.YieldCount > 0 && m.lastYieldAt[k.ID] == now {
+					excluded++
 					continue
 				}
-				eligible = append(eligible, k)
+				buf = append(buf, k)
 			}
+			m.eligBuf = buf
+			eligible = buf
 			break
 		}
 	}
-	ordered := m.ord.Order(m.pol, eligible, now, m.boost)
 
-	releases := m.releasesBuf[:0]
-	for id, re := range m.running {
-		j := m.jobs[id]
-		// Plan with the estimator's runtime; once a running job outlives
-		// its prediction, correct to the walltime bound (Tsafrir-style
-		// prediction correction) — treating it as "about to finish"
-		// would collapse the shadow time and let backfill starve the
-		// head job.
-		endBy := j.StartTime + m.est.Estimate(j)
-		if endBy <= now {
-			endBy = j.StartTime + j.Walltime
-		}
-		releases = append(releases, backfill.Release{
-			Nodes: re.alloc.Allocated,
-			EndBy: endBy,
-		})
+	// Stale-timeline check before fingerprinting: a correction bumps
+	// timelineV, so a cached empty plan computed against the old release
+	// bounds cannot be replayed.
+	if m.maintainTL && len(m.timeline) > 0 && m.timeline[0].EndBy <= now {
+		m.timelineRebuild(now)
 	}
-	m.releasesBuf = releases[:0]
+	// Demotion iterations (the release-scan deadlock breaker) reorder via
+	// boosts the fingerprint does not see; they bypass and poison the
+	// cache rather than widen it for a once-per-interval event.
+	useCache := m.core == CoreIncremental && len(m.demoted) == 0
+	var fp iterFP
+	if useCache {
+		fp = m.fingerprint(now, excluded)
+		if m.lastFPValid && fp == m.lastFP && m.lastEmpty {
+			m.skips++
+			return
+		}
+	}
+
+	var ordered []*job.Job
+	if m.sortedQueue && len(m.demoted) == 0 {
+		// The queue storage already holds the canonical order and every
+		// boost is zero (time-invariant policy, yield-boost off, no
+		// demotions), so Orderer.Order would return this exact
+		// permutation — skip the score-and-sort entirely.
+		ordered = eligible
+	} else {
+		ordered = m.ord.Order(m.pol, eligible, now, m.boostFn)
+	}
+
+	releases := m.planReleases(now)
 
 	var plan []backfill.Decision
 	if m.bf == BackfillConservative {
-		plan = backfill.PlanConservative(ordered, m.pool.Total(), m.pool.Free(),
-			m.pool.ChargeFor, releases, now, m.est.Estimate)
+		plan = backfill.PlanConservativeInto(m.planBuf, ordered, m.pool.Total(), m.pool.Free(),
+			m.pool.ChargeFor, releases, now, m.estFn)
 	} else {
-		plan = backfill.Plan(ordered, m.pool.Free(), m.pool.ChargeFor,
-			releases, now, m.bf == BackfillEASY, m.est.Estimate)
+		plan = backfill.PlanInto(m.planBuf, ordered, m.pool.Free(), m.pool.ChargeFor,
+			releases, now, m.bf == BackfillEASY, m.estFn)
 	}
+	m.planBuf = plan[:0]
+
+	if m.core == CoreIncremental {
+		if useCache {
+			// Record the pre-execution state: if the plan is empty,
+			// execution changes nothing and an identical future state may
+			// skip; if not, execution bumps versions and the entry is inert.
+			m.lastFP, m.lastEmpty, m.lastFPValid = fp, len(plan) == 0, true
+		} else {
+			m.lastFPValid = false
+		}
+	}
+
 	for _, d := range plan {
 		j := d.Job
 		if j.State != job.Queued {
@@ -623,6 +714,7 @@ func (m *Manager) startJob(j *job.Job, now sim.Time) {
 	m.removeFromQueue(j.ID)
 	delete(m.lastYieldAt, j.ID)
 	entry := &runEntry{alloc: alloc}
+	m.runReleaseAdd(entry, j)
 	entry.end = m.eng.After(j.Runtime, sim.PriorityEnd, func(end sim.Time) {
 		m.completeJob(j, end)
 	})
@@ -648,6 +740,7 @@ func (m *Manager) startHeldJob(j *job.Job, now sim.Time) error {
 	}
 	j.StartTime = now
 	entry := &runEntry{alloc: he.alloc}
+	m.runReleaseAdd(entry, j)
 	entry.end = m.eng.After(j.Runtime, sim.PriorityEnd, func(end sim.Time) {
 		m.completeJob(j, end)
 	})
@@ -681,6 +774,7 @@ func (m *Manager) holdJob(j *job.Job, now sim.Time) {
 func (m *Manager) yieldJob(j *job.Job, now sim.Time) {
 	j.YieldCount++
 	m.lastYieldAt[j.ID] = now
+	m.yieldV++ // yield counts and same-instant exclusions feed the fingerprint
 	m.obs.JobYielded(now, j)
 	m.RequestIteration()
 }
@@ -739,7 +833,7 @@ func (m *Manager) releaseScanFire(now sim.Time) {
 		if err := j.Advance(job.Queued); err != nil {
 			panic(fmt.Sprintf("resmgr %s: release scan: %v", m.name, err))
 		}
-		m.queue = append(m.queue, j)
+		m.enqueue(j)
 		m.demoted[j.ID] = true
 		m.obs.JobReleased(now, j, true)
 	}
@@ -764,6 +858,7 @@ func (m *Manager) completeJob(j *job.Job, now sim.Time) {
 	if err := m.pool.Release(now, re.alloc.ID); err != nil {
 		panic(fmt.Sprintf("resmgr %s: completeJob: %v", m.name, err))
 	}
+	m.runReleaseDrop(re)
 	delete(m.running, j.ID)
 	if err := j.Advance(job.Completed); err != nil {
 		panic(fmt.Sprintf("resmgr %s: completeJob: %v", m.name, err))
@@ -776,16 +871,6 @@ func (m *Manager) completeJob(j *job.Job, now sim.Time) {
 	m.completed++
 	m.obs.JobCompleted(now, j)
 	m.RequestIteration()
-}
-
-// removeFromQueue deletes a job from the queue slice, preserving order.
-func (m *Manager) removeFromQueue(id job.ID) {
-	for i, q := range m.queue {
-		if q.ID == id {
-			m.queue = append(m.queue[:i], m.queue[i+1:]...)
-			return
-		}
-	}
 }
 
 // ---------------------------------------------------------------------------
