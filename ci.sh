@@ -1,22 +1,36 @@
 #!/bin/sh
-# ci.sh — the full gate, in the order the checks usually fail.
+# ci.sh — the full gate, cheapest checks first so the common failures
+# surface in seconds, not after the race-enabled test pass.
 #
 # The race-enabled test run covers the parallel sweep pool (cells fan out
 # across goroutines) and the memoized benchmark caches; the bench pass is
 # a 1-iteration smoke of every figure reproduction.
 set -eux
 
+# Formatting and static analysis: gofmt must be clean, vet runs under both
+# tag sets (the debug-only assert files are code too), and simlint
+# enforces the repo's determinism and scheduling contracts (R1–R5; see
+# ARCHITECTURE.md §6) before anything slower runs.
+test -z "$(gofmt -l .)"
 go vet ./...
+go vet -tags debug ./...
 go build ./...
+go run ./cmd/simlint ./...
+
 go test -race ./...
 go test -run=NONE -bench=Fig -benchtime=1x .
 
 # Scheduler-core gate: the reference and incremental cores must stay
 # byte-identical. The differential sweep tests rerun under -race (cells fan
-# out across goroutines), the smoke drives one Iterate per benchmark cell on
-# both cores and a tiny differential load sweep (fails on any table
-# mismatch), and the bench pass is a 1-iteration smoke of BenchmarkIterate.
+# out across goroutines) with full invariant auditing, the smoke drives one
+# Iterate per benchmark cell on both cores and a tiny differential load
+# sweep (fails on any table mismatch), and the bench pass is a 1-iteration
+# smoke of BenchmarkIterate.
 go test -race -run 'SchedCoreDifferential' ./internal/experiments ./internal/coupled
 go run ./cmd/experiments -schedsmoke -factor 0.05 -reps 1
 go test -run=NONE -bench=Iterate -benchtime=1x ./internal/resmgr
-go test -tags debug ./internal/backfill
+
+# Debug-build hardening: the backfill sortedness asserts and the
+# invariant package's fail-fast deadlock monitor only compile under
+# -tags debug; run their suites together with the asserts live.
+go test -tags debug ./internal/invariant ./internal/backfill

@@ -1,0 +1,65 @@
+// Command simlint is the repository's determinism and contract analyzer:
+// it type-checks every package (tests included) and enforces the rules
+// cataloged in internal/lint and ARCHITECTURE.md §6 — map-iteration order
+// leaking into ordered state, wall-clock/global-RNG use in sim-pure
+// packages, the backfill sortedness contract, Manager concurrency, and
+// floating-point equality. Intentional exceptions carry a
+// `//simlint:allow R<n> <reason>` comment; stale or reasonless allows are
+// themselves findings.
+//
+// Usage:
+//
+//	simlint ./...             # lint the whole module (the ci.sh gate)
+//	simlint -tags debug ./... # lint the debug-build files too
+//	simlint -rules            # print the rule catalog
+//
+// Exit status: 0 clean, 1 findings, 2 analysis failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cosched/internal/lint"
+)
+
+func main() {
+	tags := flag.String("tags", "", "comma-separated build tags to lint under (e.g. debug)")
+	rules := flag.Bool("rules", false, "print the rule catalog and exit")
+	flag.Parse()
+
+	if *rules {
+		for _, r := range lint.Rules {
+			fmt.Printf("%s — %s\n    %s\n", r.ID, r.Title, r.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	var tagList []string
+	if *tags != "" {
+		tagList = strings.Split(*tags, ",")
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+		os.Exit(2)
+	}
+	findings, err := lint.Run(cwd, tagList, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "simlint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

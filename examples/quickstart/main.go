@@ -14,6 +14,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"sort"
 
 	"cosched/internal/cosched"
 	"cosched/internal/coupled"
@@ -73,7 +74,13 @@ func main() {
 	fmt.Printf("  compute job held %d nodes for %d s waiting (service-unit cost %d node-s)\n",
 		compute.Nodes, compute.SyncTime(), compute.HeldNodeSeconds)
 	fmt.Printf("  co-start violations across the run: %d\n", res.CoStartViolations)
-	for name, rep := range res.Reports {
+	names := make([]string, 0, len(res.Reports))
+	for name := range res.Reports {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		rep := res.Reports[name]
 		fmt.Printf("  domain %-4s: %d/%d jobs completed, avg wait %.1f min\n",
 			name, rep.Completed, rep.TotalJobs, rep.Wait.Mean)
 	}

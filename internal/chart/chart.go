@@ -241,6 +241,7 @@ func formatTick(v float64) string {
 		return fmt.Sprintf("%.1fM", v/1e6)
 	case v >= 1e4:
 		return fmt.Sprintf("%.0fk", v/1e3)
+	//simlint:allow R5 integrality probe: Trunc(v) is bit-exactly v iff v is integral
 	case v == math.Trunc(v):
 		return fmt.Sprintf("%.0f", v)
 	default:

@@ -206,3 +206,19 @@ func TestSVGProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestSVGRenderTwiceIdentical guards ordered output: two renders of the
+// same chart must be byte-identical, so any map iteration creeping into
+// the SVG assembly order fails here.
+func TestSVGRenderTwiceIdentical(t *testing.T) {
+	render := func() string {
+		svg, err := sampleChart().SVG()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return svg
+	}
+	if a, b := render(), render(); a != b {
+		t.Fatal("SVG render not reproducible across identical inputs")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"cosched/internal/cosched"
+	"cosched/internal/invariant"
 	"cosched/internal/job"
 	"cosched/internal/sim"
 )
@@ -50,7 +51,11 @@ var schedCoreScenarios = []schedCoreScenario{
 }
 
 // runSchedCoreScenario runs one scenario under the named core on freshly
-// generated traces and renders the complete schedule.
+// generated traces and renders the complete schedule. Every run is
+// invariant-audited: a deferred Auditor per domain plus a shared deadlock
+// Monitor, so a core divergence that also breaks accounting or wedges a
+// circular wait is reported at the offending event, not as a schedule
+// diff.
 func runSchedCoreScenario(t *testing.T, sc schedCoreScenario, core string, seed uint64) string {
 	t.Helper()
 	a, b := smallTraces(seed, 60, 0.3)
@@ -58,16 +63,26 @@ func runSchedCoreScenario(t *testing.T, sc schedCoreScenario, core string, seed 
 	cb := cosched.DefaultConfig(sc.schemeB)
 	ca.ReleaseInterval, cb.ReleaseInterval = sc.release, sc.release
 	ca.YieldBoost, cb.YieldBoost = sc.yieldBoost, sc.yieldBoost
+	mon := invariant.NewMonitor()
+	audA := invariant.NewDeferred(mon.Tap(nil))
+	audB := invariant.NewDeferred(mon.Tap(nil))
 	s, err := New(Options{Domains: []DomainConfig{
 		{Name: "A", Nodes: 64, Policy: sc.policy, Backfilling: true, BackfillMode: sc.mode,
-			Estimator: sc.estimator, SchedCore: core, Cosched: ca, Trace: a},
+			Estimator: sc.estimator, SchedCore: core, Cosched: ca, Trace: a, Observer: audA},
 		{Name: "B", Nodes: 8, Policy: sc.policy, Backfilling: true, BackfillMode: sc.mode,
-			Estimator: sc.estimator, SchedCore: core, Cosched: cb, Trace: b},
+			Estimator: sc.estimator, SchedCore: core, Cosched: cb, Trace: b, Observer: audB},
 	}})
 	if err != nil {
 		t.Fatalf("%s/%s: %v", sc.name, core, err)
 	}
+	audA.Bind(s.Manager("A"))
+	audB.Bind(s.Manager("B"))
+	mon.Register(s.Manager("A"))
+	mon.Register(s.Manager("B"))
 	res := s.Run()
+	for _, v := range append(append(append([]string{}, audA.Violations()...), audB.Violations()...), mon.Violations()...) {
+		t.Errorf("%s/%s: invariant violation: %s", sc.name, core, v)
+	}
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "makespan=%d iterations=%d stuck=%d viol=%d\n",
 		res.Makespan, res.Iterations, res.StuckJobs, res.CoStartViolations)

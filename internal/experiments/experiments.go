@@ -12,9 +12,11 @@ package experiments
 
 import (
 	"fmt"
+	"strings"
 
 	"cosched/internal/cosched"
 	"cosched/internal/coupled"
+	"cosched/internal/invariant"
 	"cosched/internal/job"
 	"cosched/internal/metrics"
 	"cosched/internal/parallel"
@@ -102,6 +104,13 @@ type Config struct {
 	// aggregated by cell index, so every setting yields bit-identical
 	// tables; only wall-clock time changes.
 	Parallelism int
+	// Audit attaches an invariant.Auditor to every simulated domain and a
+	// cross-domain deadlock Monitor to every cell: each lifecycle event is
+	// re-checked against the scheduler's invariants and the wait-for graph
+	// is scanned for circular waits outliving the release interval. Any
+	// violation fails the run with an error. Used by the differential
+	// tests; costs roughly one pool-and-queue scan per lifecycle event.
+	Audit bool
 }
 
 // DefaultConfig returns the paper's experiment parameters at the given
@@ -243,6 +252,48 @@ type Baseline struct {
 	IntrepidUtil, EurekaUtil         float64
 }
 
+// auditHarness is the per-cell invariant instrumentation built when
+// Config.Audit is set: one deferred Auditor per domain (the coupled.Sim
+// constructs its managers internally, so observers must exist first) and
+// one shared deadlock Monitor tapped into every auditor's chain.
+type auditHarness struct {
+	mon  *invariant.Monitor
+	auds []*invariant.Auditor
+}
+
+// attach wires the harness into the domain configs before coupled.New.
+func newAuditHarness(domains []coupled.DomainConfig) *auditHarness {
+	h := &auditHarness{mon: invariant.NewMonitor()}
+	for i := range domains {
+		aud := invariant.NewDeferred(h.mon.Tap(domains[i].Observer))
+		domains[i].Observer = aud
+		h.auds = append(h.auds, aud)
+	}
+	return h
+}
+
+// bind completes the deferred wiring once the managers exist.
+func (h *auditHarness) bind(s *coupled.Sim, domains []coupled.DomainConfig) {
+	for i := range domains {
+		mgr := s.Manager(domains[i].Name)
+		h.auds[i].Bind(mgr)
+		h.mon.Register(mgr)
+	}
+}
+
+// err collapses every recorded violation into one error, nil when clean.
+func (h *auditHarness) err() error {
+	var all []string
+	for _, aud := range h.auds {
+		all = append(all, aud.Violations()...)
+	}
+	all = append(all, h.mon.Violations()...)
+	if len(all) == 0 {
+		return nil
+	}
+	return fmt.Errorf("invariant audit: %d violation(s):\n  %s", len(all), strings.Join(all, "\n  "))
+}
+
 // runCell executes one (combo, traces) cell and accumulates into c.
 func runCell(c *Cell, cfg Config, combo Combo, intrepid, eureka []*job.Job) error {
 	intrCfg := cosched.DefaultConfig(combo.Intrepid)
@@ -252,14 +303,27 @@ func runCell(c *Cell, cfg Config, combo Combo, intrepid, eureka []*job.Job) erro
 	eurCfg.ReleaseInterval = cfg.ReleaseInterval
 	eurCfg.MaxHeldFraction = cfg.MaxHeldFraction
 
-	s, err := coupled.New(coupled.Options{Domains: []coupled.DomainConfig{
+	domains := []coupled.DomainConfig{
 		{Name: DomIntrepid, Nodes: IntrepidNodes, Backfilling: true, Cosched: intrCfg, Trace: intrepid, SchedCore: cfg.SchedCore},
 		{Name: DomEureka, Nodes: EurekaNodes, Backfilling: true, Cosched: eurCfg, Trace: eureka, SchedCore: cfg.SchedCore},
-	}})
+	}
+	var audit *auditHarness
+	if cfg.Audit {
+		audit = newAuditHarness(domains)
+	}
+	s, err := coupled.New(coupled.Options{Domains: domains})
 	if err != nil {
 		return err
 	}
+	if audit != nil {
+		audit.bind(s, domains)
+	}
 	res := s.Run()
+	if audit != nil {
+		if err := audit.err(); err != nil {
+			return fmt.Errorf("combo %s: %w", combo.Label(), err)
+		}
+	}
 	ri := res.Reports[DomIntrepid]
 	re := res.Reports[DomEureka]
 	c.IntrepidWait += ri.Wait.Mean
@@ -318,14 +382,27 @@ func (c *Cell) average(reps int) {
 
 // runBaseline executes the no-coscheduling reference for one trace pair.
 func runBaseline(b *Baseline, cfg Config, intrepid, eureka []*job.Job) error {
-	s, err := coupled.New(coupled.Options{Domains: []coupled.DomainConfig{
+	domains := []coupled.DomainConfig{
 		{Name: DomIntrepid, Nodes: IntrepidNodes, Backfilling: true, Trace: intrepid, SchedCore: cfg.SchedCore},
 		{Name: DomEureka, Nodes: EurekaNodes, Backfilling: true, Trace: eureka, SchedCore: cfg.SchedCore},
-	}})
+	}
+	var audit *auditHarness
+	if cfg.Audit {
+		audit = newAuditHarness(domains)
+	}
+	s, err := coupled.New(coupled.Options{Domains: domains})
 	if err != nil {
 		return err
 	}
+	if audit != nil {
+		audit.bind(s, domains)
+	}
 	res := s.Run()
+	if audit != nil {
+		if err := audit.err(); err != nil {
+			return fmt.Errorf("baseline: %w", err)
+		}
+	}
 	ri := res.Reports[DomIntrepid]
 	re := res.Reports[DomEureka]
 	b.IntrepidWait += ri.Wait.Mean

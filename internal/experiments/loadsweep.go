@@ -41,6 +41,7 @@ func (s *LoadSweep) Cell(util float64, combo Combo) *Cell {
 		return s.byKey[cellKey{util, combo}]
 	}
 	for _, c := range s.Cells {
+		//simlint:allow R5 X is copied verbatim from the sweep grid; lookup is by identity, same as the byKey map key
 		if c.X == util && c.Combo == combo {
 			return c
 		}

@@ -42,6 +42,7 @@ func (s *ProportionSweep) Cell(prop float64, combo Combo) *Cell {
 		return s.byKey[cellKey{prop, combo}]
 	}
 	for _, c := range s.Cells {
+		//simlint:allow R5 X is copied verbatim from the sweep grid; lookup is by identity, same as the byKey map key
 		if c.X == prop && c.Combo == combo {
 			return c
 		}
@@ -152,6 +153,7 @@ func proportionTraces(cfg Config, seed uint64, prop float64) (intr, eur []*job.J
 
 // propLabel renders a proportion the way the paper labels its x-axis.
 func propLabel(p float64) string {
+	//simlint:allow R5 p is a ProportionSweepPoints grid constant passed through unchanged; identity match, no arithmetic
 	if p == 0.025 {
 		return "2.5%"
 	}

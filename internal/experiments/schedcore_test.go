@@ -7,9 +7,12 @@ import "testing"
 // vectors, printed in hex so no float bit hides behind rounding) under the
 // reference and incremental scheduler cores, at serial and parallel worker
 // counts. Any divergence — ordering, skip-cache, timeline maintenance —
-// shows up here as a table diff.
+// shows up here as a table diff. Audit additionally re-checks every
+// lifecycle event of every cell against the scheduler invariants and the
+// deadlock wait-for graph; a violation fails the sweep with an error.
 func TestSchedCoreDifferential(t *testing.T) {
 	cfg := testConfig()
+	cfg.Audit = true
 	var want string
 	for _, core := range []string{"reference", "incremental"} {
 		for _, workers := range []int{1, 8} {

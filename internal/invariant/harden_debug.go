@@ -1,0 +1,15 @@
+//go:build debug
+
+package invariant
+
+// Hardened reports whether the debug build's fail-fast behavior is
+// active: recorded deadlock violations panic at the offending event
+// instead of waiting to be collected at end of run.
+const Hardened = true
+
+// debugFatal fails fast in debug builds: the panic carries the violation
+// and fires at the exact event where the invariant broke, giving the
+// full event-loop stack instead of a post-mortem string.
+func debugFatal(msg string) {
+	panic("invariant: " + msg)
+}

@@ -1,0 +1,9 @@
+//go:build !debug
+
+package invariant
+
+// Hardened is false in release builds: violations are recorded for the
+// caller to collect and the run continues.
+const Hardened = false
+
+func debugFatal(string) {}

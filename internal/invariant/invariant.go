@@ -41,6 +41,18 @@ func New(mgr *resmgr.Manager, inner resmgr.Observer) *Auditor {
 	return &Auditor{mgr: mgr, inner: inner}
 }
 
+// NewDeferred returns an auditor with no manager bound yet. coupled.Sim
+// constructs its managers internally, so the Observer must exist before
+// the Manager does: pass the deferred auditor in DomainConfig.Observer,
+// then Bind it to Sim.Manager(name) before Run. Events observed before
+// Bind are themselves recorded as violations.
+func NewDeferred(inner resmgr.Observer) *Auditor {
+	return New(nil, inner)
+}
+
+// Bind attaches the audited manager to a deferred auditor.
+func (a *Auditor) Bind(mgr *resmgr.Manager) { a.mgr = mgr }
+
 // Violations returns every recorded violation, in order.
 func (a *Auditor) Violations() []string { return a.violations }
 
@@ -49,8 +61,12 @@ func (a *Auditor) Events() int { return a.events }
 
 // fail records a violation.
 func (a *Auditor) fail(now sim.Time, format string, args ...any) {
+	name := "<unbound>"
+	if a.mgr != nil {
+		name = a.mgr.Name()
+	}
 	a.violations = append(a.violations,
-		fmt.Sprintf("t=%d %s: %s", now, a.mgr.Name(), fmt.Sprintf(format, args...)))
+		fmt.Sprintf("t=%d %s: %s", now, name, fmt.Sprintf(format, args...)))
 }
 
 // audit runs the cross-cutting checks.
@@ -60,6 +76,10 @@ func (a *Auditor) audit(now sim.Time) {
 		a.fail(now, "clock moved backwards from %d", a.lastNow)
 	}
 	a.lastNow = now
+	if a.mgr == nil {
+		a.fail(now, "event observed before Bind: the deferred auditor has no manager")
+		return
+	}
 
 	pool := a.mgr.Pool()
 	if pool.Free() < 0 || pool.Held() < 0 || pool.Running() < 0 {

@@ -1,0 +1,60 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// allowDirective is one parsed //simlint:allow comment. A directive
+// suppresses findings of its rule on the directive's own line (trailing
+// comment) or the line directly below (comment above the statement).
+type allowDirective struct {
+	pos    token.Position
+	rule   string
+	reason string
+	used   bool
+}
+
+// collectAllows parses every //simlint:allow directive in files.
+// Malformed directives (no rule token) are reported via a synthetic
+// directive with an empty rule, which can never match and therefore
+// surfaces as stale.
+func collectAllows(fset *token.FileSet, files []*ast.File) []*allowDirective {
+	var out []*allowDirective
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//simlint:allow")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				d := &allowDirective{pos: fset.Position(c.Pos())}
+				if len(fields) > 0 {
+					d.rule = fields[0]
+				}
+				if len(fields) > 1 {
+					d.reason = strings.Join(fields[1:], " ")
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// matchAllow returns the directive covering finding f, if any. Directives
+// with an empty reason still suppress — the missing reason is reported
+// separately so the fix is "write the reason", not "silence two findings".
+func matchAllow(allows []*allowDirective, f Finding) *allowDirective {
+	for _, d := range allows {
+		if d.rule != f.Rule || d.pos.Filename != f.Pos.Filename {
+			continue
+		}
+		if d.pos.Line == f.Pos.Line || d.pos.Line == f.Pos.Line-1 {
+			return d
+		}
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Finding is one rule violation (or allow-directive hygiene problem),
+// positioned at file:line:col.
+type Finding struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+}
+
+// String renders the finding the way compilers report diagnostics.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Rule, f.Msg)
+}
+
+// Pass is the per-package context handed to every rule.
+type Pass struct {
+	Fset *token.FileSet
+	// Files are the parsed sources of the package (test variants include
+	// the _test.go files).
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+	// Path is the import path rules match package membership against
+	// (test-variant suffixes stripped).
+	Path string
+
+	findings []Finding
+}
+
+// reportf records a finding at pos.
+func (p *Pass) reportf(pos token.Pos, rule, format string, args ...any) {
+	p.findings = append(p.findings, Finding{
+		Pos:  p.Fset.Position(pos),
+		Rule: rule,
+		Msg:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run lints the packages matched by patterns (relative to dir, typically
+// "./...") and returns every finding after allow-directive filtering,
+// sorted by position. A non-nil error means the analysis itself could not
+// run (load or type-check failure), not that findings exist.
+func Run(dir string, tags []string, patterns ...string) ([]Finding, error) {
+	table, targets, err := Load(dir, tags, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var all []Finding
+	for _, t := range targets {
+		files, pkg, info, err := typecheck(fset, t, table)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, Check(fset, files, pkg, info, t.Path)...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return all, nil
+}
+
+// Check runs every rule over one type-checked package and applies the
+// package's //simlint:allow directives: a matching directive suppresses a
+// finding on its own line or the line directly below; directives that
+// suppress nothing (stale) or carry no reason are findings themselves.
+// It is the entry point fixture tests drive directly.
+func Check(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, path string) []Finding {
+	p := &Pass{Fset: fset, Files: files, Pkg: pkg, Info: info, Path: path}
+	for _, r := range Rules {
+		r.Check(p)
+	}
+	allows := collectAllows(fset, files)
+	kept := p.findings[:0]
+	for _, f := range p.findings {
+		if d := matchAllow(allows, f); d != nil {
+			d.used = true
+			continue
+		}
+		kept = append(kept, f)
+	}
+	for _, d := range allows {
+		if d.reason == "" {
+			kept = append(kept, Finding{Pos: d.pos, Rule: "allow",
+				Msg: fmt.Sprintf("//simlint:allow %s has no reason — every exception must say why it is safe", d.rule)})
+		}
+		if !d.used {
+			kept = append(kept, Finding{Pos: d.pos, Rule: "allow",
+				Msg: fmt.Sprintf("stale //simlint:allow %s: it suppresses nothing on this or the next line — delete it or move it to the violation", d.rule)})
+		}
+	}
+	return kept
+}

@@ -1,0 +1,154 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"go/token"
+)
+
+// fixturePath is the synthetic import path fixtures are checked under: it
+// must look sim-pure so R2 is active.
+const fixturePath = "cosched/internal/fixture"
+
+var (
+	tableOnce sync.Once
+	tableVal  map[string]*Package
+	tableErr  error
+)
+
+// repoTable loads the repository's package table (with compiler export
+// data) once per test binary; fixtures resolve their imports against it.
+func repoTable(t *testing.T) map[string]*Package {
+	t.Helper()
+	tableOnce.Do(func() {
+		tableVal, _, tableErr = Load("../..", nil, "./...")
+	})
+	if tableErr != nil {
+		t.Fatalf("loading repo packages: %v", tableErr)
+	}
+	return tableVal
+}
+
+// checkFixture type-checks one testdata file as its own package under the
+// sim-pure fixture path and runs every rule plus allow filtering over it.
+func checkFixture(t *testing.T, name string) []Finding {
+	t.Helper()
+	fset := token.NewFileSet()
+	target := &Package{
+		ImportPath: fixturePath,
+		Path:       fixturePath,
+		Files:      []string{"testdata/" + name},
+	}
+	files, pkg, info, err := typecheck(fset, target, repoTable(t))
+	if err != nil {
+		t.Fatalf("typechecking %s: %v", name, err)
+	}
+	return Check(fset, files, pkg, info, fixturePath)
+}
+
+var wantRe = regexp.MustCompile(`// want "([^"]+)"`)
+
+// parseWants reads the fixture's `// want "substring"` expectations,
+// keyed by 1-based line number.
+func parseWants(t *testing.T, path string) map[int]string {
+	t.Helper()
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := make(map[int]string)
+	for i, line := range strings.Split(string(src), "\n") {
+		if m := wantRe.FindStringSubmatch(line); m != nil {
+			wants[i+1] = m[1]
+		}
+	}
+	return wants
+}
+
+// TestRuleFixtures is the golden harness: every `// want` line must
+// produce a matching finding, and no finding may appear on a line
+// without one. Deleting or de-fanging a rule fails its fixture.
+func TestRuleFixtures(t *testing.T) {
+	for _, name := range []string{"r1.go", "r2.go", "r3.go", "r4.go", "r5.go"} {
+		t.Run(name, func(t *testing.T) {
+			findings := checkFixture(t, name)
+			wants := parseWants(t, "testdata/"+name)
+			if len(wants) == 0 {
+				t.Fatalf("fixture %s declares no // want expectations", name)
+			}
+			matched := make(map[int]bool)
+			for _, f := range findings {
+				text := fmt.Sprintf("%s: %s", f.Rule, f.Msg)
+				if sub, ok := wants[f.Pos.Line]; ok && strings.Contains(text, sub) {
+					matched[f.Pos.Line] = true
+					continue
+				}
+				t.Errorf("unexpected finding: %s", f)
+			}
+			for line, sub := range wants {
+				if !matched[line] {
+					t.Errorf("%s:%d: no finding matching %q", name, line, sub)
+				}
+			}
+		})
+	}
+}
+
+// TestAllowHygieneFixture pins the directive hygiene findings: the
+// reasonless directive suppresses its violation but is reported for the
+// missing reason, and the no-op directive is reported as stale.
+// Expectations live here because a //simlint:allow line comment cannot
+// also carry a // want comment.
+func TestAllowHygieneFixture(t *testing.T) {
+	findings := checkFixture(t, "allow.go")
+	if len(findings) != 2 {
+		t.Fatalf("got %d findings, want 2:\n%s", len(findings), findingList(findings))
+	}
+	var noReason, stale bool
+	for _, f := range findings {
+		if f.Rule != "allow" {
+			t.Errorf("finding escaped allow filtering: %s", f)
+		}
+		noReason = noReason || strings.Contains(f.Msg, "no reason")
+		stale = stale || strings.Contains(f.Msg, "stale")
+	}
+	if !noReason || !stale {
+		t.Errorf("missing hygiene finding (no-reason=%v stale=%v):\n%s", noReason, stale, findingList(findings))
+	}
+}
+
+// TestCleanFixture guards against over-reporting: the sanctioned shapes
+// must produce nothing.
+func TestCleanFixture(t *testing.T) {
+	if findings := checkFixture(t, "clean.go"); len(findings) > 0 {
+		t.Errorf("clean fixture produced findings:\n%s", findingList(findings))
+	}
+}
+
+// TestRepoSelfCheck is the dogfood gate inside the test suite: the tree
+// that ships this analyzer must itself be clean, under both the default
+// and the debug build tags.
+func TestRepoSelfCheck(t *testing.T) {
+	for _, tags := range [][]string{nil, {"debug"}} {
+		findings, err := Run("../..", tags, "./...")
+		if err != nil {
+			t.Fatalf("simlint run (tags=%v): %v", tags, err)
+		}
+		if len(findings) > 0 {
+			t.Errorf("repository is not simlint-clean (tags=%v):\n%s", tags, findingList(findings))
+		}
+	}
+}
+
+func findingList(fs []Finding) string {
+	var b strings.Builder
+	for _, f := range fs {
+		fmt.Fprintf(&b, "  %s\n", f)
+	}
+	return b.String()
+}

@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// checkConcurrency implements R4: resmgr.Manager is single-threaded by
+// contract (the sim engine's event loop serializes all access), so no
+// goroutine may capture one, and its tests may not opt into t.Parallel —
+// parallel subtests interleave distinct managers' engines only in
+// internal/parallel, where every worker owns a private engine and results
+// merge in index order.
+func checkConcurrency(p *Pass) {
+	if p.Path == "cosched/internal/parallel" {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				fn := calleeFunc(p.Info, n)
+				if fn != nil && fn.Name() == "Parallel" {
+					if recv := recvType(p.Info, n); recv != nil && namedAs(recv, "testing", "T") {
+						p.reportf(n.Pos(), "R4",
+							"t.Parallel outside internal/parallel: parallel subtests sharing scheduler state race the single-threaded Manager contract")
+					}
+				}
+			case *ast.GoStmt:
+				if id := p.capturedManager(n); id != nil {
+					p.reportf(n.Pos(), "R4",
+						"goroutine captures *resmgr.Manager %q: the Manager is single-threaded by contract; fan work out through internal/parallel instead",
+						id.Name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// capturedManager returns the first identifier inside a go statement
+// (arguments and closure body alike) whose type is resmgr.Manager or a
+// pointer to it.
+func (p *Pass) capturedManager(g *ast.GoStmt) *ast.Ident {
+	var found *ast.Ident
+	ast.Inspect(g, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := p.Info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if namedAs(obj.Type(), "cosched/internal/resmgr", "Manager") {
+			found = id
+		}
+		return true
+	})
+	return found
+}

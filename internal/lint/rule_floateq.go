@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// checkFloatEq implements R5: == and != over floating-point operands make
+// control flow depend on accumulation order and rounding — the exact
+// failure mode the byte-identical differential gates guard against. The
+// idiomatic NaN probe `x != x` (syntactically identical identifier on
+// both sides) is recognized and exempt, and so are _test.go files: this
+// repo's tests assert exact float values on purpose, because
+// bit-determinism across cores and worker counts is the property under
+// test.
+func checkFloatEq(p *Pass) {
+	for _, f := range p.Files {
+		if pos := p.Fset.Position(f.Pos()); strings.HasSuffix(pos.Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !p.isFloat(be.X) || !p.isFloat(be.Y) {
+				return true
+			}
+			if be.Op == token.NEQ && sameIdent(be.X, be.Y) {
+				return true // NaN self-test
+			}
+			p.reportf(be.OpPos, "R5",
+				"floating-point %s comparison: accumulated floats are order- and rounding-sensitive; compare with an epsilon or restructure around exact state", be.Op)
+			return true
+		})
+	}
+}
+
+// isFloat reports whether e's type is (or is named with underlying)
+// float32/float64. Untyped float constants adopt the other operand's type
+// during checking, so a constant-vs-aggregate comparison is still caught.
+func (p *Pass) isFloat(e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// sameIdent reports whether both expressions are the same bare identifier.
+func sameIdent(a, b ast.Expr) bool {
+	ia, ok1 := ast.Unparen(a).(*ast.Ident)
+	ib, ok2 := ast.Unparen(b).(*ast.Ident)
+	return ok1 && ok2 && ia.Name == ib.Name
+}

@@ -1,0 +1,240 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+const backfillPath = "cosched/internal/backfill"
+
+// planners maps the backfill entry points to recognition; the releases
+// parameter is located by type, so signature evolution cannot silently
+// de-fang the rule.
+var planners = map[string]bool{
+	"Plan": true, "PlanInto": true,
+	"PlanConservative": true, "PlanConservativeInto": true,
+}
+
+// checkReleases implements R3: every call into the backfill planners must
+// pass a releases list that is provably in the canonical (EndBy asc,
+// Nodes asc) order. The contract is runtime-asserted only under
+// -tags debug, so release builds rely on this static check. Accepted
+// provenances:
+//
+//   - nil, or an all-constant composite literal verified sorted here;
+//   - a call expression (producers like Manager.planReleases own the
+//     contract internally and keep the maintained timeline sorted);
+//   - a selector or identifier named "timeline" (the maintained timeline);
+//   - an identifier assigned from one of the above inside the enclosing
+//     function;
+//   - an identifier passed to backfill.SortReleases earlier in the
+//     enclosing function.
+//
+// The backfill package itself is exempt: it owns the contract, and its
+// tests construct deliberately unsorted inputs to probe the assertion.
+func checkReleases(p *Pass) {
+	if p.Path == backfillPath {
+		return
+	}
+	for _, f := range p.Files {
+		// stack mirrors ast.Inspect's traversal (every pre-order node is
+		// pushed, every post-order nil pops), so the innermost enclosing
+		// function is found by scanning backwards — a bare "push funcs only"
+		// stack would leak exited function literals.
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != backfillPath || !planners[fn.Name()] {
+				return true
+			}
+			idx := releasesParamIndex(fn)
+			if idx < 0 || idx >= len(call.Args) {
+				return true
+			}
+			arg := ast.Unparen(call.Args[idx])
+			var enclosing ast.Node
+			for i := len(stack) - 2; i >= 0; i-- {
+				if _, ok := stack[i].(*ast.FuncDecl); ok {
+					enclosing = stack[i]
+					break
+				}
+				if _, ok := stack[i].(*ast.FuncLit); ok {
+					enclosing = stack[i]
+					break
+				}
+			}
+			if why := p.unprovenReleases(arg, enclosing, call.Pos()); why != "" {
+				p.reportf(call.Pos(), "R3",
+					"releases argument of backfill.%s is not provably in canonical order (%s); take it from the maintained timeline or call backfill.SortReleases first",
+					fn.Name(), why)
+			}
+			return true
+		})
+	}
+}
+
+// releasesParamIndex finds the []backfill.Release parameter by type.
+func releasesParamIndex(fn *types.Func) int {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return -1
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if sl, ok := sig.Params().At(i).Type().(*types.Slice); ok &&
+			namedAs(sl.Elem(), backfillPath, "Release") {
+			return i
+		}
+	}
+	return -1
+}
+
+// unprovenReleases returns "" when arg's sortedness is established, or a
+// short reason when it is not.
+func (p *Pass) unprovenReleases(arg ast.Expr, enclosing ast.Node, callPos token.Pos) string {
+	if p.acceptableReleasesExpr(arg) {
+		return ""
+	}
+	// An identifier: look for a defining assignment from an acceptable
+	// expression, or an earlier SortReleases(x) on the same object.
+	if id, ok := arg.(*ast.Ident); ok && enclosing != nil {
+		obj := p.Info.Uses[id]
+		if obj != nil && (p.assignedAcceptably(obj, enclosing) || p.sortedBefore(obj, enclosing, callPos)) {
+			return ""
+		}
+		return "variable " + id.Name + " has no visible sorted provenance in this function"
+	}
+	return "expression has no visible sorted provenance"
+}
+
+// acceptableReleasesExpr recognizes expressions that are sorted by
+// construction.
+func (p *Pass) acceptableReleasesExpr(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if e.Name == "nil" || e.Name == "timeline" {
+			return true
+		}
+	case *ast.SelectorExpr:
+		// The maintained timeline field (m.timeline), whose sortedness is
+		// the incremental core's own audited invariant.
+		return e.Sel.Name == "timeline"
+	case *ast.CallExpr:
+		// Producer functions (planReleases, timeline accessors) own the
+		// contract; a conversion or append would also pass here, which is
+		// the documented precision limit of the rule.
+		return true
+	case *ast.CompositeLit:
+		return p.sortedLiteral(e)
+	}
+	return false
+}
+
+// sortedLiteral verifies an all-constant []Release literal against the
+// canonical order; any non-constant element defeats the proof.
+func (p *Pass) sortedLiteral(lit *ast.CompositeLit) bool {
+	type rel struct{ endBy, nodes int64 }
+	var prev *rel
+	for _, el := range lit.Elts {
+		inner, ok := el.(*ast.CompositeLit)
+		if !ok {
+			return false
+		}
+		var r rel
+		for i, field := range inner.Elts {
+			expr := field
+			name := ""
+			if kv, ok := field.(*ast.KeyValueExpr); ok {
+				expr = kv.Value
+				if id, ok := kv.Key.(*ast.Ident); ok {
+					name = id.Name
+				}
+			} else if i == 0 {
+				name = "Nodes" // positional: struct field order
+			} else if i == 1 {
+				name = "EndBy"
+			}
+			tv, ok := p.Info.Types[expr]
+			if !ok || tv.Value == nil {
+				return false
+			}
+			v, ok := constant.Int64Val(tv.Value)
+			if !ok {
+				return false
+			}
+			switch name {
+			case "Nodes":
+				r.nodes = v
+			case "EndBy":
+				r.endBy = v
+			}
+		}
+		if prev != nil && (r.endBy < prev.endBy || (r.endBy == prev.endBy && r.nodes < prev.nodes)) {
+			return false
+		}
+		prev = &r
+	}
+	return true
+}
+
+// assignedAcceptably reports whether obj is assigned from an acceptable
+// expression anywhere in the enclosing function.
+func (p *Pass) assignedAcceptably(obj types.Object, enclosing ast.Node) bool {
+	ok := false
+	ast.Inspect(enclosing, func(n ast.Node) bool {
+		if ok {
+			return false
+		}
+		as, isAssign := n.(*ast.AssignStmt)
+		if !isAssign || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, isIdent := lhs.(*ast.Ident)
+			if !isIdent {
+				continue
+			}
+			if p.Info.Defs[id] == obj || p.Info.Uses[id] == obj {
+				if p.acceptableReleasesExpr(as.Rhs[i]) {
+					ok = true
+				}
+			}
+		}
+		return true
+	})
+	return ok
+}
+
+// sortedBefore reports whether backfill.SortReleases(obj) is called before
+// pos inside the enclosing function.
+func (p *Pass) sortedBefore(obj types.Object, enclosing ast.Node, pos token.Pos) bool {
+	ok := false
+	ast.Inspect(enclosing, func(n ast.Node) bool {
+		if ok {
+			return false
+		}
+		call, isCall := n.(*ast.CallExpr)
+		if !isCall || call.Pos() >= pos || len(call.Args) != 1 {
+			return true
+		}
+		fn := calleeFunc(p.Info, call)
+		if !isPkgFunc(fn, backfillPath, "SortReleases") {
+			return true
+		}
+		if id, isIdent := ast.Unparen(call.Args[0]).(*ast.Ident); isIdent && p.Info.Uses[id] == obj {
+			ok = true
+		}
+		return true
+	})
+	return ok
+}

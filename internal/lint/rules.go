@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Rule is one simlint check. Every rule encodes a repo contract or a past
+// bug; Doc is the one-paragraph rationale `simlint -rules` prints and
+// ARCHITECTURE.md §6 catalogs.
+type Rule struct {
+	ID    string
+	Title string
+	Doc   string
+	Check func(*Pass)
+}
+
+// Rules is the simlint rule catalog, in report order.
+var Rules = []Rule{
+	{
+		ID:    "R1",
+		Title: "no map iteration into ordered state",
+		Doc: "A `range` over a map whose body schedules events, drives the " +
+			"resource manager, or emits ordered output injects Go's randomized " +
+			"map order into the simulation's total event order or into rendered " +
+			"bytes. PR 2's determinism bug was exactly this: coupled.New ranged " +
+			"a traces map while scheduling submissions, flipping proportion-sweep " +
+			"cells between runs. Collect keys, sort, then iterate the slice.",
+		Check: checkMapRange,
+	},
+	{
+		ID:    "R2",
+		Title: "no wall clock or global RNG in sim-pure packages",
+		Doc: "Simulation packages model time as sim.Time and draw randomness " +
+			"from explicitly seeded sources; time.Now/time.Sleep or the global " +
+			"math/rand functions make results machine- and run-dependent. " +
+			"Applies to every cosched/internal package except internal/live " +
+			"(the real-time driver); cmd/ and examples/ are exempt.",
+		Check: checkPurity,
+	},
+	{
+		ID:    "R3",
+		Title: "backfill planner callers must pass a canonically sorted timeline",
+		Doc: "backfill.Plan/PlanInto/PlanConservative/PlanConservativeInto " +
+			"require releases sorted by (EndBy asc, Nodes asc); a mis-sorted " +
+			"list silently computes a wrong shadow time. The contract is only " +
+			"asserted under -tags debug, so statically: the releases argument " +
+			"must come from the manager's maintained timeline, a producer call, " +
+			"a provably sorted constant literal, or a prior backfill.SortReleases.",
+		Check: checkReleases,
+	},
+	{
+		ID:    "R4",
+		Title: "no goroutines or t.Parallel around a resmgr.Manager",
+		Doc: "resmgr.Manager is single-threaded by contract — the engine's " +
+			"event loop serializes everything. Goroutines capturing a Manager " +
+			"or t.Parallel in its tests race the scheduler state; concurrency " +
+			"belongs in internal/parallel's deterministic cell pool, where each " +
+			"worker owns a private engine.",
+		Check: checkConcurrency,
+	},
+	{
+		ID:    "R5",
+		Title: "no floating-point == or != ",
+		Doc: "Metric aggregates are accumulated floats; bit-equality on them " +
+			"encodes accumulation order and rounding into control flow, which " +
+			"is exactly what the byte-identical differential gates exist to " +
+			"catch. Compare against an epsilon, compare the rendered strings, " +
+			"or restructure around exact integer state. (x != x as a NaN probe " +
+			"is recognized and allowed.)",
+		Check: checkFloatEq,
+	},
+}
+
+// ---------------------------------------------------------------------------
+// Shared type helpers
+
+// namedAs reports whether t (after pointer deref) is the named type
+// path.name.
+func namedAs(t types.Type, path, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == path && obj.Name() == name
+}
+
+// calleeFunc resolves a call expression to the *types.Func it invokes, or
+// nil for builtins, conversions, and indirect calls through variables.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// recvType returns the receiver type of a method call, or nil when the
+// call is not a method call.
+func recvType(info *types.Info, call *ast.CallExpr) types.Type {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return nil
+	}
+	return s.Recv()
+}
+
+// isPkgFunc reports whether f is a package-level function (not a method)
+// of the given package path with one of the given names.
+func isPkgFunc(f *types.Func, path string, names ...string) bool {
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() != path {
+		return false
+	}
+	if sig, ok := f.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return false
+	}
+	for _, n := range names {
+		if f.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// inRepoPackage reports whether path is inside this module's internal
+// tree (works for both the real module and fixture paths).
+func inRepoPackage(path, sub string) bool {
+	return path == "cosched/internal/"+sub || strings.HasPrefix(path, "cosched/internal/"+sub+"/")
+}

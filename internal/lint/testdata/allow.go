@@ -1,0 +1,12 @@
+// Allow-directive hygiene fixtures: a directive with no reason and a
+// directive that suppresses nothing are findings themselves. The
+// expectations for this file live in TestAllowHygieneFixture, because a
+// trailing comment cannot share a line with a //simlint:allow directive.
+package fixture
+
+func allowHygiene(a, b float64) bool {
+	//simlint:allow R5
+	ok := a == b
+	//simlint:allow R5 this line has no float comparison to suppress
+	return ok
+}

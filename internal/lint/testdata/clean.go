@@ -1,0 +1,35 @@
+// A fixture with zero findings: each shape here is the sanctioned
+// counterpart of a violation in the rule fixtures — the maintained
+// timeline feeding the planner, and sorted-key rendering of a map.
+package fixture
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cosched/internal/backfill"
+	"cosched/internal/job"
+	"cosched/internal/sim"
+)
+
+type core struct {
+	timeline []backfill.Release
+}
+
+func (c *core) plan(q []*job.Job, now sim.Time) []backfill.Decision {
+	return backfill.Plan(q, 8, func(n int) int { return n }, c.timeline, now, true, nil)
+}
+
+func render(waits map[string]float64) string {
+	domains := make([]string, 0, len(waits))
+	for d := range waits {
+		domains = append(domains, d)
+	}
+	sort.Strings(domains)
+	var b strings.Builder
+	for _, d := range domains {
+		fmt.Fprintf(&b, "%s %.2f\n", d, waits[d])
+	}
+	return b.String()
+}

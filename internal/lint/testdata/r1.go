@@ -1,0 +1,37 @@
+// R1 fixtures: map iteration order leaking into order-sensitive
+// operations. Each `// want` comment names the rule that must fire on
+// that line; lines without one must stay clean.
+package fixture
+
+import (
+	"fmt"
+	"sort"
+
+	"cosched/internal/sim"
+)
+
+func mapRangePrint(counts map[string]int) {
+	for name, n := range counts { // want "R1"
+		fmt.Printf("%s %d\n", name, n)
+	}
+}
+
+func mapRangeSchedule(eng *sim.Engine, delays map[int]sim.Duration) {
+	for id, d := range delays { // want "R1"
+		_ = id
+		eng.After(d, sim.PrioritySchedule, func(now sim.Time) {})
+	}
+}
+
+// Collect, sort, then iterate the slice: the sanctioned shape. The
+// collection loop ranges the map but reaches nothing order-sensitive.
+func mapRangeSorted(counts map[string]int) {
+	names := make([]string, 0, len(counts))
+	for name := range counts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Println(name, counts[name])
+	}
+}

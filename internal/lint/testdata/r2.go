@@ -1,0 +1,24 @@
+// R2 fixtures: wall-clock reads and global-RNG draws in a sim-pure
+// package. The harness type-checks this file under a sim-pure import
+// path, so the rule is active.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want "R2"
+}
+
+func globalRNG() int {
+	return rand.Intn(10) // want "R2"
+}
+
+// An explicitly seeded generator is the sanctioned randomness source,
+// and time arithmetic that never reads the clock is pure.
+func seeded() (int, time.Time) {
+	r := rand.New(rand.NewSource(1))
+	return r.Intn(10), time.Unix(0, 0).Add(3 * time.Second)
+}

@@ -1,0 +1,36 @@
+// R3 fixtures: backfill planner calls must pass releases with provable
+// canonical ordering (EndBy asc, Nodes asc).
+package fixture
+
+import (
+	"cosched/internal/backfill"
+	"cosched/internal/job"
+)
+
+func charge(n int) int { return n }
+
+func unsortedLiteral(q []*job.Job) {
+	backfill.Plan(q, 8, charge, []backfill.Release{{Nodes: 1, EndBy: 20}, {Nodes: 2, EndBy: 10}}, 0, true, nil) // want "R3"
+}
+
+func opaqueVariable(q []*job.Job, rel []backfill.Release) {
+	backfill.Plan(q, 8, charge, rel, 0, true, nil) // want "R3"
+}
+
+// Sorting immediately before the call discharges the obligation.
+func sortedFirst(q []*job.Job, rel []backfill.Release) {
+	backfill.SortReleases(rel)
+	backfill.Plan(q, 8, charge, rel, 0, true, nil)
+}
+
+// produce stands in for the maintained-timeline accessors: producer
+// calls own the sortedness contract.
+func produce() []backfill.Release { return nil }
+
+// A literal verified sorted here, a nil list, and a producer call are
+// all accepted provenances.
+func provenSources(q []*job.Job) {
+	backfill.Plan(q, 8, charge, []backfill.Release{{Nodes: 2, EndBy: 10}, {Nodes: 1, EndBy: 20}}, 0, true, nil)
+	backfill.PlanConservative(q, 16, 8, charge, nil, 0, nil)
+	backfill.Plan(q, 8, charge, produce(), 0, true, nil)
+}

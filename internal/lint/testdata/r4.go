@@ -1,0 +1,25 @@
+// R4 fixtures: the resource manager is single-threaded by contract —
+// no goroutine may capture one, and tests outside internal/parallel may
+// not opt into t.Parallel.
+package fixture
+
+import (
+	"testing"
+
+	"cosched/internal/resmgr"
+)
+
+func parallelSubtest(t *testing.T) {
+	t.Parallel() // want "R4"
+}
+
+func goroutineCapture(m *resmgr.Manager) {
+	go func() { // want "R4"
+		m.RequestIteration()
+	}()
+}
+
+// A goroutine that never touches a Manager is unconstrained.
+func goroutineClean(ch chan int) {
+	go func() { ch <- 1 }()
+}

@@ -1,0 +1,15 @@
+// R5 fixtures: floating-point equality over computed values.
+package fixture
+
+func floatEq(mean, want float64) bool {
+	return mean == want // want "R5"
+}
+
+func floatNeq(a, b float64) bool {
+	return a != b // want "R5"
+}
+
+// The NaN self-probe and integer equality are exempt.
+func exemptComparisons(x float64, n, m int) bool {
+	return x != x || n == m
+}

@@ -209,6 +209,7 @@ func (s *Sim) iterate(now sim.Time) {
 	ordered := append([]*request(nil), s.queue...)
 	sort.SliceStable(ordered, func(a, b int) bool {
 		sa, sb := s.score(ordered[a], now), s.score(ordered[b], now)
+		//simlint:allow R5 sort comparator must be exact and total; an epsilon tie would break strict weak ordering
 		if sa != sb {
 			return sa > sb
 		}

@@ -169,3 +169,32 @@ func TestStderr(t *testing.T) {
 		t.Fatalf("stderr of constants = %g", got)
 	}
 }
+
+// TestTableRenderTwiceIdentical is the ordered-output regression guard:
+// rendering the same table (and a report built from the same jobs) twice
+// must produce identical bytes. A map iteration leaking into row order
+// anywhere in the render path shows up here as a byte diff.
+func TestTableRenderTwiceIdentical(t *testing.T) {
+	build := func() string {
+		tb := NewTable("Fig X", "scheme", "wait(min)", "slowdown")
+		for i, s := range []string{"HH", "HY", "YH", "YY"} {
+			tb.AddRowf(s, float64(i)*1.5, float64(i)*0.25)
+		}
+		tb.Caption = "determinism probe"
+		return tb.Render()
+	}
+	if a, b := build(), build(); a != b {
+		t.Fatalf("table render not reproducible:\n%s\nvs\n%s", a, b)
+	}
+
+	var jobs []*job.Job
+	for i := 1; i <= 40; i++ {
+		jobs = append(jobs, mkdone(job.ID(i), i, sim.Time(i), sim.Time(i)+600, 600, i%3 == 0))
+	}
+	report := func() string {
+		return Collect("dom", jobs, 512, 3600).String()
+	}
+	if a, b := report(), report(); a != b {
+		t.Fatalf("report render not reproducible:\n%s\nvs\n%s", a, b)
+	}
+}

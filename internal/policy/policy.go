@@ -58,6 +58,7 @@ func IsTimeInvariant(p Policy) bool {
 // this exact comparator — the incremental core's determinism guarantee is
 // that binary-search insertion and a full sort agree on every permutation.
 func Precedes(sa float64, a *job.Job, sb float64, b *job.Job) bool {
+	//simlint:allow R5 canonical comparator must be exact and total; an epsilon tie would break strict weak ordering
 	if sa != sb {
 		return sa > sb
 	}

@@ -51,6 +51,7 @@ func (c *Client) call(req Request) (Response, error) {
 	c.seq++
 	req.Seq = c.seq
 	if c.timeout > 0 {
+		//simlint:allow R2 wire I/O deadline on a real socket; unrelated to simulation time
 		if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
 			return Response{}, err
 		}

@@ -53,6 +53,7 @@ func (r *RNG) Int63n(n int64) int64 {
 // Exp returns an exponential variate with the given mean.
 func (r *RNG) Exp(mean float64) float64 {
 	u := r.Float64()
+	//simlint:allow R5 exact-zero rejection before Log: only the bit pattern 0.0 is invalid
 	for u == 0 {
 		u = r.Float64()
 	}
@@ -62,6 +63,7 @@ func (r *RNG) Exp(mean float64) float64 {
 // Normal returns a standard normal variate (Box–Muller).
 func (r *RNG) Normal() float64 {
 	u1 := r.Float64()
+	//simlint:allow R5 exact-zero rejection before Log: only the bit pattern 0.0 is invalid
 	for u1 == 0 {
 		u1 = r.Float64()
 	}

@@ -1,0 +1,30 @@
+package workload
+
+import (
+	"testing"
+
+	"cosched/internal/job"
+	"cosched/internal/sim"
+)
+
+// TestAnalyzeRenderTwiceIdentical guards the ordered output behind
+// cmd/traceinfo: Analyze builds its size histogram through a map, so two
+// full analyze+render passes over the same trace must stay
+// byte-identical — a map-order leak into the rendered buckets fails
+// here.
+func TestAnalyzeRenderTwiceIdentical(t *testing.T) {
+	var jobs []*job.Job
+	for i := 1; i <= 60; i++ {
+		// 20 distinct size classes exercise the histogram map.
+		j := job.New(job.ID(i), 1+(i*7)%20, sim.Time(i*30), sim.Duration(60+i), sim.Duration(120+i))
+		j.User = i % 7
+		jobs = append(jobs, j)
+	}
+	render := func() string {
+		st := Analyze(jobs, 512)
+		return st.Render("probe", 512)
+	}
+	if a, b := render(), render(); a != b {
+		t.Fatalf("trace stats render not reproducible:\n%s\nvs\n%s", a, b)
+	}
+}
