@@ -30,6 +30,13 @@ go test -race -run 'SchedCoreDifferential' ./internal/experiments ./internal/cou
 go run ./cmd/experiments -schedsmoke -factor 0.05 -reps 1
 go test -run=NONE -bench=Iterate -benchtime=1x ./internal/resmgr
 
+# Protocol-resilience gate: the peer-link breaker/backoff machinery, the
+# proto client/server/fault-injector, and the live chaos harness are the
+# repo's most concurrency-heavy code (links are hammered from scheduler,
+# probe, and status threads at once). -count=2 reruns them uncached so
+# goroutine-interleaving flakes can't hide behind a cached pass.
+go test -race -count=2 ./internal/proto ./internal/peerlink ./internal/live
+
 # Debug-build hardening: the backfill sortedness asserts and the
 # invariant package's fail-fast deadlock monitor only compile under
 # -tags debug; run their suites together with the asserts live.

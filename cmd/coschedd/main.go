@@ -20,9 +20,11 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"log"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"syscall"
 	"time"
@@ -32,6 +34,7 @@ import (
 	"cosched/internal/eventlog"
 	"cosched/internal/job"
 	"cosched/internal/live"
+	"cosched/internal/peerlink"
 	"cosched/internal/policy"
 	"cosched/internal/proto"
 	"cosched/internal/resmgr"
@@ -92,7 +95,12 @@ func main() {
 		polName    = flag.String("policy", "wfp", "queue policy: wfp, fcfs, sjf, largest")
 		backfill   = flag.Bool("backfill", true, "enable EASY backfilling")
 		speedup    = flag.Float64("speedup", 1.0, "virtual seconds per wall second")
-		timeout    = flag.Duration("peer-timeout", 2*time.Second, "peer RPC timeout")
+		timeout    = flag.Duration("peer-timeout", 2*time.Second, "per-call peer RPC budget (round trip + one retry)")
+		dialTO     = flag.Duration("peer-dial-timeout", 2*time.Second, "peer TCP connect timeout")
+		brkFails   = flag.Int("peer-breaker-fails", 3, "consecutive transport failures before the peer breaker opens")
+		brkCool    = flag.Duration("peer-breaker-cooldown", 5*time.Second, "how long an open peer breaker waits before probing")
+		backoffLo  = flag.Duration("peer-backoff-base", 50*time.Millisecond, "initial redial backoff (doubles per failure)")
+		backoffHi  = flag.Duration("peer-backoff-max", 10*time.Second, "redial backoff ceiling")
 		logPath    = flag.String("log", "", "append a JSONL event log to this path (verifiable with cosim -verify-log)")
 		statusAddr = flag.String("status", "", "serve an HTML/JSON status page on this address (e.g. :8080)")
 	)
@@ -118,13 +126,14 @@ func main() {
 	}
 
 	var obs resmgr.Observer = logObserver{logger}
+	var elog *eventlog.Log // nil unless -log is set; also records peer-breaker transitions
 	if *logPath != "" {
 		lf, err := os.OpenFile(*logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
 			logger.Fatalf("event log: %v", err)
 		}
 		defer lf.Close()
-		elog := eventlog.New(lf)
+		elog = eventlog.New(lf)
 		defer elog.Flush()
 		obs = teeObserver{logObserver{logger}, elog.Observer(*name)}
 	}
@@ -155,9 +164,47 @@ func main() {
 	defer peerSrv.Close()
 	logger.Printf("peer protocol on %s", peerAddr)
 
-	// Outbound peers: lazy-dialing so daemons can start in any order.
-	for pname, addr := range peers {
-		mgr.AddPeer(pname, newLazyPeer(pname, addr, *timeout, logger))
+	// Outbound peers: resilient links (lazy dial, backoff, circuit breaker)
+	// so daemons can start in any order and survive peer outages without
+	// stalling the scheduler. Iterate in sorted order so jitter seeds — and
+	// therefore redial schedules — are reproducible across restarts.
+	peerNames := make([]string, 0, len(peers))
+	for pname := range peers {
+		peerNames = append(peerNames, pname)
+	}
+	sort.Strings(peerNames)
+	var links []*peerlink.Link
+	for _, pname := range peerNames {
+		seed := fnv.New64a()
+		fmt.Fprintf(seed, "%s->%s", *name, pname)
+		l := peerlink.New(peerlink.Config{
+			Name:          pname,
+			Addr:          peers[pname],
+			DialTimeout:   *dialTO,
+			CallTimeout:   *timeout,
+			FailThreshold: *brkFails,
+			Cooldown:      *brkCool,
+			BackoffBase:   *backoffLo,
+			BackoffMax:    *backoffHi,
+			Seed:          seed.Sum64(),
+			Logger:        logger,
+			OnStateChange: func(peer string, from, to peerlink.State, cause error) {
+				if elog == nil {
+					return
+				}
+				msg := ""
+				if cause != nil {
+					msg = cause.Error()
+				}
+				// The hook fires inside peer calls, which the manager makes
+				// under the driver lock — eng.Now() is safe here, while
+				// driver.VirtualNow() would deadlock on the same lock.
+				elog.PeerTransition(eng.Now(), *name, peer, from.String(), to.String(), msg)
+			},
+		})
+		links = append(links, l)
+		defer l.Close()
+		mgr.AddPeer(pname, l)
 	}
 
 	// Admin interface.
@@ -173,6 +220,7 @@ func main() {
 
 	if *statusAddr != "" {
 		statusSrv := live.NewStatusServer(mgr, driver)
+		statusSrv.WatchPeers(links...)
 		sa, err := statusSrv.Listen(*statusAddr)
 		if err != nil {
 			logger.Fatalf("status listen: %v", err)
@@ -185,6 +233,12 @@ func main() {
 	defer stop()
 	driver.Run(ctx)
 	logger.Print("shutting down")
+	for _, l := range links {
+		s := l.Snapshot()
+		logger.Printf("peer %s: state=%s calls=%d ok=%d remote=%d transport=%d fastfail=%d retries=%d dials=%d trips=%d",
+			s.Name, s.State, s.Calls, s.Successes, s.RemoteErrors, s.TransportErrors,
+			s.FastFails, s.Retries, s.Dials, s.Trips)
+	}
 }
 
 // teeObserver fans lifecycle events out to several observers.
@@ -230,104 +284,4 @@ func (t teeObserver) JobCancelled(now sim.Time, j *job.Job) {
 	for _, o := range t {
 		o.JobCancelled(now, j)
 	}
-}
-
-// lazyPeer dials on first use and redials after failures, so a daemon can
-// come up before its peers and survive peer restarts. Every error is
-// surfaced to the caller, which Algorithm 1 treats as "status unknown".
-type lazyPeer struct {
-	name    string
-	addr    string
-	timeout time.Duration
-	logger  *log.Logger
-	client  *proto.Client
-}
-
-func newLazyPeer(name, addr string, timeout time.Duration, logger *log.Logger) *lazyPeer {
-	return &lazyPeer{name: name, addr: addr, timeout: timeout, logger: logger}
-}
-
-func (p *lazyPeer) get() (*proto.Client, error) {
-	if p.client != nil {
-		return p.client, nil
-	}
-	c, err := proto.Dial(p.addr, p.timeout)
-	if err != nil {
-		return nil, err
-	}
-	p.client = c
-	return c, nil
-}
-
-// drop discards the cached client after a failure so the next call redials.
-func (p *lazyPeer) drop(err error) {
-	if p.client != nil {
-		p.client.Close()
-		p.client = nil
-	}
-	if p.logger != nil {
-		p.logger.Printf("peer %s (%s): %v (will redial)", p.name, p.addr, err)
-	}
-}
-
-func (p *lazyPeer) PeerName() string { return p.name }
-
-func (p *lazyPeer) GetMateJob(id job.ID) (bool, error) {
-	c, err := p.get()
-	if err != nil {
-		return false, err
-	}
-	ok, err := c.GetMateJob(id)
-	if err != nil {
-		p.drop(err)
-	}
-	return ok, err
-}
-
-func (p *lazyPeer) GetMateStatus(id job.ID) (cosched.MateStatus, error) {
-	c, err := p.get()
-	if err != nil {
-		return cosched.StatusUnknown, err
-	}
-	st, err := c.GetMateStatus(id)
-	if err != nil {
-		p.drop(err)
-	}
-	return st, err
-}
-
-func (p *lazyPeer) CanStartMate(id job.ID) (bool, error) {
-	c, err := p.get()
-	if err != nil {
-		return false, err
-	}
-	ok, err := c.CanStartMate(id)
-	if err != nil {
-		p.drop(err)
-	}
-	return ok, err
-}
-
-func (p *lazyPeer) TryStartMate(id job.ID) (bool, error) {
-	c, err := p.get()
-	if err != nil {
-		return false, err
-	}
-	ok, err := c.TryStartMate(id)
-	if err != nil {
-		p.drop(err)
-	}
-	return ok, err
-}
-
-func (p *lazyPeer) StartMate(id job.ID) error {
-	c, err := p.get()
-	if err != nil {
-		return err
-	}
-	if err := c.StartMate(id); err != nil {
-		p.drop(err)
-		return err
-	}
-	return nil
 }

@@ -174,6 +174,10 @@ func verifyLogFile(path string) {
 	fmt.Printf("log: %d records, domains %v, %d submits / %d starts / %d completes, %d holds, %d yields, %d releases\n",
 		stats.Records, stats.Domains, stats.Submits, stats.Starts, stats.Completes,
 		stats.Holds, stats.Yields, stats.Releases)
+	if stats.PeerTransitions > 0 {
+		fmt.Printf("peer links: %d breaker transitions (outages and recoveries interleaved with the run)\n",
+			stats.PeerTransitions)
+	}
 	violations := eventlog.VerifyCoStarts(recs)
 	if len(violations) == 0 {
 		fmt.Println("CO-START VERIFIED: every started pair started simultaneously")

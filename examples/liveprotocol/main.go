@@ -22,6 +22,7 @@ import (
 	"cosched/internal/cosched"
 	"cosched/internal/job"
 	"cosched/internal/live"
+	"cosched/internal/peerlink"
 	"cosched/internal/proto"
 	"cosched/internal/resmgr"
 	"cosched/internal/sim"
@@ -73,16 +74,14 @@ func main() {
 	defer viz.peer.Close()
 	defer viz.admin.Close()
 
-	// Cross-wire the peers over TCP.
-	hpcToViz, err := proto.Dial(viz.peerAddr, 2*time.Second)
-	if err != nil {
-		log.Fatal(err)
-	}
+	// Cross-wire the peers over TCP through resilient links: lazy dialing
+	// (either daemon could have started first), redial backoff, and a
+	// circuit breaker so a dead partner costs microseconds, not a dial
+	// timeout per scheduling iteration — exactly the wiring cmd/coschedd
+	// uses.
+	hpcToViz := peerlink.New(peerlink.Config{Name: "viz", Addr: viz.peerAddr})
 	defer hpcToViz.Close()
-	vizToHpc, err := proto.Dial(hpc.peerAddr, 2*time.Second)
-	if err != nil {
-		log.Fatal(err)
-	}
+	vizToHpc := peerlink.New(peerlink.Config{Name: "hpc", Addr: hpc.peerAddr})
 	defer vizToHpc.Close()
 	hpc.driver.Do(func() { hpc.mgr.AddPeer("viz", hpcToViz) })
 	viz.driver.Do(func() { viz.mgr.AddPeer("hpc", vizToHpc) })
@@ -151,6 +150,9 @@ func main() {
 			}
 			hj, _ := hpcAdmin.Status(pairID)
 			fmt.Printf("  states now: hpc=%s viz=%s\n", hj.State, vs.State)
+			ls := hpcToViz.Snapshot()
+			fmt.Printf("  hpc->viz link: %s, %d calls (%d ok), %d dials, %d breaker trips\n",
+				ls.State, ls.Calls, ls.Successes, ls.Dials, ls.Trips)
 			return
 		}
 		if time.Now().After(deadline) {

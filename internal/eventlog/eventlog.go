@@ -32,6 +32,10 @@ const (
 	KindYield    = "yield"
 	KindRelease  = "release"
 	KindCancel   = "cancel"
+	// KindPeer records a peer-link breaker transition (internal/peerlink):
+	// resilience telemetry interleaved with the job lifecycle so an outage
+	// window can be read off the same log as the co-starts it affected.
+	KindPeer = "peer"
 )
 
 // Record is one logged event.
@@ -46,6 +50,8 @@ type Record struct {
 	Wait   sim.Duration  `json:"wait,omitempty"`  // on start records
 	Sync   sim.Duration  `json:"sync,omitempty"`  // on start records
 	Yields int           `json:"yields,omitempty"`
+	Peer   string        `json:"peer,omitempty"`   // on peer records: remote domain
+	Detail string        `json:"detail,omitempty"` // on peer records: "closed -> open (cause)"
 }
 
 // Log serializes events from any number of domains to one writer. Safe for
@@ -104,6 +110,16 @@ func (l *Log) emit(r Record) {
 		return
 	}
 	l.records++
+}
+
+// PeerTransition logs a breaker transition on the link from domain to
+// peer. cause may be empty (recovery transitions have no error).
+func (l *Log) PeerTransition(now sim.Time, domain, peer, from, to, cause string) {
+	detail := from + " -> " + to
+	if cause != "" {
+		detail += " (" + cause + ")"
+	}
+	l.emit(Record{Time: now, Domain: domain, Kind: KindPeer, Peer: peer, Detail: detail})
 }
 
 // Observer returns a resmgr.Observer that logs the named domain's events
@@ -260,7 +276,10 @@ type Stats struct {
 	Yields    int
 	Releases  int
 	Cancels   int
-	Domains   []string
+	// PeerTransitions counts breaker transitions (KindPeer records) — a
+	// rough health indicator for the run's peer links.
+	PeerTransitions int
+	Domains         []string
 }
 
 // Summarize tallies a log.
@@ -284,6 +303,8 @@ func Summarize(records []Record) Stats {
 			s.Releases++
 		case KindCancel:
 			s.Cancels++
+		case KindPeer:
+			s.PeerTransitions++
 		}
 	}
 	for d := range domains {

@@ -144,3 +144,39 @@ func TestHoldAndYieldEventsLogged(t *testing.T) {
 		t.Fatal("hold-hold run logged no hold events")
 	}
 }
+
+func TestPeerTransitionRecords(t *testing.T) {
+	var buf bytes.Buffer
+	log := New(&buf)
+	log.PeerTransition(100, "A", "B", "closed", "open", "dial tcp: connection refused")
+	log.PeerTransition(200, "A", "B", "open", "half-open", "")
+	log.PeerTransition(200, "A", "B", "half-open", "closed", "")
+	if err := log.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("records = %d, want 3", len(recs))
+	}
+	first := recs[0]
+	if first.Kind != KindPeer || first.Domain != "A" || first.Peer != "B" || first.Time != 100 {
+		t.Fatalf("record = %+v", first)
+	}
+	if first.Detail != "closed -> open (dial tcp: connection refused)" {
+		t.Fatalf("detail = %q", first.Detail)
+	}
+	if recs[1].Detail != "open -> half-open" {
+		t.Fatalf("causeless detail = %q", recs[1].Detail)
+	}
+	stats := Summarize(recs)
+	if stats.PeerTransitions != 3 {
+		t.Fatalf("peer transitions = %d, want 3", stats.PeerTransitions)
+	}
+	// Peer records never disturb co-start verification.
+	if v := VerifyCoStarts(recs); len(v) != 0 {
+		t.Fatalf("violations from peer-only log: %v", v)
+	}
+}

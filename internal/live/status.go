@@ -9,6 +9,7 @@ import (
 	"sort"
 
 	"cosched/internal/job"
+	"cosched/internal/peerlink"
 	"cosched/internal/resmgr"
 	"cosched/internal/sim"
 )
@@ -25,6 +26,9 @@ type StatusSnapshot struct {
 	Holding    int            `json:"holding_jobs"`
 	Completed  int            `json:"completed_jobs"`
 	Jobs       []StatusJobRow `json:"jobs"`
+	// Peers reports the health of each watched peer link (breaker state,
+	// call and failure counters). Empty when the daemon has no peers.
+	Peers []peerlink.Snapshot `json:"peers,omitempty"`
 }
 
 // StatusJobRow is one non-terminal job in the snapshot.
@@ -43,12 +47,19 @@ type StatusJobRow struct {
 type StatusServer struct {
 	mgr    *resmgr.Manager
 	driver *Driver
+	links  []*peerlink.Link
 	srv    *http.Server
 }
 
 // NewStatusServer wraps a manager and its driver.
 func NewStatusServer(mgr *resmgr.Manager, driver *Driver) *StatusServer {
 	return &StatusServer{mgr: mgr, driver: driver}
+}
+
+// WatchPeers registers peer links whose health snapshots are included in
+// every status snapshot. Call before Listen.
+func (s *StatusServer) WatchPeers(links ...*peerlink.Link) {
+	s.links = append(s.links, links...)
 }
 
 // snapshot collects daemon state under the driver lock.
@@ -79,6 +90,11 @@ func (s *StatusServer) snapshot() StatusSnapshot {
 		}
 	})
 	sort.Slice(snap.Jobs, func(a, b int) bool { return snap.Jobs[a].ID < snap.Jobs[b].ID })
+	// Link snapshots take only the link's own lock — outside driver.Do, so
+	// a wedged peer call can never block the status page.
+	for _, l := range s.links {
+		snap.Peers = append(snap.Peers, l.Snapshot())
+	}
 	return snap
 }
 
@@ -99,7 +115,17 @@ th{background:#f3f2ef}.k{color:#52514e}
 {{range .Jobs}}<tr><td>{{.ID}}</td><td>{{.Name}}</td><td>{{.State}}</td>
 <td>{{.Nodes}}</td><td>{{.Submit}}</td><td>{{.Mates}}</td><td>{{.Yields}}</td></tr>
 {{else}}<tr><td colspan="7" class="k">no active jobs</td></tr>{{end}}
-</table></body></html>`))
+</table>
+{{if .Peers}}<h2>peer links</h2>
+<table><tr><th>peer</th><th>state</th><th>connected</th><th>calls</th><th>ok</th>
+<th>remote err</th><th>transport err</th><th>fast fail</th><th>retries</th>
+<th>trips</th><th>last error</th></tr>
+{{range .Peers}}<tr><td>{{.Name}}</td><td>{{.State}}</td><td>{{.Connected}}</td>
+<td>{{.Calls}}</td><td>{{.Successes}}</td><td>{{.RemoteErrors}}</td>
+<td>{{.TransportErrors}}</td><td>{{.FastFails}}</td><td>{{.Retries}}</td>
+<td>{{.Trips}}</td><td class="k">{{.LastError}}</td></tr>{{end}}
+</table>{{end}}
+</body></html>`))
 
 // Listen serves the status page on addr and returns the bound address.
 func (s *StatusServer) Listen(addr string) (net.Addr, error) {

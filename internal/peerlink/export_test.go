@@ -1,0 +1,10 @@
+package peerlink
+
+import "time"
+
+// BackoffForTest exposes the jittered backoff schedule to tests.
+func (l *Link) BackoffForTest(k int) time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.backoffLocked(k)
+}

@@ -1,0 +1,50 @@
+package peerlink
+
+// Snapshot is a point-in-time view of a Link's health and counters,
+// served by the live status endpoint (internal/live/status.go) and
+// summarized at daemon shutdown. JSON-friendly by construction.
+type Snapshot struct {
+	Name      string `json:"name"`
+	Addr      string `json:"addr,omitempty"`
+	State     string `json:"state"`
+	Connected bool   `json:"connected"`
+
+	ConsecutiveFailures int `json:"consecutive_failures,omitempty"`
+
+	Calls           int `json:"calls"`
+	Successes       int `json:"successes"`
+	RemoteErrors    int `json:"remote_errors,omitempty"`
+	TransportErrors int `json:"transport_errors,omitempty"`
+	FastFails       int `json:"fast_fails,omitempty"`
+	Retries         int `json:"retries,omitempty"`
+	Dials           int `json:"dials,omitempty"`
+	DialErrors      int `json:"dial_errors,omitempty"`
+	Trips           int `json:"trips,omitempty"`
+	BreakConns      int `json:"break_conns,omitempty"`
+
+	LastError string `json:"last_error,omitempty"`
+}
+
+// Snapshot captures the link's current state and counters.
+func (l *Link) Snapshot() Snapshot {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Snapshot{
+		Name:                l.cfg.Name,
+		Addr:                l.cfg.Addr,
+		State:               l.state.String(),
+		Connected:           l.client != nil,
+		ConsecutiveFailures: l.consecFails,
+		Calls:               l.calls,
+		Successes:           l.successes,
+		RemoteErrors:        l.remoteErrs,
+		TransportErrors:     l.transportErrs,
+		FastFails:           l.fastFails,
+		Retries:             l.retries,
+		Dials:               l.dials,
+		DialErrors:          l.dialErrs,
+		Trips:               l.trips,
+		BreakConns:          l.breakConns,
+		LastError:           l.lastErr,
+	}
+}

@@ -1,0 +1,99 @@
+package proto
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Error taxonomy for peer calls. Every failure of a Client call is one of
+// exactly two classes, and resilience layers (internal/peerlink) route on
+// the distinction:
+//
+//   - RemoteError: the frame exchange worked; the remote manager answered
+//     with an application-level error (resp.Error != ""). The connection
+//     is healthy and must not be torn down.
+//   - TransportError: the exchange itself failed (dial, deadline, write,
+//     read, or framing desync). The connection can no longer be trusted to
+//     frame-align — a late response to a timed-out request would be read
+//     as the answer to the *next* request — so the client marks itself
+//     broken and closes the conn.
+//
+// Both classes map to "status unknown" at the Algorithm 1 call site; the
+// split only matters for connection management.
+
+// Transport stages, recorded in TransportError.Stage. The stage determines
+// retry safety: a request that failed at StageDial, StageDeadline,
+// StageWrite, or StageBroken never left this host, so resending it (on a
+// fresh connection) cannot double-execute anything. A StageRead failure is
+// ambiguous — the peer may have executed the request and the answer was
+// lost — so only idempotent queries may be retried.
+const (
+	StageDial     = "dial"
+	StageDeadline = "deadline"
+	StageWrite    = "write"
+	StageRead     = "read"
+	StageBroken   = "broken"
+)
+
+// ErrBrokenConn is the sentinel inside the TransportError returned by every
+// call after an earlier transport failure broke the client.
+var ErrBrokenConn = errors.New("connection broken by an earlier transport error")
+
+// TransportError is a failed frame exchange. It wraps the underlying I/O
+// error and records the stage the exchange died at.
+type TransportError struct {
+	Method string // peer method in flight ("" for dial failures)
+	Stage  string // StageDial, StageDeadline, StageWrite, StageRead, StageBroken
+	Err    error
+}
+
+func (e *TransportError) Error() string {
+	if e.Method == "" {
+		return fmt.Sprintf("proto: %s: %v", e.Stage, e.Err)
+	}
+	return fmt.Sprintf("proto: %s %s: %v", e.Stage, e.Method, e.Err)
+}
+
+func (e *TransportError) Unwrap() error { return e.Err }
+
+// RemoteError is an application-level error answered by the remote manager
+// over a healthy connection.
+type RemoteError struct {
+	Method string
+	Msg    string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("proto: remote error on %s: %s", e.Method, e.Msg)
+}
+
+// IsRemote reports whether err is (or wraps) a RemoteError — the peer
+// answered; the transport is healthy.
+func IsRemote(err error) bool {
+	var re *RemoteError
+	return errors.As(err, &re)
+}
+
+// ErrorStage extracts the transport stage from err, or "" if err is not a
+// TransportError (remote errors, injected faults, unknown errors).
+func ErrorStage(err error) string {
+	var te *TransportError
+	if errors.As(err, &te) {
+		return te.Stage
+	}
+	return ""
+}
+
+// RequestMayHaveReached reports whether the request behind err may have
+// been executed by the peer. Only a StageRead failure (or an error of
+// unknown provenance) is ambiguous; every other stage dies before the
+// frame leaves this host. Resilience layers use this to decide whether a
+// non-idempotent call (TryStartMate, StartMate) is safe to retry.
+func RequestMayHaveReached(err error) bool {
+	switch ErrorStage(err) {
+	case StageDial, StageDeadline, StageWrite, StageBroken:
+		return false
+	default:
+		return true
+	}
+}

@@ -3,6 +3,8 @@ package proto
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"time"
 
 	"cosched/internal/cosched"
 	"cosched/internal/job"
@@ -11,42 +13,112 @@ import (
 // ErrInjected is the error surfaced by a FaultInjector on a failed call.
 var ErrInjected = errors.New("proto: injected fault")
 
-// FaultInjector wraps a Peer and fails a deterministic, seeded fraction of
-// calls — the middleware used to exercise Algorithm 1's fault-tolerance
+// FaultInjector wraps a Peer and injects a deterministic, seeded stream of
+// chaos — the middleware used to exercise Algorithm 1's fault-tolerance
 // path ("status unknown ⇒ start normally") under partial failures, without
-// killing the peer entirely. The failure stream is reproducible: the same
-// seed and call sequence fail the same calls.
+// killing the peer entirely. Three independent modes compose per call, in
+// a fixed order so the stream stays reproducible (same seed and call
+// sequence ⇒ same chaos):
+//
+//  1. latency (WithLatency): sleep before forwarding, simulating a slow
+//     network — only meaningful on the live/wire path, where it exercises
+//     per-call deadline budgets;
+//  2. connection drop (WithDrops): invoke a caller-supplied dropper
+//     (typically peerlink.Link.BreakConn or a conn.Close) before
+//     forwarding, so the forwarded call hits a dead connection;
+//  3. injected failure (the NewFaultInjector rate): fail the call outright
+//     with ErrInjected.
+//
+// Safe for concurrent use once configured: live daemons call peers from
+// several goroutines. Configuration (WithLatency, WithDrops) must finish
+// before the first call.
 type FaultInjector struct {
 	inner cosched.Peer
 	// rate is the failure probability per call, in [0, 1].
 	rate float64
+	// latencyRate/latency: injected-delay probability and duration.
+	latencyRate float64
+	latency     time.Duration
+	// dropRate/dropper: connection-drop probability and the hook that cuts
+	// the wire.
+	dropRate float64
+	dropper  func()
+
+	mu sync.Mutex
 	// state is a splitmix64 stream (kept local to avoid importing the
 	// workload package from the protocol layer).
 	state uint64
 
-	calls  int
-	failed int
+	calls   int
+	failed  int
+	delayed int
+	dropped int
 }
 
 // NewFaultInjector wraps inner, failing each call with the given
 // probability. Rates outside [0, 1] are clamped.
 func NewFaultInjector(inner cosched.Peer, rate float64, seed uint64) *FaultInjector {
-	if rate < 0 {
-		rate = 0
+	return &FaultInjector{inner: inner, rate: clampRate(rate), state: seed}
+}
+
+func clampRate(r float64) float64 {
+	if r < 0 {
+		return 0
 	}
-	if rate > 1 {
-		rate = 1
+	if r > 1 {
+		return 1
 	}
-	return &FaultInjector{inner: inner, rate: rate, state: seed}
+	return r
+}
+
+// WithLatency adds injected latency: each call sleeps for d with the given
+// probability before being forwarded. Returns f for chaining. Configure
+// before the first call.
+func (f *FaultInjector) WithLatency(rate float64, d time.Duration) *FaultInjector {
+	f.latencyRate = clampRate(rate)
+	f.latency = d
+	return f
+}
+
+// WithDrops adds connection drops: with the given probability, dropper is
+// invoked (cutting the underlying connection) before the call is
+// forwarded, so the forwarded call exercises the dead-conn path. Returns f
+// for chaining. Configure before the first call.
+func (f *FaultInjector) WithDrops(rate float64, dropper func()) *FaultInjector {
+	f.dropRate = clampRate(rate)
+	f.dropper = dropper
+	return f
 }
 
 // Calls returns the number of intercepted calls.
-func (f *FaultInjector) Calls() int { return f.calls }
+func (f *FaultInjector) Calls() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls
+}
 
-// Failed returns how many calls were failed.
-func (f *FaultInjector) Failed() int { return f.failed }
+// Failed returns how many calls were failed outright.
+func (f *FaultInjector) Failed() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.failed
+}
 
-// next draws a uniform value in [0, 1).
+// Delayed returns how many calls had latency injected.
+func (f *FaultInjector) Delayed() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.delayed
+}
+
+// Dropped returns how many calls had the connection cut under them.
+func (f *FaultInjector) Dropped() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dropped
+}
+
+// next draws a uniform value in [0, 1). Callers hold f.mu.
 func (f *FaultInjector) next() float64 {
 	f.state += 0x9e3779b97f4a7c15
 	z := f.state
@@ -56,14 +128,38 @@ func (f *FaultInjector) next() float64 {
 	return float64(z>>11) / float64(1<<53)
 }
 
-// trip decides one call's fate.
-func (f *FaultInjector) trip() error {
+// intercept applies the configured chaos to one call: latency, then a
+// connection drop, then an injected failure. A non-nil return is the error
+// to surface without forwarding. Draws happen in a fixed order under the
+// lock (and only for enabled modes, so rate-only injectors reproduce the
+// exact historical stream); the sleep and the drop run outside it.
+func (f *FaultInjector) intercept() error {
+	f.mu.Lock()
 	f.calls++
-	if f.next() < f.rate {
-		f.failed++
-		return fmt.Errorf("%w (call %d)", ErrInjected, f.calls)
+	var delay time.Duration
+	var drop func()
+	if f.latencyRate > 0 && f.next() < f.latencyRate {
+		f.delayed++
+		delay = f.latency
 	}
-	return nil
+	if f.dropRate > 0 && f.next() < f.dropRate {
+		f.dropped++
+		drop = f.dropper
+	}
+	var err error
+	if f.rate > 0 && f.next() < f.rate {
+		f.failed++
+		err = fmt.Errorf("%w (call %d)", ErrInjected, f.calls)
+	}
+	f.mu.Unlock()
+	if delay > 0 {
+		//simlint:allow R2 injected wire latency for the live chaos harness; the sim-pure harnesses configure no latency
+		time.Sleep(delay)
+	}
+	if drop != nil {
+		drop()
+	}
+	return err
 }
 
 var _ cosched.Peer = (*FaultInjector)(nil)
@@ -73,7 +169,7 @@ func (f *FaultInjector) PeerName() string { return f.inner.PeerName() }
 
 // GetMateJob implements cosched.Peer.
 func (f *FaultInjector) GetMateJob(id job.ID) (bool, error) {
-	if err := f.trip(); err != nil {
+	if err := f.intercept(); err != nil {
 		return false, err
 	}
 	return f.inner.GetMateJob(id)
@@ -81,7 +177,7 @@ func (f *FaultInjector) GetMateJob(id job.ID) (bool, error) {
 
 // GetMateStatus implements cosched.Peer.
 func (f *FaultInjector) GetMateStatus(id job.ID) (cosched.MateStatus, error) {
-	if err := f.trip(); err != nil {
+	if err := f.intercept(); err != nil {
 		return cosched.StatusUnknown, err
 	}
 	return f.inner.GetMateStatus(id)
@@ -89,7 +185,7 @@ func (f *FaultInjector) GetMateStatus(id job.ID) (cosched.MateStatus, error) {
 
 // CanStartMate implements cosched.Peer.
 func (f *FaultInjector) CanStartMate(id job.ID) (bool, error) {
-	if err := f.trip(); err != nil {
+	if err := f.intercept(); err != nil {
 		return false, err
 	}
 	return f.inner.CanStartMate(id)
@@ -97,7 +193,7 @@ func (f *FaultInjector) CanStartMate(id job.ID) (bool, error) {
 
 // TryStartMate implements cosched.Peer.
 func (f *FaultInjector) TryStartMate(id job.ID) (bool, error) {
-	if err := f.trip(); err != nil {
+	if err := f.intercept(); err != nil {
 		return false, err
 	}
 	return f.inner.TryStartMate(id)
@@ -105,7 +201,7 @@ func (f *FaultInjector) TryStartMate(id job.ID) (bool, error) {
 
 // StartMate implements cosched.Peer.
 func (f *FaultInjector) StartMate(id job.ID) error {
-	if err := f.trip(); err != nil {
+	if err := f.intercept(); err != nil {
 		return err
 	}
 	return f.inner.StartMate(id)
