@@ -37,6 +37,19 @@ go test -run=NONE -bench=Iterate -benchtime=1x ./internal/resmgr
 # goroutine-interleaving flakes can't hide behind a cached pass.
 go test -race -count=2 ./internal/proto ./internal/peerlink ./internal/live
 
+# Crash-recovery gate: the acceptance test SIGKILLs a live daemon
+# mid-run, restarts it on the same journal, and verifies co-starts from
+# the event logs; the drain test checks the SIGTERM peer notification.
+# Real processes and real sockets make these the most timing-sensitive
+# tests in the repo, so -count=2 under -race reruns them uncached.
+go test -race -count=2 -run 'Crash|Drain|Flag' ./cmd/coschedd
+
+# Journal fuzz smoke: ten seconds of coverage-guided torn-tail inputs
+# against the WAL decoder, seeded from testdata/fuzz. The decoder must
+# never panic and never return a record that fails its checksum or
+# sequence check, whatever bytes a crash left behind.
+go test -run '^$' -fuzz 'FuzzDecodeEntries' -fuzztime 10s ./internal/journal
+
 # Debug-build hardening: the backfill sortedness asserts and the
 # invariant package's fail-fast deadlock monitor only compile under
 # -tags debug; run their suites together with the asserts live.

@@ -14,29 +14,23 @@
 //
 // Then submit a pair with cmd/cosubmit. The -speedup flag accelerates
 // virtual time for demos (60 = one virtual minute per wall second).
+//
+// With -journal-dir the daemon is crash-safe: every manager transition is
+// written ahead to a checksummed journal, and a restarted daemon replays
+// the journal, re-installs its jobs, and reconciles in-flight pairs with
+// its peers (see ARCHITECTURE.md §8).
 package main
 
 import (
-	"context"
 	"flag"
 	"fmt"
-	"hash/fnv"
+	"io"
 	"log"
 	"os"
-	"os/signal"
-	"sort"
 	"strings"
-	"syscall"
 	"time"
 
-	"cosched/internal/cluster"
-	"cosched/internal/cosched"
-	"cosched/internal/eventlog"
 	"cosched/internal/job"
-	"cosched/internal/live"
-	"cosched/internal/peerlink"
-	"cosched/internal/policy"
-	"cosched/internal/proto"
 	"cosched/internal/resmgr"
 	"cosched/internal/sim"
 )
@@ -55,9 +49,151 @@ func (p peerFlags) Set(v string) error {
 	return nil
 }
 
+// daemonConfig is the validated flag set of one coschedd process.
+type daemonConfig struct {
+	name       string
+	nodes      int
+	minPart    int
+	listen     string
+	admin      string
+	scheme     string
+	releaseMin int64
+	maxHeld    float64
+	maxYields  int
+	polName    string
+	backfill   bool
+	speedup    float64
+	timeout    time.Duration
+	dialTO     time.Duration
+	brkFails   int
+	brkCool    time.Duration
+	backoffLo  time.Duration
+	backoffHi  time.Duration
+	logPath    string
+	statusAddr string
+	journalDir string
+	journalFS  time.Duration
+	snapEvery  int
+	peers      peerFlags
+}
+
+// parseFlags parses and validates a coschedd command line. Usage and error
+// text from the flag package goes to usageOut.
+func parseFlags(args []string, usageOut io.Writer) (*daemonConfig, error) {
+	cfg := &daemonConfig{peers: peerFlags{}}
+	fs := flag.NewFlagSet("coschedd", flag.ContinueOnError)
+	fs.SetOutput(usageOut)
+	fs.StringVar(&cfg.name, "name", "domain", "this domain's name")
+	fs.IntVar(&cfg.nodes, "nodes", 64, "node count")
+	fs.IntVar(&cfg.minPart, "min-partition", 0, "BG/P-style minimum partition (0 = plain pool)")
+	fs.StringVar(&cfg.listen, "listen", ":7001", "peer-protocol listen address")
+	fs.StringVar(&cfg.admin, "admin", ":7101", "admin (submit/status) listen address")
+	fs.StringVar(&cfg.scheme, "scheme", "hold", "coscheduling scheme: hold or yield")
+	fs.Int64Var(&cfg.releaseMin, "release-minutes", 20, "hold release interval in virtual minutes (0 = off)")
+	fs.Float64Var(&cfg.maxHeld, "max-held-fraction", 1.0, "max fraction of nodes in hold state")
+	fs.IntVar(&cfg.maxYields, "max-yields", 0, "yields before escalating to hold (0 = never)")
+	fs.StringVar(&cfg.polName, "policy", "wfp", "queue policy: wfp, fcfs, sjf, largest")
+	fs.BoolVar(&cfg.backfill, "backfill", true, "enable EASY backfilling")
+	fs.Float64Var(&cfg.speedup, "speedup", 1.0, "virtual seconds per wall second")
+	fs.DurationVar(&cfg.timeout, "peer-timeout", 2*time.Second, "per-call peer RPC budget (round trip + one retry)")
+	fs.DurationVar(&cfg.dialTO, "peer-dial-timeout", 2*time.Second, "peer TCP connect timeout")
+	fs.IntVar(&cfg.brkFails, "peer-breaker-fails", 3, "consecutive transport failures before the peer breaker opens")
+	fs.DurationVar(&cfg.brkCool, "peer-breaker-cooldown", 5*time.Second, "how long an open peer breaker waits before probing")
+	fs.DurationVar(&cfg.backoffLo, "peer-backoff-base", 50*time.Millisecond, "initial redial backoff (doubles per failure)")
+	fs.DurationVar(&cfg.backoffHi, "peer-backoff-max", 10*time.Second, "redial backoff ceiling")
+	fs.StringVar(&cfg.logPath, "log", "", "append a JSONL event log to this path (verifiable with cosim -verify-log)")
+	fs.StringVar(&cfg.statusAddr, "status", "", "serve an HTML/JSON status page on this address (e.g. :8080)")
+	fs.StringVar(&cfg.journalDir, "journal-dir", "", "write-ahead journal directory; enables crash recovery (empty = no journal)")
+	fs.DurationVar(&cfg.journalFS, "journal-fsync", 0, "fsync batching interval for the journal (0 = sync every transition)")
+	fs.IntVar(&cfg.snapEvery, "snapshot-every", 1024, "journal entries between compacting snapshots")
+	fs.Var(cfg.peers, "peer", "remote domain as name=addr (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return cfg, nil
+}
+
+// validate rejects configurations that would misbehave only later — a zero
+// dial timeout fails every peer call instantly, a negative fsync interval
+// is refused deep inside the journal, a zero backoff spins on a dead peer.
+// Failing at startup names the flag instead.
+func (c *daemonConfig) validate() error {
+	if c.name == "" {
+		return fmt.Errorf("-name must not be empty")
+	}
+	if c.nodes <= 0 {
+		return fmt.Errorf("-nodes must be positive, got %d", c.nodes)
+	}
+	if c.minPart < 0 {
+		return fmt.Errorf("-min-partition must be non-negative, got %d", c.minPart)
+	}
+	if c.releaseMin < 0 {
+		return fmt.Errorf("-release-minutes must be non-negative, got %d", c.releaseMin)
+	}
+	if c.maxHeld <= 0 || c.maxHeld > 1 {
+		return fmt.Errorf("-max-held-fraction must be in (0, 1], got %g", c.maxHeld)
+	}
+	if c.maxYields < 0 {
+		return fmt.Errorf("-max-yields must be non-negative, got %d", c.maxYields)
+	}
+	if c.speedup <= 0 {
+		return fmt.Errorf("-speedup must be positive, got %g", c.speedup)
+	}
+	if c.timeout <= 0 {
+		return fmt.Errorf("-peer-timeout must be positive, got %v", c.timeout)
+	}
+	if c.dialTO <= 0 {
+		return fmt.Errorf("-peer-dial-timeout must be positive, got %v", c.dialTO)
+	}
+	if c.brkFails <= 0 {
+		return fmt.Errorf("-peer-breaker-fails must be positive, got %d", c.brkFails)
+	}
+	if c.brkCool <= 0 {
+		return fmt.Errorf("-peer-breaker-cooldown must be positive, got %v", c.brkCool)
+	}
+	if c.backoffLo <= 0 {
+		return fmt.Errorf("-peer-backoff-base must be positive, got %v", c.backoffLo)
+	}
+	if c.backoffHi <= 0 {
+		return fmt.Errorf("-peer-backoff-max must be positive, got %v", c.backoffHi)
+	}
+	if c.backoffHi < c.backoffLo {
+		return fmt.Errorf("-peer-backoff-max (%v) must be at least -peer-backoff-base (%v)",
+			c.backoffHi, c.backoffLo)
+	}
+	if c.journalFS < 0 {
+		return fmt.Errorf("-journal-fsync must be non-negative, got %v", c.journalFS)
+	}
+	if c.snapEvery <= 0 {
+		return fmt.Errorf("-snapshot-every must be positive, got %d", c.snapEvery)
+	}
+	return nil
+}
+
+func main() {
+	cfg, err := parseFlags(os.Args[1:], os.Stderr)
+	if err != nil {
+		if err == flag.ErrHelp {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "coschedd: %v\n", err)
+		os.Exit(2)
+	}
+	if err := runDaemon(cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "coschedd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
 // logObserver prints job lifecycle events.
 type logObserver struct{ l *log.Logger }
 
+func (o logObserver) JobExpected(now sim.Time, j *job.Job) {
+	o.l.Printf("t=%d expect job %d (%d nodes)", now, j.ID, j.Nodes)
+}
 func (o logObserver) JobSubmitted(now sim.Time, j *job.Job) {
 	o.l.Printf("t=%d submit %s", now, j)
 }
@@ -80,169 +216,16 @@ func (o logObserver) JobCancelled(now sim.Time, j *job.Job) {
 	o.l.Printf("t=%d CANCEL job %d", now, j.ID)
 }
 
-func main() {
-	peers := peerFlags{}
-	var (
-		name       = flag.String("name", "domain", "this domain's name")
-		nodes      = flag.Int("nodes", 64, "node count")
-		minPart    = flag.Int("min-partition", 0, "BG/P-style minimum partition (0 = plain pool)")
-		listen     = flag.String("listen", ":7001", "peer-protocol listen address")
-		admin      = flag.String("admin", ":7101", "admin (submit/status) listen address")
-		scheme     = flag.String("scheme", "hold", "coscheduling scheme: hold or yield")
-		releaseMin = flag.Int64("release-minutes", 20, "hold release interval in virtual minutes (0 = off)")
-		maxHeld    = flag.Float64("max-held-fraction", 1.0, "max fraction of nodes in hold state")
-		maxYields  = flag.Int("max-yields", 0, "yields before escalating to hold (0 = never)")
-		polName    = flag.String("policy", "wfp", "queue policy: wfp, fcfs, sjf, largest")
-		backfill   = flag.Bool("backfill", true, "enable EASY backfilling")
-		speedup    = flag.Float64("speedup", 1.0, "virtual seconds per wall second")
-		timeout    = flag.Duration("peer-timeout", 2*time.Second, "per-call peer RPC budget (round trip + one retry)")
-		dialTO     = flag.Duration("peer-dial-timeout", 2*time.Second, "peer TCP connect timeout")
-		brkFails   = flag.Int("peer-breaker-fails", 3, "consecutive transport failures before the peer breaker opens")
-		brkCool    = flag.Duration("peer-breaker-cooldown", 5*time.Second, "how long an open peer breaker waits before probing")
-		backoffLo  = flag.Duration("peer-backoff-base", 50*time.Millisecond, "initial redial backoff (doubles per failure)")
-		backoffHi  = flag.Duration("peer-backoff-max", 10*time.Second, "redial backoff ceiling")
-		logPath    = flag.String("log", "", "append a JSONL event log to this path (verifiable with cosim -verify-log)")
-		statusAddr = flag.String("status", "", "serve an HTML/JSON status page on this address (e.g. :8080)")
-	)
-	flag.Var(peers, "peer", "remote domain as name=addr (repeatable)")
-	flag.Parse()
-
-	logger := log.New(os.Stderr, fmt.Sprintf("[%s] ", *name), log.LstdFlags)
-
-	sch, err := cosched.ParseScheme(*scheme)
-	if err != nil {
-		logger.Fatal(err)
-	}
-	pol, ok := policy.ByName(*polName)
-	if !ok {
-		logger.Fatalf("unknown policy %q", *polName)
-	}
-
-	var pool *cluster.Pool
-	if *minPart > 0 {
-		pool = cluster.NewPartitioned(*name, *nodes, *minPart)
-	} else {
-		pool = cluster.New(*name, *nodes)
-	}
-
-	var obs resmgr.Observer = logObserver{logger}
-	var elog *eventlog.Log // nil unless -log is set; also records peer-breaker transitions
-	if *logPath != "" {
-		lf, err := os.OpenFile(*logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-		if err != nil {
-			logger.Fatalf("event log: %v", err)
-		}
-		defer lf.Close()
-		elog = eventlog.New(lf)
-		defer elog.Flush()
-		obs = teeObserver{logObserver{logger}, elog.Observer(*name)}
-	}
-
-	eng := sim.NewEngine()
-	mgr := resmgr.New(eng, resmgr.Options{
-		Name:        *name,
-		Pool:        pool,
-		Policy:      pol,
-		Backfilling: *backfill,
-		Cosched: cosched.Config{
-			Enabled:         true,
-			Scheme:          sch,
-			ReleaseInterval: sim.Duration(*releaseMin) * sim.Minute,
-			MaxHeldFraction: *maxHeld,
-			MaxYields:       *maxYields,
-		},
-		Observer: obs,
-	})
-	driver := live.NewDriver(eng, *speedup)
-
-	// Peer protocol server: remote domains coordinate against our manager.
-	peerSrv := proto.NewServer(mgr, driver, logger)
-	peerAddr, err := peerSrv.Listen(*listen)
-	if err != nil {
-		logger.Fatalf("peer listen: %v", err)
-	}
-	defer peerSrv.Close()
-	logger.Printf("peer protocol on %s", peerAddr)
-
-	// Outbound peers: resilient links (lazy dial, backoff, circuit breaker)
-	// so daemons can start in any order and survive peer outages without
-	// stalling the scheduler. Iterate in sorted order so jitter seeds — and
-	// therefore redial schedules — are reproducible across restarts.
-	peerNames := make([]string, 0, len(peers))
-	for pname := range peers {
-		peerNames = append(peerNames, pname)
-	}
-	sort.Strings(peerNames)
-	var links []*peerlink.Link
-	for _, pname := range peerNames {
-		seed := fnv.New64a()
-		fmt.Fprintf(seed, "%s->%s", *name, pname)
-		l := peerlink.New(peerlink.Config{
-			Name:          pname,
-			Addr:          peers[pname],
-			DialTimeout:   *dialTO,
-			CallTimeout:   *timeout,
-			FailThreshold: *brkFails,
-			Cooldown:      *brkCool,
-			BackoffBase:   *backoffLo,
-			BackoffMax:    *backoffHi,
-			Seed:          seed.Sum64(),
-			Logger:        logger,
-			OnStateChange: func(peer string, from, to peerlink.State, cause error) {
-				if elog == nil {
-					return
-				}
-				msg := ""
-				if cause != nil {
-					msg = cause.Error()
-				}
-				// The hook fires inside peer calls, which the manager makes
-				// under the driver lock — eng.Now() is safe here, while
-				// driver.VirtualNow() would deadlock on the same lock.
-				elog.PeerTransition(eng.Now(), *name, peer, from.String(), to.String(), msg)
-			},
-		})
-		links = append(links, l)
-		defer l.Close()
-		mgr.AddPeer(pname, l)
-	}
-
-	// Admin interface.
-	adminSrv := live.NewAdminServer(mgr, driver, logger)
-	adminAddr, err := adminSrv.Listen(*admin)
-	if err != nil {
-		logger.Fatalf("admin listen: %v", err)
-	}
-	defer adminSrv.Close()
-	logger.Printf("admin interface on %s", adminAddr)
-	logger.Printf("domain %s: %d nodes, scheme=%s, policy=%s, speedup=%.0fx",
-		*name, *nodes, sch, pol.Name(), *speedup)
-
-	if *statusAddr != "" {
-		statusSrv := live.NewStatusServer(mgr, driver)
-		statusSrv.WatchPeers(links...)
-		sa, err := statusSrv.Listen(*statusAddr)
-		if err != nil {
-			logger.Fatalf("status listen: %v", err)
-		}
-		defer statusSrv.Close()
-		logger.Printf("status page on http://%s/", sa)
-	}
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-	driver.Run(ctx)
-	logger.Print("shutting down")
-	for _, l := range links {
-		s := l.Snapshot()
-		logger.Printf("peer %s: state=%s calls=%d ok=%d remote=%d transport=%d fastfail=%d retries=%d dials=%d trips=%d",
-			s.Name, s.State, s.Calls, s.Successes, s.RemoteErrors, s.TransportErrors,
-			s.FastFails, s.Retries, s.Dials, s.Trips)
-	}
-}
-
-// teeObserver fans lifecycle events out to several observers.
+// teeObserver fans lifecycle events out to several observers, forwarding
+// the optional expect/peer-decision extensions to members that implement
+// them.
 type teeObserver []resmgr.Observer
+
+var (
+	_ resmgr.Observer             = (teeObserver)(nil)
+	_ resmgr.ExpectObserver       = (teeObserver)(nil)
+	_ resmgr.PeerDecisionObserver = (teeObserver)(nil)
+)
 
 func (t teeObserver) JobSubmitted(now sim.Time, j *job.Job) {
 	for _, o := range t {
@@ -283,5 +266,21 @@ func (t teeObserver) JobReleased(now sim.Time, j *job.Job, requeued bool) {
 func (t teeObserver) JobCancelled(now sim.Time, j *job.Job) {
 	for _, o := range t {
 		o.JobCancelled(now, j)
+	}
+}
+
+func (t teeObserver) JobExpected(now sim.Time, j *job.Job) {
+	for _, o := range t {
+		if eo, ok := o.(resmgr.ExpectObserver); ok {
+			eo.JobExpected(now, j)
+		}
+	}
+}
+
+func (t teeObserver) PeerDecision(now sim.Time, method string, id job.ID, ok bool) {
+	for _, o := range t {
+		if po, is := o.(resmgr.PeerDecisionObserver); is {
+			po.PeerDecision(now, method, id, ok)
+		}
 	}
 }

@@ -166,7 +166,7 @@ func verifyLogFile(path string) {
 		fatal(err)
 	}
 	defer lf.Close()
-	recs, err := eventlog.Read(lf)
+	recs, skipped, err := eventlog.ReadTolerant(lf)
 	if err != nil {
 		fatal(err)
 	}
@@ -174,6 +174,12 @@ func verifyLogFile(path string) {
 	fmt.Printf("log: %d records, domains %v, %d submits / %d starts / %d completes, %d holds, %d yields, %d releases\n",
 		stats.Records, stats.Domains, stats.Submits, stats.Starts, stats.Completes,
 		stats.Holds, stats.Yields, stats.Releases)
+	if skipped > 0 {
+		fmt.Printf("log damage: %d malformed line(s) skipped (torn tail from a crash is expected; more suggests corruption)\n", skipped)
+	}
+	if stats.Recoveries > 0 {
+		fmt.Printf("recoveries: %d daemon restart milestone(s) in the log\n", stats.Recoveries)
+	}
 	if stats.PeerTransitions > 0 {
 		fmt.Printf("peer links: %d breaker transitions (outages and recoveries interleaved with the run)\n",
 			stats.PeerTransitions)

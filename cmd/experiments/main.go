@@ -46,6 +46,7 @@ func main() {
 		schedCore     = flag.String("schedcore", "", "scheduler core: incremental (default) or reference")
 		schedBenchOut = flag.String("schedbench", "", "benchmark the scheduler core (reference vs incremental) and write a JSON perf record to this path")
 		schedSmoke    = flag.Bool("schedsmoke", false, "run a tiny load sweep under both scheduler cores and fail unless the rendered tables are byte-identical")
+		journalBench  = flag.String("journalbench", "", "benchmark write-ahead journal decode+replay on a synthetic 10k-transition history and write a JSON perf record to this path")
 	)
 	flag.Parse()
 
@@ -57,6 +58,13 @@ func main() {
 	if *schedSmoke {
 		if err := runSchedSmoke(cfg); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: schedsmoke: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *journalBench != "" {
+		if err := runJournalBench(*journalBench); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: journalbench: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -200,3 +200,55 @@ type Peer interface {
 	// StartMate releases a holding mate into execution — line 8.
 	StartMate(id job.ID) error
 }
+
+// CoStarter is an optional Peer extension carrying the co-start instant
+// agreement: the caller that resolves a pair proposes the start instant
+// (its own clock reading), and the callee records that instant as the
+// mate's StartTime even though its own clock may have drifted a few
+// milliseconds past it by the time the request arrives. In a shared-engine
+// simulation the proposed instant always equals the callee's clock, so the
+// extension is byte-identical to the plain calls; between live daemons it
+// is what makes the paper's §V-B log check ("paired jobs start at the same
+// time") hold exactly rather than within a wall-clock jitter tolerance.
+// Callers fall back to TryStartMate/StartMate when a peer lacks it.
+type CoStarter interface {
+	// TryStartMateAt is TryStartMate with the caller's proposed co-start
+	// instant.
+	TryStartMateAt(id job.ID, at sim.Time) (bool, error)
+	// StartMateAt is StartMate with the caller's proposed co-start
+	// instant.
+	StartMateAt(id job.ID, at sim.Time) error
+}
+
+// MateView is one side's knowledge of one shared pair, exchanged during a
+// ReconcileMates handshake. Local is the reporting domain's job, Mate the
+// receiving domain's job, Status the reporter's view of its own job.
+// Start carries the instant the local job started when Status is running
+// or completed, so a recovering mate that lost its own start record can
+// adopt the surviving side's instant and keep the pair's log byte-exact.
+type MateView struct {
+	Local  job.ID
+	Mate   job.ID
+	Status MateStatus
+	Start  sim.Time
+}
+
+// Reconciler is the optional restart-reconciliation extension of the
+// protocol: after a daemon recovers from a crash (or is draining on
+// shutdown) it exchanges MateViews with each peer and both sides resolve
+// orphans by the paper's fallback rules — a hold whose mate no longer
+// knows the job is released back to the queue (it re-enters Run_Job), a
+// hold whose mate is already running adopts the mate's start instant, and
+// a hold facing a mate that also holds is co-started now by the caller.
+// Implemented by resmgr.Manager, proto.Client/Server, and peerlink.Link;
+// discovered by type assertion so plain Peer implementations (tests,
+// older tools) remain valid.
+type Reconciler interface {
+	// ReconcileMates reports the caller's views of every pair shared with
+	// this domain (from is the caller's domain name) and returns this
+	// domain's views of the same pairs, after applying any releases or
+	// adoptions the caller's report implies. A view missing from the
+	// request means the caller no longer knows the job — a receiver
+	// holding for it must release.
+	ReconcileMates(from string, views []MateView) ([]MateView, error)
+}

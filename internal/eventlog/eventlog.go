@@ -36,6 +36,10 @@ const (
 	// resilience telemetry interleaved with the job lifecycle so an outage
 	// window can be read off the same log as the co-starts it affected.
 	KindPeer = "peer"
+	// KindRecovery records a daemon restart milestone (journal replayed,
+	// mates reconciled) so a crash window reads off the same log as the
+	// lifecycle records it interrupted.
+	KindRecovery = "recovery"
 )
 
 // Record is one logged event.
@@ -122,6 +126,12 @@ func (l *Log) PeerTransition(now sim.Time, domain, peer, from, to, cause string)
 	l.emit(Record{Time: now, Domain: domain, Kind: KindPeer, Peer: peer, Detail: detail})
 }
 
+// Recovery logs a restart milestone for the named domain, e.g.
+// "replayed 42 entries" or "reconciled with B: co-starts=1".
+func (l *Log) Recovery(now sim.Time, domain, detail string) {
+	l.emit(Record{Time: now, Domain: domain, Kind: KindRecovery, Detail: detail})
+}
+
 // Observer returns a resmgr.Observer that logs the named domain's events
 // into l.
 func (l *Log) Observer(domain string) resmgr.Observer {
@@ -189,6 +199,34 @@ func Read(r io.Reader) ([]Record, error) {
 		return nil, err
 	}
 	return out, nil
+}
+
+// ReadTolerant parses a JSONL event log, skipping malformed lines instead
+// of failing, and reports how many were skipped. A kill -9 can leave a
+// torn final line in a daemon's log (the restarted daemon guards against
+// it compounding, but the torn line itself remains), so post-crash
+// verification reads tolerantly where Read stays strict.
+func ReadTolerant(r io.Reader) ([]Record, int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var out []Record
+	skipped := 0
+	for sc.Scan() {
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal([]byte(text), &rec); err != nil {
+			skipped++
+			continue
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, skipped, err
+	}
+	return out, skipped, nil
 }
 
 // Violation is one co-start failure found in a log.
@@ -279,7 +317,9 @@ type Stats struct {
 	// PeerTransitions counts breaker transitions (KindPeer records) — a
 	// rough health indicator for the run's peer links.
 	PeerTransitions int
-	Domains         []string
+	// Recoveries counts daemon restart milestones (KindRecovery records).
+	Recoveries int
+	Domains    []string
 }
 
 // Summarize tallies a log.
@@ -305,6 +345,8 @@ func Summarize(records []Record) Stats {
 			s.Cancels++
 		case KindPeer:
 			s.PeerTransitions++
+		case KindRecovery:
+			s.Recoveries++
 		}
 	}
 	for d := range domains {

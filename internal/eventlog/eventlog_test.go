@@ -180,3 +180,51 @@ func TestPeerTransitionRecords(t *testing.T) {
 		t.Fatalf("violations from peer-only log: %v", v)
 	}
 }
+
+func TestRecoveryRecordsAndTolerantRead(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf)
+	l.Recovery(100, "A", "replayed 42 entries, 3 jobs restored")
+	l.Recovery(101, "A", "reconciled with B: co-starts=1")
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// A kill -9 mid-write leaves a torn trailing line.
+	buf.WriteString(`{"t":102,"domain":"A","kind":"sta`)
+
+	if _, err := Read(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("strict Read accepted a torn line")
+	}
+	records, skipped, err := ReadTolerant(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 1 {
+		t.Fatalf("skipped = %d, want 1", skipped)
+	}
+	if len(records) != 2 || records[0].Kind != KindRecovery || records[0].Detail == "" {
+		t.Fatalf("records: %+v", records)
+	}
+	s := Summarize(records)
+	if s.Recoveries != 2 {
+		t.Fatalf("recoveries = %d, want 2", s.Recoveries)
+	}
+}
+
+func TestVerifyCoStartsTolerantOfReemittedDuplicates(t *testing.T) {
+	// After a restart the daemon re-emits restored lifecycle records; the
+	// duplicates carry identical values and must not create violations.
+	records := []Record{
+		{Time: 0, Domain: "A", Kind: KindSubmit, JobID: 1, Mates: []job.MateRef{{Domain: "B", Job: 1}}},
+		{Time: 0, Domain: "B", Kind: KindSubmit, JobID: 1, Mates: []job.MateRef{{Domain: "A", Job: 1}}},
+		{Time: 50, Domain: "A", Kind: KindStart, JobID: 1},
+		{Time: 50, Domain: "B", Kind: KindStart, JobID: 1},
+		// Restart of A: submit and start re-emitted with the same values.
+		{Time: 60, Domain: "A", Kind: KindRecovery, Detail: "replayed 4 entries"},
+		{Time: 0, Domain: "A", Kind: KindSubmit, JobID: 1, Mates: []job.MateRef{{Domain: "B", Job: 1}}},
+		{Time: 50, Domain: "A", Kind: KindStart, JobID: 1},
+	}
+	if v := VerifyCoStarts(records); len(v) != 0 {
+		t.Fatalf("duplicates produced violations: %v", v)
+	}
+}

@@ -182,3 +182,93 @@ func TestNoFalseCyclesWhenCapacitySuffices(t *testing.T) {
 		t.Errorf("false cycles: %v", det)
 	}
 }
+
+// TestMixedSchemesNeverTrip: the Figure 2 circular wait needs BOTH
+// domains holding. With at least one side on yield — HY, YH, or YY —
+// at most one domain ever holds nodes, the wait-for graph cannot close
+// a cross-domain cycle, and every job completes whether or not the
+// release enhancement is armed. The monitor must observe the whole run
+// and record zero detections and zero violations.
+func TestMixedSchemesNeverTrip(t *testing.T) {
+	combos := []struct {
+		name             string
+		schemeA, schemeB cosched.Scheme
+	}{
+		{"HY", cosched.Hold, cosched.Yield},
+		{"YH", cosched.Yield, cosched.Hold},
+		{"YY", cosched.Yield, cosched.Yield},
+	}
+	releases := []struct {
+		name    string
+		release sim.Duration
+	}{
+		{"release20m", 20 * sim.Minute},
+		{"releaseOff", 0},
+	}
+	for _, combo := range combos {
+		for _, rel := range releases {
+			t.Run(combo.name+"/"+rel.name, func(t *testing.T) {
+				cfgA := cosched.DefaultConfig(combo.schemeA)
+				cfgA.ReleaseInterval = rel.release
+				cfgB := cosched.DefaultConfig(combo.schemeB)
+				cfgB.ReleaseInterval = rel.release
+				eng := sim.NewEngine()
+				mon := NewMonitor()
+				a := resmgr.New(eng, resmgr.Options{
+					Name: "A", Pool: cluster.New("A", 6),
+					Policy: policy.FCFS{}, Backfilling: true, Cosched: cfgA,
+					Observer: mon.Tap(nil),
+				})
+				b := resmgr.New(eng, resmgr.Options{
+					Name: "B", Pool: cluster.New("B", 6),
+					Policy: policy.FCFS{}, Backfilling: true, Cosched: cfgB,
+					Observer: mon.Tap(nil),
+				})
+				a.AddPeer("B", b)
+				b.AddPeer("A", a)
+				mon.Register(a)
+				mon.Register(b)
+
+				// The exact Figure 2 shape that deadlocks under HH.
+				a1 := job.New(1, 6, 0, 600, 600)
+				a2 := job.New(2, 6, 10, 600, 600)
+				b2 := job.New(2, 6, 0, 600, 600)
+				b1 := job.New(1, 6, 10, 600, 600)
+				a1.Mates = []job.MateRef{{Domain: "B", Job: 1}}
+				b1.Mates = []job.MateRef{{Domain: "A", Job: 1}}
+				a2.Mates = []job.MateRef{{Domain: "B", Job: 2}}
+				b2.Mates = []job.MateRef{{Domain: "A", Job: 2}}
+				for _, j := range []*job.Job{a1, a2} {
+					if err := a.SubmitAt(j); err != nil {
+						t.Fatalf("submit A/%d: %v", j.ID, err)
+					}
+				}
+				for _, j := range []*job.Job{b2, b1} {
+					if err := b.SubmitAt(j); err != nil {
+						t.Fatalf("submit B/%d: %v", j.ID, err)
+					}
+				}
+				eng.Run()
+
+				for _, j := range []*job.Job{a1, a2, b1, b2} {
+					if j.State != job.Completed {
+						t.Fatalf("job %s not completed under %s", j, combo.name)
+					}
+				}
+				if a1.StartTime != b1.StartTime || a2.StartTime != b2.StartTime {
+					t.Fatalf("co-starts violated: pair1 %d/%d pair2 %d/%d",
+						a1.StartTime, b1.StartTime, a2.StartTime, b2.StartTime)
+				}
+				if det := mon.Detections(); len(det) != 0 {
+					t.Errorf("cycle detected under %s: %v", combo.name, det)
+				}
+				if v := mon.Violations(); len(v) != 0 {
+					t.Errorf("violations under %s: %v", combo.name, v)
+				}
+				if mon.Scans() == 0 {
+					t.Error("monitor observed no events")
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package invariant
+
+import (
+	"strings"
+	"testing"
+
+	"cosched/internal/cluster"
+	"cosched/internal/cosched"
+	"cosched/internal/job"
+	"cosched/internal/policy"
+	"cosched/internal/resmgr"
+	"cosched/internal/sim"
+)
+
+func restoredManager(t *testing.T, jobs ...*job.Job) *resmgr.Manager {
+	t.Helper()
+	eng := sim.NewEngine()
+	m := resmgr.New(eng, resmgr.Options{
+		Name: "A", Pool: cluster.New("A", 64),
+		Policy: policy.FCFS{}, Backfilling: true,
+		Cosched: cosched.DefaultConfig(cosched.Hold),
+	})
+	for _, j := range jobs {
+		if err := m.RestoreJob(j); err != nil {
+			t.Fatalf("restore %d: %v", j.ID, err)
+		}
+	}
+	return m
+}
+
+// recoveredSet fabricates one replayed job per lifecycle state.
+func recoveredSet() []*job.Job {
+	queued := job.New(1, 8, 0, 600, 600)
+	queued.State = job.Queued
+	holding := job.New(2, 16, 0, 600, 600)
+	holding.Mates = []job.MateRef{{Domain: "B", Job: 2}}
+	holding.State = job.Holding
+	holding.HoldStart = 10
+	holding.HoldCount = 1
+	running := job.New(3, 8, 0, 600, 600)
+	running.State = job.Running
+	running.StartTime = 40
+	done := job.New(4, 8, 0, 600, 600)
+	done.State = job.Completed
+	done.StartTime, done.EndTime = 5, 605
+	return []*job.Job{queued, holding, running, done}
+}
+
+func TestRecoveryViolationsCleanRestore(t *testing.T) {
+	want := recoveredSet()
+	m := restoredManager(t, want...)
+	if v := VerifyRecovery(m, want); len(v) != 0 {
+		t.Fatalf("violations on a sound recovery: %v", v)
+	}
+}
+
+func TestRecoveryViolationsDetectLostAndInvented(t *testing.T) {
+	want := recoveredSet()
+	m := restoredManager(t, want...)
+
+	extra := job.New(9, 8, 0, 600, 600)
+	extra.State = job.Queued
+	v := RecoveryViolations(m, append(append([]*job.Job(nil), want...), extra))
+	if len(v) == 0 || !strings.Contains(strings.Join(v, "\n"), "lost in recovery") {
+		t.Fatalf("lost job not detected: %v", v)
+	}
+
+	v = RecoveryViolations(m, want[:len(want)-1])
+	if len(v) == 0 || !strings.Contains(strings.Join(v, "\n"), "invented in recovery") {
+		t.Fatalf("invented job not detected: %v", v)
+	}
+}
+
+func TestRecoveryViolationsDetectDoubleRestoreAndDrift(t *testing.T) {
+	want := recoveredSet()
+	m := restoredManager(t, want...)
+
+	dup := append(append([]*job.Job(nil), want...), want[0])
+	v := RecoveryViolations(m, dup)
+	if len(v) == 0 || !strings.Contains(v[0], "restored twice") {
+		t.Fatalf("double restore not detected: %v", v)
+	}
+
+	// Drift the expected start time: the manager's copy no longer matches.
+	drifted := recoveredSet()
+	drifted[2].StartTime = 41
+	v = RecoveryViolations(m, drifted)
+	if len(v) == 0 || !strings.Contains(strings.Join(v, "\n"), "start time drifted") {
+		t.Fatalf("start drift not detected: %v", v)
+	}
+}
+
+func TestRecoveryViolationsDetectAllocationMismatch(t *testing.T) {
+	want := recoveredSet()
+	m := restoredManager(t, want...)
+	// Leak an allocation the restored jobs cannot account for: pool
+	// occupancy no longer equals the node sum of restored running jobs.
+	if _, err := m.Pool().Allocate(m.Engine().Now(), 4, cluster.AllocRun); err != nil {
+		t.Fatal(err)
+	}
+	v := RecoveryViolations(m, want)
+	if len(v) == 0 || !strings.Contains(strings.Join(v, "\n"), "pool running nodes") {
+		t.Fatalf("leaked allocation not detected: %v", v)
+	}
+}

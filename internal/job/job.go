@@ -61,6 +61,27 @@ func (s State) String() string {
 	}
 }
 
+// ParseState inverts String. Unknown names are an error — callers decode
+// persisted state and must not guess.
+func ParseState(s string) (State, error) {
+	switch s {
+	case "unsubmitted":
+		return Unsubmitted, nil
+	case "queued":
+		return Queued, nil
+	case "holding":
+		return Holding, nil
+	case "running":
+		return Running, nil
+	case "completed":
+		return Completed, nil
+	case "cancelled":
+		return Cancelled, nil
+	default:
+		return Unsubmitted, fmt.Errorf("job: unknown state %q", s)
+	}
+}
+
 // validNext enumerates the legal lifecycle transitions.
 var validNext = map[State][]State{
 	Unsubmitted: {Queued, Cancelled},

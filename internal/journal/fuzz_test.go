@@ -1,0 +1,62 @@
+package journal
+
+import (
+	"testing"
+
+	"cosched/internal/job"
+)
+
+// FuzzDecodeEntries drives arbitrary bytes through the torn-tolerant
+// decoder. The safety contract under fuzzing: never panic, never return a
+// record that fails the framing checks, always return a valid prefix that
+// itself decodes cleanly (so truncating a torn log is a fixpoint), and
+// never accept non-increasing sequence numbers.
+func FuzzDecodeEntries(f *testing.F) {
+	f.Add([]byte{})
+	// A clean 3-record stream.
+	var clean []byte
+	for i, e := range []Entry{
+		{Seq: 1, T: 0, Op: OpSubmit, Job: 1, Nodes: 16, Runtime: 600, Walltime: 600,
+			Mates: []job.MateRef{{Domain: "B", Job: 1}}},
+		{Seq: 2, T: 0, Op: OpHold, Job: 1, Holds: 1},
+		{Seq: 3, T: 100, Op: OpStart, Job: 1, Start: 100, Holds: 1, HeldNS: 1600},
+	} {
+		var err error
+		clean, err = AppendRecord(clean, &e)
+		if err != nil {
+			f.Fatalf("seed record %d: %v", i, err)
+		}
+	}
+	f.Add(clean)
+	f.Add(clean[:len(clean)-5]) // torn mid-record
+	f.Add(clean[:3])            // torn mid-header
+	flipped := append([]byte(nil), clean...)
+	flipped[len(flipped)/2] ^= 0x20 // checksum breaker
+	f.Add(flipped)
+	f.Add(append(append([]byte(nil), clean...), 0xde, 0xad, 0xbe, 0xef)) // garbage tail
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0})                    // implausible length
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0})                                // zero length
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		entries, valid, torn := DecodeEntries(data)
+		if valid < 0 || valid > int64(len(data)) {
+			t.Fatalf("valid prefix %d out of range [0,%d]", valid, len(data))
+		}
+		if torn == nil && valid != int64(len(data)) {
+			t.Fatalf("clean decode left %d trailing bytes", int64(len(data))-valid)
+		}
+		var lastSeq uint64
+		for i, e := range entries {
+			if e.Seq <= lastSeq {
+				t.Fatalf("record %d: seq %d after %d", i, e.Seq, lastSeq)
+			}
+			lastSeq = e.Seq
+		}
+		// Truncation is a fixpoint: the valid prefix decodes cleanly to the
+		// same records, which is what Store.Open relies on after os.Truncate.
+		re, revalid, retorn := DecodeEntries(data[:valid])
+		if retorn != nil || revalid != valid || len(re) != len(entries) {
+			t.Fatalf("valid prefix not a fixpoint: %d/%d records, torn %v", len(re), len(entries), retorn)
+		}
+	})
+}

@@ -1,0 +1,710 @@
+package journal
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"cosched/internal/cluster"
+	"cosched/internal/cosched"
+	"cosched/internal/job"
+	"cosched/internal/policy"
+	"cosched/internal/resmgr"
+	"cosched/internal/sim"
+)
+
+// sampleEntries builds a small, varied, sequence-numbered record stream.
+func sampleEntries() []Entry {
+	return []Entry{
+		{Seq: 1, T: 0, Op: OpSubmit, Job: 1, Nodes: 16, Runtime: 600, Walltime: 700,
+			Mates: []job.MateRef{{Domain: "B", Job: 1}}},
+		{Seq: 2, T: 0, Op: OpHold, Job: 1, Holds: 1, Ready: true},
+		{Seq: 3, T: 100, Op: OpStart, Job: 1, Start: 100, Holds: 1, HeldNS: 1600, Ready: true},
+		{Seq: 4, T: 120, Op: OpPeerDecision, Job: 1, Method: "try_start_mate", OK: true},
+		{Seq: 5, T: 700, Op: OpComplete, Job: 1, HeldNS: 1600},
+	}
+}
+
+func encode(t *testing.T, entries []Entry) []byte {
+	t.Helper()
+	var buf []byte
+	for i := range entries {
+		var err error
+		buf, err = AppendRecord(buf, &entries[i])
+		if err != nil {
+			t.Fatalf("append record %d: %v", i, err)
+		}
+	}
+	return buf
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	in := sampleEntries()
+	data := encode(t, in)
+	out, valid, torn := DecodeEntries(data)
+	if torn != nil {
+		t.Fatalf("clean stream reported torn: %v", torn)
+	}
+	if valid != int64(len(data)) {
+		t.Fatalf("valid = %d, want %d", valid, len(data))
+	}
+	if !reflect.DeepEqual(out, in) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", out, in)
+	}
+}
+
+func TestDecodeEmptyAndNil(t *testing.T) {
+	for _, data := range [][]byte{nil, {}} {
+		out, valid, torn := DecodeEntries(data)
+		if len(out) != 0 || valid != 0 || torn != nil {
+			t.Fatalf("empty input: %v %d %v", out, valid, torn)
+		}
+	}
+}
+
+func TestDecodeTornVariants(t *testing.T) {
+	in := sampleEntries()
+	clean := encode(t, in)
+	// Byte length of the first two records, so we can cut inside record 3.
+	twoRec := int64(len(encode(t, in[:2])))
+
+	cases := []struct {
+		name    string
+		corrupt func([]byte) []byte
+		want    int // records that must survive
+	}{
+		{"truncated mid-record", func(d []byte) []byte {
+			return d[:twoRec+5]
+		}, 2},
+		{"truncated mid-header", func(d []byte) []byte {
+			return d[:twoRec+3]
+		}, 2},
+		{"bit flip in payload", func(d []byte) []byte {
+			d = append([]byte(nil), d...)
+			d[twoRec+headerSize+4] ^= 0x40
+			return d
+		}, 2},
+		{"bit flip in length", func(d []byte) []byte {
+			d = append([]byte(nil), d...)
+			d[twoRec] ^= 0xFF // implausible length
+			return d
+		}, 2},
+		{"garbage tail", func(d []byte) []byte {
+			return append(append([]byte(nil), d...), 0xde, 0xad, 0xbe, 0xef, 0xff, 0x00, 0x01, 0x02, 0x03)
+		}, 5},
+		{"zero-length record", func(d []byte) []byte {
+			return append(append([]byte(nil), d...), 0, 0, 0, 0, 0, 0, 0, 0)
+		}, 5},
+		{"whole stream garbage", func(d []byte) []byte {
+			return bytes.Repeat([]byte{0xab}, 64)
+		}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out, valid, torn := DecodeEntries(tc.corrupt(clean))
+			if torn == nil {
+				t.Fatal("corruption not detected")
+			}
+			if len(out) != tc.want {
+				t.Fatalf("survived %d records, want %d (torn: %v)", len(out), tc.want, torn)
+			}
+			if tc.want > 0 && !reflect.DeepEqual(out, in[:tc.want]) {
+				t.Fatalf("surviving records corrupted: %+v", out)
+			}
+			// The valid prefix must itself decode cleanly after truncation.
+			if re, _, retorn := DecodeEntries(tc.corrupt(clean)[:valid]); retorn != nil || len(re) != tc.want {
+				t.Fatalf("valid prefix not clean: %d records, torn %v", len(re), retorn)
+			}
+		})
+	}
+}
+
+func TestDecodeRejectsSequenceRegression(t *testing.T) {
+	in := sampleEntries()
+	in[2].Seq = 2 // duplicate of the previous record's sequence
+	out, _, torn := DecodeEntries(encode(t, in))
+	if torn == nil || len(out) != 2 {
+		t.Fatalf("sequence regression not cut: %d records, torn %v", len(out), torn)
+	}
+	in[2].Seq = 0 // zero is never valid
+	out, _, torn = DecodeEntries(encode(t, in[2:3]))
+	if torn == nil || len(out) != 0 {
+		t.Fatalf("zero sequence accepted: %d records, torn %v", len(out), torn)
+	}
+}
+
+func TestStoreAppendReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleEntries()
+	for i := range want {
+		e := want[i]
+		e.Seq = 0 // Append assigns
+		if err := s.Append(&e); err != nil {
+			t.Fatal(err)
+		}
+		if e.Seq != want[i].Seq {
+			t.Fatalf("assigned seq %d, want %d", e.Seq, want[i].Seq)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+	if err := s.Append(&Entry{Op: OpYield}); err != ErrClosed {
+		t.Fatalf("append after close: %v, want ErrClosed", err)
+	}
+
+	re, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	snap, entries := re.Recovered()
+	if snap != nil {
+		t.Fatalf("unexpected snapshot: %+v", snap)
+	}
+	if re.Torn() != nil {
+		t.Fatalf("clean log reported torn: %v", re.Torn())
+	}
+	if !reflect.DeepEqual(entries, want) {
+		t.Fatalf("recovered entries mismatch:\n got %+v\nwant %+v", entries, want)
+	}
+	// Sequence numbering continues where the log left off.
+	next := Entry{Op: OpCancel, Job: 9}
+	if err := re.Append(&next); err != nil {
+		t.Fatal(err)
+	}
+	if next.Seq != want[len(want)-1].Seq+1 {
+		t.Fatalf("resumed seq = %d, want %d", next.Seq, want[len(want)-1].Seq+1)
+	}
+}
+
+func TestStoreTruncatesTornTailAndHeals(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := s.Append(&Entry{T: sim.Time(i), Op: OpYield, Job: job.ID(i + 1), Yields: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the last record, as a crash mid-write would.
+	wal := filepath.Join(dir, "journal.wal")
+	fi, err := os.Stat(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(wal, fi.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Torn() == nil {
+		t.Fatal("torn tail not reported")
+	}
+	_, entries := re.Recovered()
+	if len(entries) != 3 {
+		t.Fatalf("recovered %d entries, want 3", len(entries))
+	}
+	// The torn bytes must be physically gone so new appends stay decodable.
+	if err := re.Append(&Entry{T: 9, Op: OpCancel, Job: 99}); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+	final, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer final.Close()
+	if final.Torn() != nil {
+		t.Fatalf("healed log still torn: %v", final.Torn())
+	}
+	_, entries = final.Recovered()
+	if len(entries) != 4 || entries[3].Job != 99 || entries[3].Seq != 4 {
+		t.Fatalf("healed log entries: %+v", entries)
+	}
+}
+
+func TestStoreRejectsBadOptions(t *testing.T) {
+	if _, err := Open(t.TempDir(), Options{FsyncInterval: -time.Second}); err == nil {
+		t.Fatal("negative FsyncInterval accepted")
+	}
+}
+
+func TestStoreRejectsCorruptSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "snapshot.json"), []byte("{truncated"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("corrupt snapshot accepted")
+	}
+}
+
+func TestStoreFsyncBatching(t *testing.T) {
+	// With a long interval and a frozen injected clock, appends must not
+	// sync each record but Sync/Close still flush. Observable behaviour:
+	// no errors and the log decodes fully after close — the batching path
+	// (dirty tracking, lastSync bookkeeping) is exercised either way.
+	clock := time.Unix(1000, 0)
+	dir := t.TempDir()
+	s, err := Open(dir, Options{FsyncInterval: time.Hour, Now: func() time.Time { return clock }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := s.Append(&Entry{Op: OpYield, Job: 1, Yields: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Advancing past the interval makes the next append sync.
+	clock = clock.Add(2 * time.Hour)
+	if err := s.Append(&Entry{Op: OpYield, Job: 1, Yields: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if _, entries := re.Recovered(); len(entries) != 11 {
+		t.Fatalf("recovered %d entries, want 11", len(entries))
+	}
+}
+
+func TestStoreCompact(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := s.Append(&Entry{Op: OpYield, Job: 1, Yields: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := Snapshot{Domain: "A", T: 42, Jobs: []JobRecord{{ID: 1, Nodes: 4, State: "queued"}}}
+	if err := s.Compact(snap); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.AppendedSinceCompact(); got != 0 {
+		t.Fatalf("appended after compact = %d", got)
+	}
+	// Entries appended after the checkpoint carry later sequence numbers.
+	post := Entry{Op: OpStart, Job: 1, Start: 50}
+	if err := s.Append(&post); err != nil {
+		t.Fatal(err)
+	}
+	if post.Seq != 6 {
+		t.Fatalf("post-compact seq = %d, want 6", post.Seq)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	rsnap, entries := re.Recovered()
+	if rsnap == nil || rsnap.Domain != "A" || rsnap.Seq != 5 || rsnap.T != 42 {
+		t.Fatalf("recovered snapshot: %+v", rsnap)
+	}
+	if len(entries) != 1 || entries[0].Seq != 6 {
+		t.Fatalf("recovered wal: %+v", entries)
+	}
+}
+
+func TestSnapshotJobRoundTrip(t *testing.T) {
+	j := job.New(7, 32, 100, 600, 900)
+	j.Name = "pair-a"
+	j.User = 3
+	j.Mates = []job.MateRef{{Domain: "B", Job: 7}}
+	for _, st := range []job.State{job.Unsubmitted, job.Queued, job.Holding, job.Running, job.Completed, job.Cancelled} {
+		j.State = st
+		j.StartTime, j.EndTime, j.HoldStart = 150, 750, 120
+		j.YieldCount, j.HoldCount, j.HeldNodeSeconds = 2, 1, 960
+		j.EverReady, j.FirstReadyTime = true, 110
+		back, err := RecordJob(j).Job()
+		if err != nil {
+			t.Fatalf("state %s: %v", st, err)
+		}
+		if !reflect.DeepEqual(back, j) {
+			t.Fatalf("state %s round trip:\n got %+v\nwant %+v", st, back, j)
+		}
+	}
+	if _, err := (JobRecord{ID: 1, Nodes: 1, State: "bogus"}).Job(); err == nil {
+		t.Fatal("bogus state accepted")
+	}
+}
+
+func TestReplayHistory(t *testing.T) {
+	entries := []Entry{
+		{Seq: 1, T: 0, Op: OpExpect, Job: 1, Nodes: 16, Runtime: 600, Walltime: 600, Submit: 5,
+			Mates: []job.MateRef{{Domain: "B", Job: 1}}},
+		{Seq: 2, T: 5, Op: OpSubmit, Job: 1, Nodes: 16, Runtime: 600, Walltime: 600, Submit: 5,
+			Mates: []job.MateRef{{Domain: "B", Job: 1}}},
+		{Seq: 3, T: 5, Op: OpHold, Job: 1, HoldStart: 5, Holds: 1, Ready: true, ReadyAt: 5},
+		{Seq: 4, T: 60, Op: OpRelease, Job: 1, HeldNS: 880, OK: true},
+		{Seq: 5, T: 70, Op: OpYield, Job: 1, Yields: 1},
+		{Seq: 6, T: 80, Op: OpRehold, Job: 1, HoldStart: 80, Holds: 2, Ready: true, ReadyAt: 5},
+		{Seq: 7, T: 90, Op: OpPeerDecision, Job: 1, Method: "start_mate", OK: true},
+		{Seq: 8, T: 90, Op: OpStart, Job: 1, Start: 90, Holds: 2, Yields: 1, HeldNS: 1040, Ready: true, ReadyAt: 5},
+		{Seq: 9, T: 20, Op: OpSubmit, Job: 2, Nodes: 8, Runtime: 100, Walltime: 100, Submit: 20},
+		{Seq: 10, T: 690, Op: OpComplete, Job: 1, HeldNS: 1040},
+		{Seq: 11, T: 700, Op: OpCancel, Job: 2},
+	}
+	st, err := Replay(nil, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Entries != 11 || st.T != 700 || len(st.Jobs) != 2 {
+		t.Fatalf("state: entries=%d t=%d jobs=%d", st.Entries, st.T, len(st.Jobs))
+	}
+	j1, j2 := st.Jobs[0], st.Jobs[1]
+	if j1.State != job.Completed || j1.StartTime != 90 || j1.EndTime != 690 {
+		t.Fatalf("j1: %+v", j1)
+	}
+	if j1.HoldCount != 2 || j1.YieldCount != 1 || j1.HeldNodeSeconds != 1040 {
+		t.Fatalf("j1 counters: holds=%d yields=%d heldns=%d", j1.HoldCount, j1.YieldCount, j1.HeldNodeSeconds)
+	}
+	if !j1.EverReady || j1.FirstReadyTime != 5 || j1.HoldStart != 80 {
+		t.Fatalf("j1 readiness: %+v", j1)
+	}
+	if len(j1.Mates) != 1 || j1.Mates[0] != (job.MateRef{Domain: "B", Job: 1}) {
+		t.Fatalf("j1 mates: %+v", j1.Mates)
+	}
+	if j2.State != job.Cancelled || j2.EndTime != 700 {
+		t.Fatalf("j2: %+v", j2)
+	}
+}
+
+func TestReplaySkipsEntriesCoveredBySnapshot(t *testing.T) {
+	snap := &Snapshot{Domain: "A", Seq: 3, T: 50, Jobs: []JobRecord{
+		{ID: 1, Nodes: 16, Runtime: 600, Walltime: 600, Submit: 5, State: "holding", HoldStart: 5, Holds: 1},
+	}}
+	entries := []Entry{
+		{Seq: 3, T: 5, Op: OpHold, Job: 1, Holds: 1}, // covered: must be skipped
+		{Seq: 4, T: 90, Op: OpStart, Job: 1, Start: 90, Holds: 1},
+	}
+	st, err := Replay(snap, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Domain != "A" || st.Entries != 1 || st.T != 90 {
+		t.Fatalf("state: %+v", st)
+	}
+	if st.Jobs[0].State != job.Running || st.Jobs[0].StartTime != 90 {
+		t.Fatalf("job: %+v", st.Jobs[0])
+	}
+}
+
+func TestReplayRejectsIllegalHistories(t *testing.T) {
+	cases := []struct {
+		name    string
+		entries []Entry
+	}{
+		{"double start", []Entry{
+			{Seq: 1, T: 0, Op: OpSubmit, Job: 1, Nodes: 1, Submit: 0},
+			{Seq: 2, T: 1, Op: OpStart, Job: 1, Start: 1},
+			{Seq: 3, T: 2, Op: OpStart, Job: 1, Start: 2},
+		}},
+		{"start of unknown job", []Entry{
+			{Seq: 1, T: 1, Op: OpStart, Job: 1, Start: 1},
+		}},
+		{"hold after completion", []Entry{
+			{Seq: 1, T: 0, Op: OpSubmit, Job: 1, Nodes: 1, Submit: 0},
+			{Seq: 2, T: 1, Op: OpStart, Job: 1, Start: 1},
+			{Seq: 3, T: 2, Op: OpComplete, Job: 1},
+			{Seq: 4, T: 3, Op: OpHold, Job: 1, Holds: 1},
+		}},
+		{"expect of known job", []Entry{
+			{Seq: 1, T: 0, Op: OpSubmit, Job: 1, Nodes: 1, Submit: 0},
+			{Seq: 2, T: 1, Op: OpExpect, Job: 1, Nodes: 1},
+		}},
+		{"unknown op", []Entry{
+			{Seq: 1, T: 0, Op: Op("warp"), Job: 1},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Replay(nil, tc.entries); err == nil {
+				t.Fatal("illegal history replayed without error")
+			}
+		})
+	}
+}
+
+// liveDomain builds a manager journaled by a Recorder, closing over the
+// manager pointer the way the daemon does.
+func liveDomain(t *testing.T, eng *sim.Engine, name string, nodes int, store *Store) *resmgr.Manager {
+	t.Helper()
+	var m *resmgr.Manager
+	rec := NewRecorder(store, func() Snapshot { return ManagerSnapshot(m) }, func(err error) {
+		t.Errorf("journal %s: %v", name, err)
+	})
+	m = resmgr.New(eng, resmgr.Options{
+		Name: name, Pool: cluster.New(name, nodes),
+		Policy: policy.FCFS{}, Backfilling: true,
+		Cosched:  cosched.DefaultConfig(cosched.Hold),
+		Observer: rec,
+	})
+	return m
+}
+
+func openStore(t *testing.T, dir string, opt Options) *Store {
+	t.Helper()
+	s, err := Open(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// TestRecorderReplayMatchesLiveState runs a coupled simulation under the
+// recorder and checks that replaying the journal reproduces the managers'
+// final job tables exactly. SnapshotEvery is tiny so compaction happens
+// mid-run and replay crosses snapshot boundaries.
+func TestRecorderReplayMatchesLiveState(t *testing.T) {
+	dirA, dirB := t.TempDir(), t.TempDir()
+	storeA := openStore(t, dirA, Options{SnapshotEvery: 4})
+	storeB := openStore(t, dirB, Options{SnapshotEvery: 4})
+	eng := sim.NewEngine()
+	a := liveDomain(t, eng, "A", 32, storeA)
+	b := liveDomain(t, eng, "B", 32, storeB)
+	a.AddPeer("B", b)
+	b.AddPeer("A", a)
+
+	a1 := job.New(1, 16, 0, 600, 600)
+	b1 := job.New(1, 16, 100, 600, 600)
+	a1.Mates = []job.MateRef{{Domain: "B", Job: 1}}
+	b1.Mates = []job.MateRef{{Domain: "A", Job: 1}}
+	a2 := job.New(2, 32, 50, 300, 300)
+	b3 := job.New(3, 8, 20, 200, 200)
+	for _, sub := range []struct {
+		m *resmgr.Manager
+		j *job.Job
+	}{{a, a1}, {a, a2}, {b, b1}, {b, b3}} {
+		if err := sub.m.SubmitAt(sub.j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Run()
+	if a1.State != job.Completed || b1.State != job.Completed {
+		t.Fatalf("pair did not complete: %s / %s", a1.State, b1.State)
+	}
+	if err := storeA.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := storeB.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		dir string
+		m   *resmgr.Manager
+	}{{dirA, a}, {dirB, b}} {
+		re := openStore(t, tc.dir, Options{})
+		snap, entries := re.Recovered()
+		if snap == nil {
+			t.Fatalf("%s: no snapshot despite SnapshotEvery=4", tc.m.Name())
+		}
+		st, err := Replay(snap, entries)
+		if err != nil {
+			t.Fatalf("%s: replay: %v", tc.m.Name(), err)
+		}
+		live := ManagerSnapshot(tc.m)
+		if len(st.Jobs) != len(live.Jobs) {
+			t.Fatalf("%s: replay has %d jobs, live has %d", tc.m.Name(), len(st.Jobs), len(live.Jobs))
+		}
+		for i, j := range st.Jobs {
+			want, err := live.Jobs[i].Job()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(j, want) {
+				t.Fatalf("%s job %d:\n replay %+v\n live   %+v", tc.m.Name(), j.ID, j, want)
+			}
+		}
+	}
+}
+
+// TestRestoreContinuesAfterCrash is the core recovery scenario: both
+// domains journal, the simulation is cut mid-run (a1 holding for a mate
+// not yet submitted, b3 running, a2 queued), and fresh managers rebuilt
+// from the journals alone finish the workload with the co-start intact.
+func TestRestoreContinuesAfterCrash(t *testing.T) {
+	dirA, dirB := t.TempDir(), t.TempDir()
+	storeA := openStore(t, dirA, Options{})
+	storeB := openStore(t, dirB, Options{})
+	eng := sim.NewEngine()
+	a := liveDomain(t, eng, "A", 32, storeA)
+	b := liveDomain(t, eng, "B", 32, storeB)
+	a.AddPeer("B", b)
+	b.AddPeer("A", a)
+
+	a1 := job.New(1, 16, 0, 600, 600)
+	b1 := job.New(1, 16, 100, 600, 600)
+	a1.Mates = []job.MateRef{{Domain: "B", Job: 1}}
+	b1.Mates = []job.MateRef{{Domain: "A", Job: 1}}
+	a2 := job.New(2, 32, 50, 300, 300)
+	b3 := job.New(3, 8, 20, 200, 200)
+	for _, sub := range []struct {
+		m *resmgr.Manager
+		j *job.Job
+	}{{a, a1}, {a, a2}, {b, b1}, {b, b3}} {
+		if err := sub.m.SubmitAt(sub.j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.RunUntil(80) // crash: a1 holding, a2 queued, b3 running, b1 expected
+	if a1.State != job.Holding || b3.State != job.Running {
+		t.Fatalf("pre-crash states: a1=%s b3=%s", a1.State, b3.State)
+	}
+	if err := storeA.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := storeB.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: fresh engine, fresh managers, state from the journals only.
+	eng2 := sim.NewEngine()
+	a = liveDomain(t, eng2, "A", 32, openStore(t, t.TempDir(), Options{}))
+	b = liveDomain(t, eng2, "B", 32, openStore(t, t.TempDir(), Options{}))
+	a.AddPeer("B", b)
+	b.AddPeer("A", a)
+	var restored []*job.Job
+	for _, rt := range []struct {
+		dir string
+		m   *resmgr.Manager
+	}{{dirB, b}, {dirA, a}} { // B first: its last record is earlier
+		re := openStore(t, rt.dir, Options{})
+		snap, entries := re.Recovered()
+		st, err := Replay(snap, entries)
+		if err != nil {
+			t.Fatalf("%s: replay: %v", rt.m.Name(), err)
+		}
+		stats, err := Restore(rt.m, st)
+		if err != nil {
+			t.Fatalf("%s: restore: %v", rt.m.Name(), err)
+		}
+		if rt.m.Name() == "A" && (stats.Holding != 1 || stats.Queued != 1) {
+			t.Fatalf("A restore stats: %s", stats)
+		}
+		if rt.m.Name() == "B" && (stats.Running != 1 || stats.Expected != 1) {
+			t.Fatalf("B restore stats: %s", stats)
+		}
+		restored = append(restored, st.Jobs...)
+	}
+	// b1 was only Expected before the crash; re-arm its arrival the way a
+	// trace player (or qsub) would after a restart.
+	rb1, ok := b.Job(1)
+	if !ok || rb1.State != job.Unsubmitted {
+		t.Fatalf("b1 not restored as expected: %v %v", rb1, ok)
+	}
+	if _, err := eng2.At(rb1.SubmitTime, sim.PrioritySubmit, func(sim.Time) {
+		if err := b.Submit(rb1); err != nil {
+			t.Errorf("resubmit b1: %v", err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	eng2.Run()
+
+	ra1, _ := a.Job(1)
+	ra2, _ := a.Job(2)
+	rb3, _ := b.Job(3)
+	for _, j := range []*job.Job{ra1, ra2, rb1, rb3} {
+		if j.State != job.Completed {
+			t.Fatalf("job %s not completed after recovery", j)
+		}
+	}
+	if ra1.StartTime != rb1.StartTime || ra1.StartTime != 100 {
+		t.Fatalf("co-start after recovery: a1=%d b1=%d, want 100", ra1.StartTime, rb1.StartTime)
+	}
+	if rb3.EndTime != 220 {
+		t.Fatalf("b3 end = %d, want 220 (runtime preserved across restart)", rb3.EndTime)
+	}
+	if ra2.StartTime != 700 {
+		t.Fatalf("a2 start = %d, want 700 (after the pair finishes)", ra2.StartTime)
+	}
+	if a.Pool().Free() != 32 || b.Pool().Free() != 32 {
+		t.Fatalf("pools not drained: %s / %s", a.Pool(), b.Pool())
+	}
+	_ = restored
+}
+
+// buildBigLog builds n entries spread over n/4 jobs through a full
+// submit→hold→start→complete lifecycle.
+func buildBigLog(n int) []Entry {
+	entries := make([]Entry, 0, n)
+	seq := uint64(0)
+	add := func(e Entry) {
+		seq++
+		e.Seq = seq
+		entries = append(entries, e)
+	}
+	for id := job.ID(1); len(entries)+4 <= n; id++ {
+		t := sim.Time(id) * 10
+		add(Entry{T: t, Op: OpSubmit, Job: id, Nodes: 8, Runtime: 600, Walltime: 600, Submit: t,
+			Mates: []job.MateRef{{Domain: "B", Job: id}}})
+		add(Entry{T: t, Op: OpHold, Job: id, HoldStart: t, Holds: 1, Ready: true, ReadyAt: t})
+		add(Entry{T: t + 50, Op: OpStart, Job: id, Start: t + 50, Holds: 1, HeldNS: 400, Ready: true, ReadyAt: t})
+		add(Entry{T: t + 650, Op: OpComplete, Job: id, HeldNS: 400})
+	}
+	for len(entries) < n {
+		add(Entry{T: 0, Op: OpPeerDecision, Job: 1, Method: "try_start_mate"})
+	}
+	return entries
+}
+
+func BenchmarkReplay10k(b *testing.B) {
+	entries := buildBigLog(10_000)
+	var buf []byte
+	for i := range entries {
+		var err error
+		buf, err = AppendRecord(buf, &entries[i])
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		decoded, _, torn := DecodeEntries(buf)
+		if torn != nil || len(decoded) != len(entries) {
+			b.Fatalf("decode: %d records, torn %v", len(decoded), torn)
+		}
+		if _, err := Replay(nil, decoded); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package journal
+
+import (
+	"sort"
+
+	"cosched/internal/job"
+	"cosched/internal/resmgr"
+	"cosched/internal/sim"
+)
+
+// JobRecord is one job's full serialization inside a snapshot: the request
+// fields, the lifecycle state (by name, so snapshots stay debuggable), and
+// every mutable counter the manager owns.
+type JobRecord struct {
+	ID       job.ID        `json:"id"`
+	Name     string        `json:"name,omitempty"`
+	User     int           `json:"user,omitempty"`
+	Nodes    int           `json:"nodes"`
+	Runtime  sim.Duration  `json:"runtime"`
+	Walltime sim.Duration  `json:"walltime"`
+	Submit   sim.Time      `json:"submit"`
+	Mates    []job.MateRef `json:"mates,omitempty"`
+
+	State     string   `json:"state"`
+	Start     sim.Time `json:"start,omitempty"`
+	End       sim.Time `json:"end,omitempty"`
+	HoldStart sim.Time `json:"hold_start,omitempty"`
+	Yields    int      `json:"yields,omitempty"`
+	Holds     int      `json:"holds,omitempty"`
+	HeldNS    int64    `json:"held_ns,omitempty"`
+	Ready     bool     `json:"ready,omitempty"`
+	ReadyAt   sim.Time `json:"ready_at,omitempty"`
+}
+
+// RecordJob serializes a live job.
+func RecordJob(j *job.Job) JobRecord {
+	return JobRecord{
+		ID:       j.ID,
+		Name:     j.Name,
+		User:     j.User,
+		Nodes:    j.Nodes,
+		Runtime:  j.Runtime,
+		Walltime: j.Walltime,
+		Submit:   j.SubmitTime,
+		Mates:    append([]job.MateRef(nil), j.Mates...),
+
+		State:     j.State.String(),
+		Start:     j.StartTime,
+		End:       j.EndTime,
+		HoldStart: j.HoldStart,
+		Yields:    j.YieldCount,
+		Holds:     j.HoldCount,
+		HeldNS:    j.HeldNodeSeconds,
+		Ready:     j.EverReady,
+		ReadyAt:   j.FirstReadyTime,
+	}
+}
+
+// Job rebuilds the live job. The state name must parse; everything else is
+// carried verbatim.
+func (r JobRecord) Job() (*job.Job, error) {
+	st, err := job.ParseState(r.State)
+	if err != nil {
+		return nil, err
+	}
+	return &job.Job{
+		ID:         r.ID,
+		Name:       r.Name,
+		User:       r.User,
+		Nodes:      r.Nodes,
+		Runtime:    r.Runtime,
+		Walltime:   r.Walltime,
+		SubmitTime: r.Submit,
+		Mates:      append([]job.MateRef(nil), r.Mates...),
+
+		State:           st,
+		StartTime:       r.Start,
+		EndTime:         r.End,
+		HoldStart:       r.HoldStart,
+		YieldCount:      r.Yields,
+		HoldCount:       r.Holds,
+		HeldNodeSeconds: r.HeldNS,
+		EverReady:       r.Ready,
+		FirstReadyTime:  r.ReadyAt,
+	}, nil
+}
+
+// Snapshot is a compacting checkpoint: the domain's complete job table as
+// of write-ahead sequence number Seq at virtual time T. Entries with
+// sequence numbers ≤ Seq are already folded in and skipped on replay.
+type Snapshot struct {
+	Domain string      `json:"domain"`
+	Seq    uint64      `json:"seq"`
+	T      sim.Time    `json:"t"`
+	Jobs   []JobRecord `json:"jobs"`
+}
+
+// ManagerSnapshot captures a manager's current job table (sorted by job ID
+// for stable bytes). Seq is filled in by Store.Compact, which knows the
+// write-ahead position the snapshot corresponds to. Must run on the
+// manager's thread (in live mode: under the driver lock).
+func ManagerSnapshot(m *resmgr.Manager) Snapshot {
+	jobs := m.Jobs()
+	sort.Slice(jobs, func(a, b int) bool { return jobs[a].ID < jobs[b].ID })
+	s := Snapshot{Domain: m.Name(), T: m.Engine().Now(), Jobs: make([]JobRecord, 0, len(jobs))}
+	for _, j := range jobs {
+		s.Jobs = append(s.Jobs, RecordJob(j))
+	}
+	return s
+}

@@ -1,0 +1,254 @@
+package journal
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// On-disk layout inside a journal directory.
+const (
+	walName     = "journal.wal"
+	snapName    = "snapshot.json"
+	snapTmpName = "snapshot.json.tmp"
+)
+
+// ErrClosed is returned by operations on a closed Store.
+var ErrClosed = errors.New("journal: store closed")
+
+// Options configures a Store.
+type Options struct {
+	// FsyncInterval batches fsyncs: an append syncs only when this much
+	// wall time passed since the last sync. 0 syncs after every append —
+	// maximal durability, one fsync per transition. Negative is invalid.
+	FsyncInterval time.Duration
+	// SnapshotEvery is how many appended entries trigger a compacting
+	// snapshot (used by the Recorder). 0 takes the default of 1024.
+	SnapshotEvery int
+	// Now overrides the fsync-batching clock (tests). nil reads the wall
+	// clock — batching paces real disk writes, never simulation time.
+	Now func() time.Time
+}
+
+// Store owns one journal directory: the append handle on the write-ahead
+// log and the snapshot file. Opening a store performs recovery — the
+// snapshot is loaded, the WAL tail is decoded torn-tolerantly, and the
+// file is truncated to its last valid record — so a Store is always in a
+// consistent appendable state once Open returns. Safe for concurrent use.
+type Store struct {
+	dir string
+	opt Options
+
+	// Recovery results, stashed at Open for the caller.
+	snap    *Snapshot
+	entries []Entry
+	torn    *TornTail
+
+	mu       sync.Mutex
+	f        *os.File
+	buf      []byte
+	seq      uint64
+	appended uint64 // entries since open/compact; drives snapshot cadence
+	dirty    bool   // unsynced bytes in the WAL
+	lastSync time.Time
+	closed   bool
+}
+
+// Open opens (creating if needed) the journal directory and recovers its
+// contents: snapshot loaded, WAL decoded, torn tail truncated away. An
+// unreadable snapshot is an error — snapshots are written atomically, so
+// corruption there means something worse than a crash happened, and
+// silently dropping the whole job table would be the one unrecoverable
+// "recovery". A torn WAL tail is NOT an error; see Torn.
+func Open(dir string, opt Options) (*Store, error) {
+	if opt.FsyncInterval < 0 {
+		return nil, fmt.Errorf("journal: negative FsyncInterval %v", opt.FsyncInterval)
+	}
+	if opt.SnapshotEvery <= 0 {
+		opt.SnapshotEvery = 1024
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: create dir: %w", err)
+	}
+	s := &Store{dir: dir, opt: opt}
+
+	if data, err := os.ReadFile(filepath.Join(dir, snapName)); err == nil {
+		var snap Snapshot
+		if err := json.Unmarshal(data, &snap); err != nil {
+			return nil, fmt.Errorf("journal: corrupt snapshot %s: %w", snapName, err)
+		}
+		s.snap = &snap
+		s.seq = snap.Seq
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("journal: read snapshot: %w", err)
+	}
+
+	walPath := filepath.Join(dir, walName)
+	data, err := os.ReadFile(walPath)
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("journal: read wal: %w", err)
+	}
+	entries, valid, torn := DecodeEntries(data)
+	s.entries, s.torn = entries, torn
+	if torn != nil {
+		if err := os.Truncate(walPath, valid); err != nil {
+			return nil, fmt.Errorf("journal: truncate torn wal: %w", err)
+		}
+	}
+	if n := len(entries); n > 0 && entries[n-1].Seq > s.seq {
+		s.seq = entries[n-1].Seq
+	}
+
+	f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: open wal: %w", err)
+	}
+	s.f = f
+	s.lastSync = s.now()
+	return s, nil
+}
+
+// Recovered returns what Open found: the snapshot (nil if none existed)
+// and the valid WAL entries after it.
+func (s *Store) Recovered() (*Snapshot, []Entry) { return s.snap, s.entries }
+
+// Torn returns the description of the WAL tail Open truncated away, or nil
+// if the log ended cleanly.
+func (s *Store) Torn() *TornTail { return s.torn }
+
+// Dir returns the journal directory.
+func (s *Store) Dir() string { return s.dir }
+
+// SnapshotEvery returns the (defaulted) snapshot cadence.
+func (s *Store) SnapshotEvery() int { return s.opt.SnapshotEvery }
+
+// now reads the fsync-batching clock.
+func (s *Store) now() time.Time {
+	if s.opt.Now != nil {
+		return s.opt.Now()
+	}
+	//simlint:allow R2 fsync batching paces real disk flushes in the live daemon; tests and simulations inject Options.Now
+	return time.Now()
+}
+
+// Append assigns the next sequence number to e and appends its framed
+// encoding to the WAL, syncing per the fsync-batching policy.
+func (s *Store) Append(e *Entry) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	e.Seq = s.seq + 1
+	buf, err := AppendRecord(s.buf[:0], e)
+	if err != nil {
+		return err
+	}
+	s.buf = buf
+	if _, err := s.f.Write(buf); err != nil {
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	s.seq++
+	s.appended++
+	s.dirty = true
+	if now := s.now(); s.opt.FsyncInterval == 0 || now.Sub(s.lastSync) >= s.opt.FsyncInterval {
+		return s.syncLocked(now)
+	}
+	return nil
+}
+
+func (s *Store) syncLocked(now time.Time) error {
+	if !s.dirty {
+		return nil
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("journal: fsync: %w", err)
+	}
+	s.dirty = false
+	s.lastSync = now
+	return nil
+}
+
+// Sync flushes any batched appends to stable storage.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.syncLocked(s.now())
+}
+
+// AppendedSinceCompact returns how many entries were appended since the
+// store was opened or last compacted.
+func (s *Store) AppendedSinceCompact() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.appended
+}
+
+// Compact makes snap the new durable checkpoint and truncates the WAL.
+// The ordering is the crash-safety argument: the snapshot (stamped with
+// the current WAL sequence) is written to a temp file, synced, and renamed
+// over the old one — only then is the WAL truncated. A crash before the
+// rename leaves the old snapshot + full WAL; a crash after it leaves the
+// new snapshot + a WAL whose entries are all ≤ Seq and thus skipped.
+func (s *Store) Compact(snap Snapshot) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	// The snapshot must cover every durable entry it supersedes.
+	if err := s.syncLocked(s.now()); err != nil {
+		return err
+	}
+	snap.Seq = s.seq
+	data, err := json.Marshal(&snap)
+	if err != nil {
+		return fmt.Errorf("journal: marshal snapshot: %w", err)
+	}
+	tmp := filepath.Join(s.dir, snapTmpName)
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: snapshot tmp: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("journal: snapshot write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("journal: snapshot fsync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("journal: snapshot close: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, snapName)); err != nil {
+		return fmt.Errorf("journal: snapshot rename: %w", err)
+	}
+	if err := s.f.Truncate(0); err != nil {
+		return fmt.Errorf("journal: wal truncate: %w", err)
+	}
+	s.appended = 0
+	return nil
+}
+
+// Close syncs and closes the WAL handle.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	err := s.syncLocked(s.now())
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
+	s.closed = true
+	return err
+}

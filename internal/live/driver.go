@@ -22,7 +22,8 @@ type Driver struct {
 	mu      sync.Mutex
 	eng     *sim.Engine
 	speedup float64
-	start   time.Time // wall instant corresponding to virtual 0
+	start   time.Time // wall instant Run began pacing
+	base    sim.Time  // virtual instant at start — nonzero after a recovery
 	wake    chan struct{}
 }
 
@@ -95,7 +96,9 @@ func (d *Driver) virtualNowLocked() sim.Time {
 	if d.start.IsZero() {
 		return d.eng.Now()
 	}
-	return sim.Time(time.Since(d.start).Seconds() * d.speedup)
+	// Pacing resumes from wherever the engine stood when Run began — after
+	// a crash recovery that is the replayed journal time, not zero.
+	return d.base + sim.Time(time.Since(d.start).Seconds()*d.speedup)
 }
 
 // Run paces the engine until ctx is canceled. Events fire when the scaled
@@ -105,6 +108,7 @@ func (d *Driver) Run(ctx context.Context) {
 	d.mu.Lock()
 	if d.start.IsZero() {
 		d.start = time.Now()
+		d.base = d.eng.Now()
 	}
 	d.mu.Unlock()
 	for {

@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/http"
 	"sort"
+	"sync"
 
 	"cosched/internal/job"
 	"cosched/internal/peerlink"
@@ -29,6 +30,20 @@ type StatusSnapshot struct {
 	// Peers reports the health of each watched peer link (breaker state,
 	// call and failure counters). Empty when the daemon has no peers.
 	Peers []peerlink.Snapshot `json:"peers,omitempty"`
+	// Recovery describes the most recent crash recovery, if this daemon
+	// booted from a journal. Absent on a fresh start.
+	Recovery *RecoveryInfo `json:"recovery,omitempty"`
+}
+
+// RecoveryInfo summarizes a daemon's boot-time recovery for the status
+// page: what the journal yielded and how mate reconciliation went.
+type RecoveryInfo struct {
+	At        sim.Time `json:"at"`                  // virtual time recovery completed
+	Snapshot  uint64   `json:"snapshot_seq"`        // snapshot sequence loaded (0 = none)
+	Entries   int      `json:"entries"`             // WAL entries replayed on top
+	Restored  int      `json:"restored_jobs"`       // jobs re-installed
+	Torn      string   `json:"torn,omitempty"`      // truncated-tail description, if any
+	Reconcile string   `json:"reconcile,omitempty"` // latest per-peer reconciliation summary
 }
 
 // StatusJobRow is one non-terminal job in the snapshot.
@@ -49,6 +64,17 @@ type StatusServer struct {
 	driver *Driver
 	links  []*peerlink.Link
 	srv    *http.Server
+
+	recMu    sync.Mutex
+	recovery *RecoveryInfo
+}
+
+// SetRecovery publishes (or updates, as reconciliation progresses) the
+// daemon's recovery summary. Safe to call from any goroutine.
+func (s *StatusServer) SetRecovery(info RecoveryInfo) {
+	s.recMu.Lock()
+	s.recovery = &info
+	s.recMu.Unlock()
 }
 
 // NewStatusServer wraps a manager and its driver.
@@ -95,6 +121,12 @@ func (s *StatusServer) snapshot() StatusSnapshot {
 	for _, l := range s.links {
 		snap.Peers = append(snap.Peers, l.Snapshot())
 	}
+	s.recMu.Lock()
+	if s.recovery != nil {
+		info := *s.recovery
+		snap.Recovery = &info
+	}
+	s.recMu.Unlock()
 	return snap
 }
 
@@ -116,6 +148,13 @@ th{background:#f3f2ef}.k{color:#52514e}
 <td>{{.Nodes}}</td><td>{{.Submit}}</td><td>{{.Mates}}</td><td>{{.Yields}}</td></tr>
 {{else}}<tr><td colspan="7" class="k">no active jobs</td></tr>{{end}}
 </table>
+{{with .Recovery}}<h2>recovery</h2>
+<table><tr><th>recovered at</th><th>snapshot seq</th><th>entries replayed</th>
+<th>jobs restored</th><th>torn tail</th><th>reconciliation</th></tr>
+<tr><td>t={{.At}}s</td><td>{{.Snapshot}}</td><td>{{.Entries}}</td>
+<td>{{.Restored}}</td><td class="k">{{if .Torn}}{{.Torn}}{{else}}clean{{end}}</td>
+<td class="k">{{if .Reconcile}}{{.Reconcile}}{{else}}pending{{end}}</td></tr>
+</table>{{end}}
 {{if .Peers}}<h2>peer links</h2>
 <table><tr><th>peer</th><th>state</th><th>connected</th><th>calls</th><th>ok</th>
 <th>remote err</th><th>transport err</th><th>fast fail</th><th>retries</th>

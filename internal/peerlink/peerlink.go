@@ -54,6 +54,7 @@ import (
 	"cosched/internal/cosched"
 	"cosched/internal/job"
 	"cosched/internal/proto"
+	"cosched/internal/sim"
 )
 
 // State is the circuit-breaker state of a Link.
@@ -83,9 +84,13 @@ func (s State) String() string {
 }
 
 // Transport is the connection a Link manages: the wire client
-// (proto.Client) in production, or a scriptable fake in tests.
+// (proto.Client) in production, or a scriptable fake in tests. It carries
+// the full protocol including the co-start-instant and reconciliation
+// extensions (proto.Client implements both; fakes must too).
 type Transport interface {
 	cosched.Peer
+	cosched.CoStarter
+	cosched.Reconciler
 	Ping() (string, error)
 	Close() error
 }
@@ -589,4 +594,46 @@ func (l *Link) StartMate(id job.ID) error {
 	return l.do(false, func(t Transport) error {
 		return t.StartMate(id)
 	})
+}
+
+var (
+	_ cosched.CoStarter  = (*Link)(nil)
+	_ cosched.Reconciler = (*Link)(nil)
+)
+
+// TryStartMateAt implements cosched.CoStarter. Not idempotent (see
+// TryStartMate).
+func (l *Link) TryStartMateAt(id job.ID, at sim.Time) (bool, error) {
+	var ok bool
+	err := l.do(false, func(t Transport) error {
+		o, err := t.TryStartMateAt(id, at)
+		if err == nil {
+			ok = o
+		}
+		return err
+	})
+	return ok, err
+}
+
+// StartMateAt implements cosched.CoStarter. Not idempotent.
+func (l *Link) StartMateAt(id job.ID, at sim.Time) error {
+	return l.do(false, func(t Transport) error {
+		return t.StartMateAt(id, at)
+	})
+}
+
+// ReconcileMates implements cosched.Reconciler. Idempotent by the
+// handshake's design (every resolution action converges and repeats as a
+// no-op), so an ambiguous read-stage failure may retry on a fresh
+// connection like any query.
+func (l *Link) ReconcileMates(from string, views []cosched.MateView) ([]cosched.MateView, error) {
+	var out []cosched.MateView
+	err := l.do(true, func(t Transport) error {
+		o, err := t.ReconcileMates(from, views)
+		if err == nil {
+			out = o
+		}
+		return err
+	})
+	return out, err
 }

@@ -11,6 +11,7 @@ import (
 	"cosched/internal/job"
 	"cosched/internal/peerlink"
 	"cosched/internal/proto"
+	"cosched/internal/sim"
 )
 
 // fakeConn is a scriptable Transport: fail decides each round trip's fate.
@@ -75,6 +76,21 @@ func (c *fakeConn) TryStartMate(id job.ID) (bool, error) {
 }
 
 func (c *fakeConn) StartMate(id job.ID) error { return c.roundTrip(proto.MethodStartMate) }
+
+func (c *fakeConn) TryStartMateAt(id job.ID, at sim.Time) (bool, error) {
+	return true, c.roundTrip(proto.MethodTryStartMate)
+}
+
+func (c *fakeConn) StartMateAt(id job.ID, at sim.Time) error {
+	return c.roundTrip(proto.MethodStartMate)
+}
+
+func (c *fakeConn) ReconcileMates(from string, views []cosched.MateView) ([]cosched.MateView, error) {
+	if err := c.roundTrip(proto.MethodReconcile); err != nil {
+		return nil, err
+	}
+	return nil, nil
+}
 
 // harness provides a fake clock and a scriptable dialer.
 type harness struct {

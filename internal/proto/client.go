@@ -8,6 +8,7 @@ import (
 
 	"cosched/internal/cosched"
 	"cosched/internal/job"
+	"cosched/internal/sim"
 )
 
 // Client implements cosched.Peer over a single connection. Calls are
@@ -174,4 +175,34 @@ func (c *Client) TryStartMate(id job.ID) (bool, error) {
 func (c *Client) StartMate(id job.ID) error {
 	_, err := c.call(Request{Method: MethodStartMate, JobID: id})
 	return err
+}
+
+var (
+	_ cosched.CoStarter  = (*Client)(nil)
+	_ cosched.Reconciler = (*Client)(nil)
+)
+
+// TryStartMateAt implements cosched.CoStarter: TryStartMate carrying the
+// caller's proposed co-start instant.
+func (c *Client) TryStartMateAt(id job.ID, at sim.Time) (bool, error) {
+	resp, err := c.call(Request{Method: MethodTryStartMate, JobID: id, At: &at})
+	if err != nil {
+		return false, err
+	}
+	return resp.OK, nil
+}
+
+// StartMateAt implements cosched.CoStarter.
+func (c *Client) StartMateAt(id job.ID, at sim.Time) error {
+	_, err := c.call(Request{Method: MethodStartMate, JobID: id, At: &at})
+	return err
+}
+
+// ReconcileMates implements cosched.Reconciler over the wire.
+func (c *Client) ReconcileMates(from string, views []cosched.MateView) ([]cosched.MateView, error) {
+	resp, err := c.call(Request{Method: MethodReconcile, From: from, Views: ViewsToWire(views)})
+	if err != nil {
+		return nil, err
+	}
+	return ViewsFromWire(resp.Views)
 }

@@ -8,6 +8,7 @@ import (
 
 	"cosched/internal/cosched"
 	"cosched/internal/job"
+	"cosched/internal/sim"
 )
 
 // ErrInjected is the error surfaced by a FaultInjector on a failed call.
@@ -205,4 +206,47 @@ func (f *FaultInjector) StartMate(id job.ID) error {
 		return err
 	}
 	return f.inner.StartMate(id)
+}
+
+var (
+	_ cosched.CoStarter  = (*FaultInjector)(nil)
+	_ cosched.Reconciler = (*FaultInjector)(nil)
+)
+
+// TryStartMateAt implements cosched.CoStarter; the chaos draw is identical
+// to TryStartMate's (one intercept per call), so wrapping an extension-aware
+// peer leaves historical seed streams untouched. A plain-Peer inner degrades
+// to the instant-free call.
+func (f *FaultInjector) TryStartMateAt(id job.ID, at sim.Time) (bool, error) {
+	if err := f.intercept(); err != nil {
+		return false, err
+	}
+	if cs, ok := f.inner.(cosched.CoStarter); ok {
+		return cs.TryStartMateAt(id, at)
+	}
+	return f.inner.TryStartMate(id)
+}
+
+// StartMateAt implements cosched.CoStarter.
+func (f *FaultInjector) StartMateAt(id job.ID, at sim.Time) error {
+	if err := f.intercept(); err != nil {
+		return err
+	}
+	if cs, ok := f.inner.(cosched.CoStarter); ok {
+		return cs.StartMateAt(id, at)
+	}
+	return f.inner.StartMate(id)
+}
+
+// ReconcileMates implements cosched.Reconciler with one chaos draw, like
+// every other intercepted call.
+func (f *FaultInjector) ReconcileMates(from string, views []cosched.MateView) ([]cosched.MateView, error) {
+	if err := f.intercept(); err != nil {
+		return nil, err
+	}
+	r, ok := f.inner.(cosched.Reconciler)
+	if !ok {
+		return nil, fmt.Errorf("proto: inner peer %T does not support reconciliation", f.inner)
+	}
+	return r.ReconcileMates(from, views)
 }

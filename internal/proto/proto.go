@@ -23,7 +23,9 @@ import (
 	"fmt"
 	"io"
 
+	"cosched/internal/cosched"
 	"cosched/internal/job"
+	"cosched/internal/sim"
 )
 
 // Method names carried in request frames.
@@ -34,6 +36,7 @@ const (
 	MethodCanStartMate  = "can_start_mate"
 	MethodTryStartMate  = "try_start_mate"
 	MethodStartMate     = "start_mate"
+	MethodReconcile     = "reconcile_mates"
 )
 
 // MaxFrameSize bounds a frame's payload; anything larger is rejected as
@@ -45,16 +48,64 @@ type Request struct {
 	Seq    uint64 `json:"seq"`
 	Method string `json:"method"`
 	JobID  job.ID `json:"job_id,omitempty"`
+	// At, when present on try_start_mate / start_mate, is the caller's
+	// proposed co-start instant (cosched.CoStarter). A pointer so legacy
+	// frames without the field keep plain StartMate semantics instead of
+	// proposing instant 0.
+	At *sim.Time `json:"at,omitempty"`
+	// From and Views carry a reconcile_mates exchange: the caller's domain
+	// name and its views of every shared pair.
+	From  string     `json:"from,omitempty"`
+	Views []MateWire `json:"views,omitempty"`
 }
 
 // Response answers a Request with the same Seq.
 type Response struct {
-	Seq    uint64 `json:"seq"`
-	Error  string `json:"error,omitempty"`
-	Domain string `json:"domain,omitempty"` // ping: responder's domain name
-	Known  bool   `json:"known,omitempty"`  // get_mate_job
-	Status string `json:"status,omitempty"` // get_mate_status
-	OK     bool   `json:"ok,omitempty"`     // can/try_start_mate
+	Seq    uint64     `json:"seq"`
+	Error  string     `json:"error,omitempty"`
+	Domain string     `json:"domain,omitempty"` // ping: responder's domain name
+	Known  bool       `json:"known,omitempty"`  // get_mate_job
+	Status string     `json:"status,omitempty"` // get_mate_status
+	OK     bool       `json:"ok,omitempty"`     // can/try_start_mate
+	Views  []MateWire `json:"views,omitempty"`  // reconcile_mates
+}
+
+// MateWire is one cosched.MateView on the wire; statuses travel by name so
+// frames stay debuggable and independent of the enum's numeric values.
+type MateWire struct {
+	Local  job.ID   `json:"local"`
+	Mate   job.ID   `json:"mate"`
+	Status string   `json:"status"`
+	Start  sim.Time `json:"start,omitempty"`
+}
+
+// ViewsToWire encodes mate views for a frame.
+func ViewsToWire(vs []cosched.MateView) []MateWire {
+	if len(vs) == 0 {
+		return nil
+	}
+	out := make([]MateWire, len(vs))
+	for i, v := range vs {
+		out[i] = MateWire{Local: v.Local, Mate: v.Mate, Status: v.Status.String(), Start: v.Start}
+	}
+	return out
+}
+
+// ViewsFromWire decodes mate views from a frame. Unknown status names are
+// rejected: acting on a misparsed view could release a healthy hold.
+func ViewsFromWire(ws []MateWire) ([]cosched.MateView, error) {
+	if len(ws) == 0 {
+		return nil, nil
+	}
+	out := make([]cosched.MateView, len(ws))
+	for i, w := range ws {
+		st, err := cosched.ParseMateStatus(w.Status)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = cosched.MateView{Local: w.Local, Mate: w.Mate, Status: st, Start: w.Start}
+	}
+	return out, nil
 }
 
 // Errors returned by the codec.

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"net"
+	"reflect"
 	"sync"
 	"testing"
 	"time"
@@ -22,7 +23,7 @@ func TestFrameRoundTrip(t *testing.T) {
 	if err := ReadFrame(&buf, &out); err != nil {
 		t.Fatal(err)
 	}
-	if out != in {
+	if !reflect.DeepEqual(out, in) {
 		t.Fatalf("round trip: got %+v, want %+v", out, in)
 	}
 }

@@ -127,11 +127,37 @@ func (s *Server) dispatch(req Request) Response {
 		resp.OK = ok
 		setErr(&resp, err)
 	case MethodTryStartMate:
+		// An At-carrying frame proposes the co-start instant; honor it when
+		// the backend speaks the extension, else degrade to the plain call.
+		if cs, has := s.backend.(cosched.CoStarter); has && req.At != nil {
+			ok, err := cs.TryStartMateAt(req.JobID, *req.At)
+			resp.OK = ok
+			setErr(&resp, err)
+			break
+		}
 		ok, err := s.backend.TryStartMate(req.JobID)
 		resp.OK = ok
 		setErr(&resp, err)
 	case MethodStartMate:
+		if cs, has := s.backend.(cosched.CoStarter); has && req.At != nil {
+			setErr(&resp, cs.StartMateAt(req.JobID, *req.At))
+			break
+		}
 		setErr(&resp, s.backend.StartMate(req.JobID))
+	case MethodReconcile:
+		r, has := s.backend.(cosched.Reconciler)
+		if !has {
+			resp.Error = "reconcile_mates: backend does not support reconciliation"
+			break
+		}
+		views, err := ViewsFromWire(req.Views)
+		if err != nil {
+			setErr(&resp, err)
+			break
+		}
+		out, err := r.ReconcileMates(req.From, views)
+		resp.Views = ViewsToWire(out)
+		setErr(&resp, err)
 	default:
 		resp.Error = fmt.Sprintf("%v: %q", ErrBadMethod, req.Method)
 	}

@@ -47,6 +47,25 @@ type Observer interface {
 	JobCancelled(now sim.Time, j *job.Job)
 }
 
+// ExpectObserver is an optional Observer extension notified when a job is
+// pre-registered with Expect. A crash-safe daemon must journal expectations:
+// a recovered manager that forgot an expected job would treat the mate's
+// queries as "unknown job" and break the pair's co-start guarantee.
+// Discovered by type assertion; plain Observers are unaffected.
+type ExpectObserver interface {
+	JobExpected(now sim.Time, j *job.Job)
+}
+
+// PeerDecisionObserver is an optional Observer extension recording the
+// outcome of inbound peer start requests (TryStartMate/StartMate). The
+// journal keeps these as audit records: replay does not need them (the
+// resulting start/hold transitions are journaled separately), but a
+// post-mortem of a recovery needs to know which starts were remotely
+// initiated. Discovered by type assertion.
+type PeerDecisionObserver interface {
+	PeerDecision(now sim.Time, method string, id job.ID, ok bool)
+}
+
 // NullObserver ignores every notification.
 type NullObserver struct{}
 
@@ -315,6 +334,9 @@ func (m *Manager) Expect(j *job.Job) error {
 		return fmt.Errorf("%w: job %d is %s, want unsubmitted", ErrBadState, j.ID, j.State)
 	}
 	m.jobs[j.ID] = j
+	if eo, ok := m.obs.(ExpectObserver); ok {
+		eo.JobExpected(m.eng.Now(), j)
+	}
 	return nil
 }
 
@@ -639,9 +661,12 @@ func (m *Manager) RunJob(j *job.Job, now sim.Time, holdSafe bool) {
 		}
 	}
 	if allStartable {
+		// The resolver proposes now as the group's co-start instant; every
+		// callee records it verbatim (see cosched.CoStarter), so the whole
+		// group shares one start time even across live wall clocks.
 		started := true
 		for _, mi := range toTry {
-			ok, err := mi.peer.TryStartMate(mi.ref.Job)
+			ok, err := tryStartMateAt(mi.peer, mi.ref.Job, now)
 			if err != nil || !ok {
 				started = false
 				break
@@ -651,7 +676,7 @@ func (m *Manager) RunJob(j *job.Job, now sim.Time, holdSafe bool) {
 			// Line 14 + lines 7–8: start self, then release holders.
 			m.startJob(j, now)
 			for _, mi := range toRelease {
-				if err := mi.peer.StartMate(mi.ref.Job); err != nil {
+				if err := startMateAt(mi.peer, mi.ref.Job, now); err != nil {
 					// Peer failure after our start: nothing to undo —
 					// the mate's own fault tolerance applies.
 					continue
@@ -700,6 +725,15 @@ func (m *Manager) holdOrYield(j *job.Job, now sim.Time, holdSafe bool) {
 // startJob transitions a queued job to Running on freshly allocated nodes
 // and schedules its completion. The planner guaranteed the allocation fits.
 func (m *Manager) startJob(j *job.Job, now sim.Time) {
+	m.startJobAt(j, now, now)
+}
+
+// startJobAt is startJob recording `at` as the job's start instant. at == now
+// everywhere except when a remote resolver proposed the co-start instant over
+// the wire (cosched.CoStarter) or a reconciliation adopts a surviving mate's
+// historical start; the completion is always scheduled from the local clock,
+// so adopted instants never rewind the engine.
+func (m *Manager) startJobAt(j *job.Job, at, now sim.Time) {
 	alloc, err := m.pool.Allocate(now, j.Nodes, cluster.AllocRun)
 	if err != nil {
 		// Plan raced with a TryStartMate that consumed nodes; leave the
@@ -710,7 +744,7 @@ func (m *Manager) startJob(j *job.Job, now sim.Time) {
 		_ = m.pool.Release(now, alloc.ID)
 		panic(fmt.Sprintf("resmgr %s: startJob: %v", m.name, err))
 	}
-	j.StartTime = now
+	j.StartTime = at
 	m.removeFromQueue(j.ID)
 	delete(m.lastYieldAt, j.ID)
 	entry := &runEntry{alloc: alloc}
@@ -719,12 +753,19 @@ func (m *Manager) startJob(j *job.Job, now sim.Time) {
 		m.completeJob(j, end)
 	})
 	m.running[j.ID] = entry
-	m.obs.JobStarted(now, j)
+	m.obs.JobStarted(at, j)
 }
 
 // startHeldJob converts a Holding job's allocation to Run and schedules
 // completion — the "its mate got ready, start now" path.
 func (m *Manager) startHeldJob(j *job.Job, now sim.Time) error {
+	return m.startHeldJobAt(j, now, now)
+}
+
+// startHeldJobAt is startHeldJob recording `at` as the start instant (see
+// startJobAt). Held-node-seconds accrue to the local clock: the hold really
+// did occupy nodes until now, whatever instant the pair agrees to record.
+func (m *Manager) startHeldJobAt(j *job.Job, at, now sim.Time) error {
 	he, ok := m.holding[j.ID]
 	if !ok {
 		return fmt.Errorf("%w: job %d not holding", ErrBadState, j.ID)
@@ -738,14 +779,14 @@ func (m *Manager) startHeldJob(j *job.Job, now sim.Time) error {
 	if err := j.Advance(job.Running); err != nil {
 		panic(fmt.Sprintf("resmgr %s: startHeldJob: %v", m.name, err))
 	}
-	j.StartTime = now
+	j.StartTime = at
 	entry := &runEntry{alloc: he.alloc}
 	m.runReleaseAdd(entry, j)
 	entry.end = m.eng.After(j.Runtime, sim.PriorityEnd, func(end sim.Time) {
 		m.completeJob(j, end)
 	})
 	m.running[j.ID] = entry
-	m.obs.JobStarted(now, j)
+	m.obs.JobStarted(at, j)
 	return nil
 }
 
@@ -879,7 +920,36 @@ func (m *Manager) completeJob(j *job.Job, now sim.Time) {
 // domains by default. The proto package exposes exactly these methods over
 // a connection.
 
-var _ cosched.Peer = (*Manager)(nil)
+var (
+	_ cosched.Peer       = (*Manager)(nil)
+	_ cosched.CoStarter  = (*Manager)(nil)
+	_ cosched.Reconciler = (*Manager)(nil)
+)
+
+// tryStartMateAt routes through the CoStarter extension when the peer has
+// it, falling back to the plain protocol otherwise.
+func tryStartMateAt(p cosched.Peer, id job.ID, at sim.Time) (bool, error) {
+	if cs, ok := p.(cosched.CoStarter); ok {
+		return cs.TryStartMateAt(id, at)
+	}
+	return p.TryStartMate(id)
+}
+
+// startMateAt routes through the CoStarter extension when the peer has it.
+func startMateAt(p cosched.Peer, id job.ID, at sim.Time) error {
+	if cs, ok := p.(cosched.CoStarter); ok {
+		return cs.StartMateAt(id, at)
+	}
+	return p.StartMate(id)
+}
+
+// notePeerDecision forwards an inbound peer start decision to the optional
+// audit observer (the journal, in live mode).
+func (m *Manager) notePeerDecision(now sim.Time, method string, id job.ID, ok bool) {
+	if po, isPO := m.obs.(PeerDecisionObserver); isPO {
+		po.PeerDecision(now, method, id, ok)
+	}
+}
 
 // PeerName implements cosched.Peer.
 func (m *Manager) PeerName() string { return m.name }
@@ -922,44 +992,64 @@ func (m *Manager) CanStartMate(id job.ID) (bool, error) {
 // started directly, bypassing its own coscheduling logic — the coordination
 // already happened on the caller's side.
 func (m *Manager) TryStartMate(id job.ID) (bool, error) {
+	return m.TryStartMateAt(id, m.eng.Now())
+}
+
+// TryStartMateAt implements cosched.CoStarter: TryStartMate recording the
+// caller's proposed co-start instant as the mate's StartTime.
+func (m *Manager) TryStartMateAt(id job.ID, at sim.Time) (bool, error) {
 	j, ok := m.jobs[id]
 	if !ok {
+		m.notePeerDecision(m.eng.Now(), "try_start_mate", id, false)
 		return false, nil
 	}
 	now := m.eng.Now()
+	started := false
 	switch j.State {
 	case job.Queued:
-		if !m.pool.CanAllocate(j.Nodes) {
-			return false, nil
+		if m.pool.CanAllocate(j.Nodes) {
+			j.MarkReady(now)
+			m.startJobAt(j, at, now)
+			started = j.State == job.Running
 		}
-		j.MarkReady(now)
-		m.startJob(j, now)
-		return j.State == job.Running, nil
 	case job.Holding:
-		if err := m.startHeldJob(j, now); err != nil {
+		if err := m.startHeldJobAt(j, at, now); err != nil {
+			m.notePeerDecision(now, "try_start_mate", id, false)
 			return false, err
 		}
-		return true, nil
+		started = true
 	case job.Running:
-		return true, nil
-	default:
-		return false, nil
+		started = true
 	}
+	m.notePeerDecision(now, "try_start_mate", id, started)
+	return started, nil
 }
 
 // StartMate implements cosched.Peer: release a holding mate into execution
 // (Algorithm 1 line 8). Starting an already-running mate is a no-op.
 func (m *Manager) StartMate(id job.ID) error {
+	return m.StartMateAt(id, m.eng.Now())
+}
+
+// StartMateAt implements cosched.CoStarter: StartMate recording the
+// caller's proposed co-start instant as the mate's StartTime.
+func (m *Manager) StartMateAt(id job.ID, at sim.Time) error {
 	j, ok := m.jobs[id]
 	if !ok {
+		m.notePeerDecision(m.eng.Now(), "start_mate", id, false)
 		return fmt.Errorf("%w: %d", ErrUnknownJob, id)
 	}
+	now := m.eng.Now()
 	switch j.State {
 	case job.Holding:
-		return m.startHeldJob(j, m.eng.Now())
+		err := m.startHeldJobAt(j, at, now)
+		m.notePeerDecision(now, "start_mate", id, err == nil)
+		return err
 	case job.Running:
+		m.notePeerDecision(now, "start_mate", id, true)
 		return nil
 	default:
+		m.notePeerDecision(now, "start_mate", id, false)
 		return fmt.Errorf("%w: job %d is %s, want holding", ErrBadState, id, j.State)
 	}
 }
