@@ -507,6 +507,22 @@ func BenchmarkEngineEventThroughput(b *testing.B) {
 	}
 }
 
+// TestEngineEventThroughputZeroAlloc asserts the free-list property on the
+// benchmark itself: with event structs recycled, the throughput loop must
+// run at 0 allocs/op (the pool warms once, then every schedule reuses a
+// fired event). This is the regression gate for the old 1 alloc / 48 B
+// per event recorded in BENCH_parallel.json.
+func TestEngineEventThroughputZeroAlloc(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark-backed assertion; skipped in -short")
+	}
+	r := testing.Benchmark(BenchmarkEngineEventThroughput)
+	if r.N > 1024 && r.AllocsPerOp() != 0 {
+		t.Fatalf("engine event throughput allocates %d/op (%d B/op), want 0 — event free list regressed",
+			r.AllocsPerOp(), r.AllocedBytesPerOp())
+	}
+}
+
 // BenchmarkPolicyOrder measures queue ordering at a saturation-sized
 // queue: the allocating package-level Order against a reused Orderer (the
 // resource manager keeps one per domain, so "reused" is the hot path).

@@ -9,7 +9,7 @@ set -eux
 
 # Formatting and static analysis: gofmt must be clean, vet runs under both
 # tag sets (the debug-only assert files are code too), and simlint
-# enforces the repo's determinism and scheduling contracts (R1–R5; see
+# enforces the repo's determinism and scheduling contracts (R1–R6; see
 # ARCHITECTURE.md §6) before anything slower runs.
 test -z "$(gofmt -l .)"
 go vet ./...
@@ -54,3 +54,19 @@ go test -run '^$' -fuzz 'FuzzDecodeEntries' -fuzztime 10s ./internal/journal
 # invariant package's fail-fast deadlock monitor only compile under
 # -tags debug; run their suites together with the asserts live.
 go test -tags debug ./internal/invariant ./internal/backfill
+
+# Memory-architecture perf smoke: a downsized -megabench cell (100k
+# Intrepid jobs instead of the full million) through the same
+# snapshot/arena/free-list path — it fails on non-byte-identical tables
+# at 1 vs 8 workers, stuck jobs, or peak RSS over the 2 GiB budget — plus
+# the steady-state zero-alloc assertions (engine event churn and the EASY
+# planner must report 0 allocs/op) and one uncached run of the scheduler
+# throughput benchmarks as profiling artifacts. Throughput itself is NOT
+# gated here: shared CI machines make wall-clock assertions flaky; the
+# recorded numbers live in BENCH_parallel.json / BENCH_mega.json.
+# (-pprof leaves cpu/alloc profiles of the gate run behind as build
+# artifacts for regression hunts.)
+go run ./cmd/experiments -pprof /tmp/ci_pprof -megabench /tmp/ci_mega.json -megajobs 100000
+go test -run 'ZeroAlloc|WithoutAllocating' -count=1 \
+    . ./internal/sim ./internal/arena ./internal/backfill ./internal/workload
+go test -run=NONE -bench 'EngineEventThroughput' -benchtime=100x -count=1 .

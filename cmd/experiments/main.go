@@ -27,6 +27,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/debug"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -47,13 +50,48 @@ func main() {
 		schedBenchOut = flag.String("schedbench", "", "benchmark the scheduler core (reference vs incremental) and write a JSON perf record to this path")
 		schedSmoke    = flag.Bool("schedsmoke", false, "run a tiny load sweep under both scheduler cores and fail unless the rendered tables are byte-identical")
 		journalBench  = flag.String("journalbench", "", "benchmark write-ahead journal decode+replay on a synthetic 10k-transition history and write a JSON perf record to this path")
+		profDir       = flag.String("pprof", "", "write cpu.pprof and allocs.pprof profiles of the run into this directory")
+		megaBench     = flag.String("megabench", "", "benchmark the memory architecture (load-sweep cells/sec + one huge single cell) and write a JSON perf record to this path")
+		megaJobs      = flag.Int("megajobs", 1_000_000, "Intrepid job count for the -megabench huge cell")
+		gcPercent     = flag.Int("gcpercent", 1000, "GC target percentage (runtime/debug.SetGCPercent); negative leaves the GOGC default")
+		memLimitMiB   = flag.Int64("memlimit", 1536, "soft heap memory limit in MiB (runtime/debug.SetMemoryLimit); 0 or negative leaves it unlimited")
 	)
 	flag.Parse()
+
+	// The arena/free-list memory architecture keeps the live set small and
+	// bounded, so the default GOGC=100 collects far too eagerly: with a
+	// few-MiB live heap the sweep spends ~30% of CPU in GC marking and
+	// write barriers. A relaxed target raises the headroom between
+	// collections; the soft memory limit is the backstop that forces
+	// collection pressure back up before RSS can approach the -megabench
+	// budget (2 GiB), which is why GOGC=off would be wrong here.
+	if *gcPercent >= 0 {
+		debug.SetGCPercent(*gcPercent)
+	}
+	if *memLimitMiB > 0 {
+		debug.SetMemoryLimit(*memLimitMiB << 20)
+	}
 
 	cfg := experiments.DefaultConfig(*seed, *factor)
 	cfg.Reps = *reps
 	cfg.Parallelism = *par
 	cfg.SchedCore = *schedCore
+
+	if *profDir != "" {
+		stop, err := startProfiles(*profDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: pprof: %v\n", err)
+			os.Exit(1)
+		}
+		defer stop()
+	}
+	if *megaBench != "" {
+		if err := runMegaBench(cfg, *megaBench, *megaJobs); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: megabench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *schedSmoke {
 		if err := runSchedSmoke(cfg); err != nil {
@@ -242,6 +280,44 @@ func writeCharts(dir string, charts []experiments.NamedChart) error {
 		fmt.Printf("wrote %s\n", path)
 	}
 	return nil
+}
+
+// startProfiles begins a CPU profile and returns a stop function that
+// finishes it and writes an allocation profile, both under dir. The alloc
+// profile records cumulative allocation sites (sample_index=alloc_space/
+// alloc_objects in `go tool pprof`), which is what the memory-architecture
+// work optimizes for.
+func startProfiles(dir string) (stop func(), err error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	cpuPath := filepath.Join(dir, "cpu.pprof")
+	cpuFile, err := os.Create(cpuPath)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(cpuFile); err != nil {
+		cpuFile.Close()
+		return nil, err
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		cpuFile.Close()
+		fmt.Printf("wrote %s\n", cpuPath)
+		allocPath := filepath.Join(dir, "allocs.pprof")
+		allocFile, err := os.Create(allocPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: pprof: %v\n", err)
+			return
+		}
+		defer allocFile.Close()
+		runtime.GC() // flush the final allocation samples
+		if err := pprof.Lookup("allocs").WriteTo(allocFile, 0); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: pprof: %v\n", err)
+			return
+		}
+		fmt.Printf("wrote %s\n", allocPath)
+	}, nil
 }
 
 // run times one experiment group and exits on error.

@@ -1,0 +1,180 @@
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"cosched/internal/experiments"
+)
+
+// megaBenchRecord is the BENCH_mega.json schema: the memory-architecture
+// headline numbers — load-sweep cell throughput against the recorded
+// pre-optimization baseline, the determinism cross-check, and one huge
+// single cell pushed through the same snapshot/arena path.
+type megaBenchRecord struct {
+	SweepJobFactor   float64 `json:"sweep_job_factor"`
+	SweepReps        int     `json:"sweep_reps"`
+	SweepCells       int     `json:"sweep_cells"`
+	SweepRuns        int     `json:"sweep_runs"`
+	SweepBestSeconds float64 `json:"sweep_best_seconds"`
+	SweepCellsPerSec float64 `json:"sweep_cells_per_sec"`
+	// BaselineCellsPerSec is the serial_cells_per_sec this same sweep
+	// recorded in BENCH_parallel.json before the memory-architecture work
+	// (arena jobs, copy-on-write snapshots, event/allocation free lists,
+	// chained trace replay, GC retuning); SpeedupVsBaseline is the headline
+	// ratio against it.
+	BaselineCellsPerSec float64 `json:"baseline_cells_per_sec"`
+	SpeedupVsBaseline   float64 `json:"speedup_vs_baseline"`
+	TablesIdentical     bool    `json:"tables_byte_identical"`
+	GoMaxProcs          int     `json:"go_maxprocs"`
+
+	MegaCombo        string  `json:"mega_combo"`
+	MegaEurekaUtil   float64 `json:"mega_eureka_util"`
+	MegaIntrepidJobs int     `json:"mega_intrepid_jobs"`
+	MegaEurekaJobs   int     `json:"mega_eureka_jobs"`
+	MegaTotalJobs    int     `json:"mega_total_jobs"`
+	MegaGenSeconds   float64 `json:"mega_generate_seconds"`
+	MegaSimSeconds   float64 `json:"mega_simulate_seconds"`
+	MegaJobsPerSec   float64 `json:"mega_jobs_per_sec"`
+	MegaStuck        int     `json:"mega_stuck"`
+	MegaAllocs       uint64  `json:"mega_allocs"`
+	MegaAllocBytes   uint64  `json:"mega_alloc_bytes"`
+	MegaAllocsPerJob float64 `json:"mega_allocs_per_job"`
+	MegaPeakRSSBytes int64   `json:"mega_peak_rss_bytes"`
+	MegaRSSBudgetOK  bool    `json:"mega_rss_under_2gib"`
+}
+
+// baselineSerialCellsPerSec is the serial load-sweep throughput (factor
+// 0.25, reps 3, 45 cells) recorded in BENCH_parallel.json at the
+// parallel-sweep PR, before the memory-architecture work this benchmark
+// measures. Kept as a constant so the speedup ratio survives rewrites of
+// that file.
+const baselineSerialCellsPerSec = 39.058
+
+// megaRSSBudget is the -megabench acceptance budget for peak RSS of the
+// whole process including the million-job cell.
+const megaRSSBudget = int64(2) << 30
+
+// runMegaBench benchmarks the memory architecture end to end: it times the
+// Figures 3–6 load sweep serially (best of several runs, the standard
+// noise-robust estimator on shared machines), verifies byte-identical
+// tables at 1 and 8 workers, then generates and simulates one huge cell —
+// the Intrepid trace scaled to megaJobs jobs — through the same
+// snapshot/arena path, recording wall time, allocation counts, and peak
+// RSS against the 2 GiB budget. The perf record is merged into path.
+func runMegaBench(cfg experiments.Config, path string, megaJobs int) error {
+	sweepCfg := cfg
+	sweepCfg.JobFactor = 0.25
+	sweepCfg.Reps = 3
+	sweepCfg.Parallelism = 1
+	const sweepRuns = 3
+	fmt.Printf("=== mega benchmark: load sweep throughput (factor %g, reps %d, best of %d) ===\n",
+		sweepCfg.JobFactor, sweepCfg.Reps, sweepRuns)
+
+	var serial *experiments.LoadSweep
+	var best time.Duration
+	for i := 0; i < sweepRuns; i++ {
+		start := time.Now()
+		s, err := experiments.RunLoadSweep(sweepCfg)
+		if err != nil {
+			return err
+		}
+		d := time.Since(start)
+		fmt.Printf("serial run %d: %v\n", i+1, d.Round(time.Millisecond))
+		if serial == nil || d < best {
+			serial, best = s, d
+		}
+	}
+	cells := len(serial.Utils) * (len(experiments.Combos) + 1) * serial.Config.Reps
+	cellsPerSec := float64(cells) / best.Seconds()
+	speedup := cellsPerSec / baselineSerialCellsPerSec
+	fmt.Printf("best: %d cells in %v = %.2f cells/sec (%.2fx vs %.2f recorded baseline)\n",
+		cells, best.Round(time.Millisecond), cellsPerSec, speedup, baselineSerialCellsPerSec)
+
+	parCfg := sweepCfg
+	parCfg.Parallelism = 8
+	par, err := experiments.RunLoadSweep(parCfg)
+	if err != nil {
+		return err
+	}
+	identical := renderLoadTables(serial) == renderLoadTables(par)
+	if identical {
+		fmt.Println("tables byte-identical at 1 and 8 workers")
+	} else {
+		fmt.Println("WARNING: tables differ between 1 and 8 workers — determinism bug")
+	}
+
+	fmt.Printf("=== mega benchmark: single %d-job cell ===\n", megaJobs)
+	genStart := time.Now()
+	traces, err := experiments.BuildMegaTraces(cfg, megaJobs, 0.75)
+	if err != nil {
+		return err
+	}
+	genDur := time.Since(genStart)
+	total := traces.IntrepidJobs + traces.EurekaJobs
+	fmt.Printf("generated %d intrepid + %d eureka jobs (paired %.1f%%) in %v\n",
+		traces.IntrepidJobs, traces.EurekaJobs, 100*traces.PairedFraction, genDur.Round(time.Millisecond))
+
+	combo := experiments.Combos[0] // HH: both domains hold — the heaviest coordination load
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	simStart := time.Now()
+	cell, err := traces.Run(cfg, combo)
+	if err != nil {
+		return err
+	}
+	simDur := time.Since(simStart)
+	runtime.ReadMemStats(&after)
+
+	allocs := after.Mallocs - before.Mallocs
+	allocBytes := after.TotalAlloc - before.TotalAlloc
+	rss := peakRSSBytes()
+	rec := megaBenchRecord{
+		SweepJobFactor:      sweepCfg.JobFactor,
+		SweepReps:           sweepCfg.Reps,
+		SweepCells:          cells,
+		SweepRuns:           sweepRuns,
+		SweepBestSeconds:    best.Seconds(),
+		SweepCellsPerSec:    cellsPerSec,
+		BaselineCellsPerSec: baselineSerialCellsPerSec,
+		SpeedupVsBaseline:   speedup,
+		TablesIdentical:     identical,
+		GoMaxProcs:          runtime.GOMAXPROCS(0),
+		MegaCombo:           combo.Label(),
+		MegaEurekaUtil:      traces.EurekaUtil,
+		MegaIntrepidJobs:    traces.IntrepidJobs,
+		MegaEurekaJobs:      traces.EurekaJobs,
+		MegaTotalJobs:       total,
+		MegaGenSeconds:      genDur.Seconds(),
+		MegaSimSeconds:      simDur.Seconds(),
+		MegaJobsPerSec:      float64(total) / simDur.Seconds(),
+		MegaStuck:           cell.Stuck,
+		MegaAllocs:          allocs,
+		MegaAllocBytes:      allocBytes,
+		MegaAllocsPerJob:    float64(allocs) / float64(total),
+		MegaPeakRSSBytes:    rss,
+		MegaRSSBudgetOK:     rss < megaRSSBudget,
+	}
+	fmt.Printf("simulated %d jobs in %v = %.0f jobs/sec (stuck %d)\n",
+		total, simDur.Round(time.Millisecond), rec.MegaJobsPerSec, cell.Stuck)
+	fmt.Printf("allocs: %d (%.2f/job, %.1f MiB total); peak RSS %.1f MiB (budget %.0f MiB)\n",
+		allocs, rec.MegaAllocsPerJob, float64(allocBytes)/(1<<20),
+		float64(rss)/(1<<20), float64(megaRSSBudget)/(1<<20))
+
+	if err := writeBenchJSON(path, rec); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	if !identical {
+		return fmt.Errorf("tables not byte-identical across worker counts")
+	}
+	if rss >= megaRSSBudget {
+		return fmt.Errorf("peak RSS %d exceeds the %d-byte budget", rss, megaRSSBudget)
+	}
+	if cell.Stuck > 0 {
+		return fmt.Errorf("mega cell left %d jobs stuck", cell.Stuck)
+	}
+	return nil
+}

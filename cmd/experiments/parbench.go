@@ -16,11 +16,16 @@ import (
 // runs) are preserved across rewrites so the file can accumulate the full
 // perf trajectory.
 type parBenchRecord struct {
-	Experiment          string  `json:"experiment"`
-	JobFactor           float64 `json:"job_factor"`
-	Reps                int     `json:"reps"`
-	Cells               int     `json:"cells"`
-	GoMaxProcs          int     `json:"go_maxprocs"`
+	Experiment string  `json:"experiment"`
+	JobFactor  float64 `json:"job_factor"`
+	Reps       int     `json:"reps"`
+	Cells      int     `json:"cells"`
+	// GoMaxProcs is the scheduler's true parallelism budget for BOTH legs
+	// (GOMAXPROCS is process-wide); on a single-core machine it is 1 and
+	// no wall-clock speedup is possible, however many workers fan out.
+	SerialGoMaxProcs    int     `json:"serial_go_maxprocs"`
+	ParallelGoMaxProcs  int     `json:"parallel_go_maxprocs"`
+	SerialWorkers       int     `json:"serial_workers"`
 	ParallelWorkers     int     `json:"parallel_workers"`
 	SerialSeconds       float64 `json:"serial_seconds"`
 	ParallelSeconds     float64 `json:"parallel_seconds"`
@@ -48,8 +53,19 @@ func runParBench(cfg experiments.Config, path string) error {
 	fmt.Printf("serial   (1 worker):  %v\n", serialDur.Round(time.Millisecond))
 
 	workers := parallel.Workers(cfg.Parallelism)
+	if workers <= 1 {
+		// On a single-core machine (or with -parallel 1) the resolved
+		// worker count degenerates to 1 and the "parallel" leg would
+		// silently repeat the serial leg while the record claimed a
+		// parallel measurement. Fan out 8 goroutine workers so the
+		// parallel path is genuinely exercised; the go_maxprocs fields
+		// record how much hardware parallelism actually backed them.
+		workers = 8
+	}
+	parCfg := cfg
+	parCfg.Parallelism = workers
 	start = time.Now()
-	par, err := experiments.RunLoadSweep(cfg)
+	par, err := experiments.RunLoadSweep(parCfg)
 	if err != nil {
 		return err
 	}
@@ -71,7 +87,9 @@ func runParBench(cfg experiments.Config, path string) error {
 		JobFactor:           serial.Config.JobFactor,
 		Reps:                serial.Config.Reps,
 		Cells:               cells,
-		GoMaxProcs:          runtime.GOMAXPROCS(0),
+		SerialGoMaxProcs:    runtime.GOMAXPROCS(0),
+		ParallelGoMaxProcs:  runtime.GOMAXPROCS(0),
+		SerialWorkers:       1,
 		ParallelWorkers:     workers,
 		SerialSeconds:       serialDur.Seconds(),
 		ParallelSeconds:     parDur.Seconds(),
@@ -113,17 +131,22 @@ func renderLoadTables(s *experiments.LoadSweep) string {
 }
 
 // writeParBench merges rec into any existing JSON at path, preserving
-// unknown keys (e.g. the hand-maintained alloc_benchmarks section).
+// unknown keys (e.g. the hand-maintained alloc_benchmarks section). The
+// legacy ambiguous "go_maxprocs" key is dropped in favor of the explicit
+// per-leg fields.
 func writeParBench(path string, rec parBenchRecord) error {
-	return writeBenchJSON(path, rec)
+	return writeBenchJSON(path, rec, "go_maxprocs")
 }
 
 // writeBenchJSON merges a record into any existing JSON file at path,
-// preserving keys the record does not set.
-func writeBenchJSON(path string, rec any) error {
+// preserving keys the record does not set, except those listed in drop.
+func writeBenchJSON(path string, rec any, drop ...string) error {
 	merged := map[string]any{}
 	if old, err := os.ReadFile(path); err == nil {
 		_ = json.Unmarshal(old, &merged) // a malformed file is overwritten
+	}
+	for _, k := range drop {
+		delete(merged, k)
 	}
 	recJSON, err := json.Marshal(rec)
 	if err != nil {

@@ -1,0 +1,73 @@
+package arena
+
+import "testing"
+
+type thing struct {
+	a, b int64
+	s    string
+}
+
+func TestGetReturnsZeroedValues(t *testing.T) {
+	var a Arena[thing]
+	p := a.Get()
+	p.a, p.b, p.s = 1, 2, "x"
+	a.Reset()
+	q := a.Get()
+	if q != p {
+		t.Fatalf("after Reset, first Get should reuse the first slot")
+	}
+	if q.a != 0 || q.b != 0 || q.s != "" {
+		t.Fatalf("recycled value not zeroed: %+v", *q)
+	}
+}
+
+func TestPointersStableAcrossGrowth(t *testing.T) {
+	var a Arena[thing]
+	first := a.Get()
+	first.a = 42
+	// Force several slab allocations; the first pointer must not move.
+	for i := 0; i < 3*slabSize; i++ {
+		a.Get()
+	}
+	if first.a != 42 {
+		t.Fatalf("first value clobbered after growth: %+v", *first)
+	}
+	if a.Len() != 3*slabSize+1 {
+		t.Fatalf("Len = %d, want %d", a.Len(), 3*slabSize+1)
+	}
+	if a.Cap() < a.Len() {
+		t.Fatalf("Cap %d < Len %d", a.Cap(), a.Len())
+	}
+}
+
+func TestDistinctPointersWithinEpoch(t *testing.T) {
+	var a Arena[thing]
+	seen := make(map[*thing]bool)
+	for i := 0; i < 2*slabSize; i++ {
+		p := a.Get()
+		if seen[p] {
+			t.Fatalf("duplicate pointer handed out at i=%d", i)
+		}
+		seen[p] = true
+	}
+}
+
+func TestResetKeepsCapacityAndZeroAlloc(t *testing.T) {
+	var a Arena[thing]
+	for i := 0; i < 2*slabSize; i++ {
+		a.Get()
+	}
+	capBefore := a.Cap()
+	allocs := testing.AllocsPerRun(10, func() {
+		a.Reset()
+		for i := 0; i < 2*slabSize; i++ {
+			a.Get()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state arena reuse allocated %.1f times per cycle, want 0", allocs)
+	}
+	if a.Cap() != capBefore {
+		t.Fatalf("Cap changed across Reset: %d -> %d", capBefore, a.Cap())
+	}
+}

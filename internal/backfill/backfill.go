@@ -138,6 +138,9 @@ func PlanInto(dst []Decision, ordered []*job.Job, free int, charge ChargeFunc, r
 	// nodes that remain free at the shadow time even with the head job
 	// started.
 	for k := i + 1; k < len(ordered); k++ {
+		if avail == 0 {
+			break // nothing left to give: no later job can plan
+		}
 		j := ordered[k]
 		c := charge(j.Nodes)
 		if c > avail {

@@ -68,6 +68,7 @@ type Pool struct {
 	held    int // subset of busy nodes that are held, not running
 	nextID  int64
 	allocs  map[int64]*Allocation
+	freed   []*Allocation // released structs recycled by the next Allocate
 	lastT   sim.Time
 	busyInt int64 // ∫ busy(t) dt in node-seconds (includes held)
 	heldInt int64 // ∫ held(t) dt in node-seconds
@@ -144,6 +145,11 @@ func (p *Pool) CanAllocate(n int) bool {
 
 // Allocate grants n nodes of the given kind at virtual time now. The
 // returned allocation ID is used to Release or Convert.
+//
+// Allocation structs are recycled: a pointer obtained from Allocate is
+// valid only until its Release, after which the next Allocate may reuse
+// the struct for an unrelated grant. Callers must not retain it past that
+// point (the resource manager drops its entry in the same event).
 func (p *Pool) Allocate(now sim.Time, n int, kind AllocKind) (*Allocation, error) {
 	if n <= 0 || n > p.total {
 		return nil, fmt.Errorf("%w: %d nodes from pool of %d", ErrBadRequest, n, p.total)
@@ -158,12 +164,21 @@ func (p *Pool) Allocate(now sim.Time, n int, kind AllocKind) (*Allocation, error
 		p.held += charge
 	}
 	p.nextID++
-	a := &Allocation{ID: p.nextID, Requested: n, Allocated: charge, Kind: kind, Since: now}
+	var a *Allocation
+	if k := len(p.freed); k > 0 {
+		a = p.freed[k-1]
+		p.freed[k-1] = nil
+		p.freed = p.freed[:k-1]
+	} else {
+		a = new(Allocation)
+	}
+	*a = Allocation{ID: p.nextID, Requested: n, Allocated: charge, Kind: kind, Since: now}
 	p.allocs[a.ID] = a
 	return a, nil
 }
 
-// Release returns an allocation's nodes to the free pool.
+// Release returns an allocation's nodes to the free pool. The Allocation
+// struct goes back on the recycle list — see Allocate's retention contract.
 func (p *Pool) Release(now sim.Time, id int64) error {
 	a, ok := p.allocs[id]
 	if !ok {
@@ -175,6 +190,9 @@ func (p *Pool) Release(now sim.Time, id int64) error {
 		p.held -= a.Allocated
 	}
 	delete(p.allocs, id)
+	// The pool is single-threaded (engine-serialized), so same-event reads
+	// of the released struct remain valid until the next Allocate reuses it.
+	p.freed = append(p.freed, a)
 	return nil
 }
 

@@ -14,6 +14,7 @@ package coupled
 import (
 	"fmt"
 	"net"
+	"sort"
 
 	"cosched/internal/cluster"
 	"cosched/internal/cosched"
@@ -214,15 +215,26 @@ func New(opt Options) (*Sim, error) {
 				return nil, fmt.Errorf("coupled: domain %q: job %d requests %d nodes but the pool has %d — it could never start",
 					name, j.ID, j.Nodes, m.Pool().Total())
 			}
-			if err := m.SubmitAt(j); err != nil {
-				return nil, fmt.Errorf("coupled: domain %q: %w", name, err)
-			}
 			if j.SubmitTime > lastSubmit {
 				lastSubmit = j.SubmitTime
 			}
 			if j.Runtime > maxRuntime {
 				maxRuntime = j.Runtime
 			}
+		}
+		// SubmitTrace replays the whole trace through one chained event,
+		// keeping the event heap sized by concurrent work rather than by
+		// total trace length. It requires submit-time order; generated
+		// traces already have it, and a hand-built unsorted trace (e.g. the
+		// quickstart example) is stably sorted into a copy — same-instant
+		// jobs keep their trace order, which is exactly the order the old
+		// per-job submission events fired in (engine sequence ties).
+		if !sortedBySubmit(tr) {
+			tr = append([]*job.Job(nil), tr...)
+			sort.SliceStable(tr, func(a, b int) bool { return tr[a].SubmitTime < tr[b].SubmitTime })
+		}
+		if err := m.SubmitTrace(tr); err != nil {
+			return nil, fmt.Errorf("coupled: domain %q: %w", name, err)
 		}
 	}
 	s.horizon = opt.Horizon
@@ -232,6 +244,17 @@ func New(opt Options) (*Sim, error) {
 		s.horizon = lastSubmit + 100*maxRuntime + 365*sim.Day
 	}
 	return s, nil
+}
+
+// sortedBySubmit reports whether tr is in non-decreasing submit-time
+// order, the precondition of resmgr.SubmitTrace.
+func sortedBySubmit(tr []*job.Job) bool {
+	for i := 1; i < len(tr); i++ {
+		if tr[i].SubmitTime < tr[i-1].SubmitTime {
+			return false
+		}
+	}
+	return true
 }
 
 // makePeer wires a direct or wire-protocol peer for manager m.
@@ -276,9 +299,16 @@ func (s *Sim) Run() *Result {
 	}
 	res := &Result{Reports: make(map[string]metrics.DomainReport), TotalJobs: total}
 
+	// The done check runs after every engine step, so it walks a flat
+	// manager slice: ranging the map here made the per-event loop spend
+	// more time in map iteration than in some handlers.
+	ms := make([]*resmgr.Manager, 0, len(s.order))
+	for _, name := range s.order {
+		ms = append(ms, s.managers[name])
+	}
 	done := func() int {
 		n := 0
-		for _, m := range s.managers {
+		for _, m := range ms {
 			n += m.CompletedCount() + m.CancelledCount()
 		}
 		return n

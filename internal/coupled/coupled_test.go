@@ -100,6 +100,48 @@ func TestWireProtocolMatchesDirectWiring(t *testing.T) {
 	}
 }
 
+func TestUnsortedTraceMatchesSorted(t *testing.T) {
+	// Hand-built traces (e.g. the quickstart example) need not be in
+	// submit-time order; New must accept them and produce exactly the
+	// schedule of the sorted trace — same-instant jobs keep trace order,
+	// matching the engine-sequence tie-break the per-job submission path
+	// used. The caller's slice must not be reordered in place.
+	run := func(shuffle bool) *Result {
+		a, b := smallTraces(31, 60, 0.3)
+		if shuffle {
+			// Deterministic derangement: reverse, which breaks sortedness
+			// as thoroughly as possible without touching submit times.
+			for i, j := 0, len(a)-1; i < j; i, j = i+1, j-1 {
+				a[i], a[j] = a[j], a[i]
+			}
+		}
+		s, err := New(Options{Domains: []DomainConfig{
+			{Name: "A", Nodes: 64, Backfilling: true, Cosched: cosched.DefaultConfig(cosched.Hold), Trace: a},
+			{Name: "B", Nodes: 8, Backfilling: true, Cosched: cosched.DefaultConfig(cosched.Yield), Trace: b},
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if shuffle && sortedBySubmit(a) {
+			t.Fatal("New reordered the caller's trace slice in place")
+		}
+		return s.Run()
+	}
+	sorted, shuffled := run(false), run(true)
+	if sorted.StuckJobs != 0 || shuffled.StuckJobs != 0 {
+		t.Fatalf("stuck jobs: sorted %d, shuffled %d", sorted.StuckJobs, shuffled.StuckJobs)
+	}
+	if sorted.Makespan != shuffled.Makespan || sorted.Iterations != shuffled.Iterations {
+		t.Fatalf("schedules diverged: makespan %d/%d iterations %d/%d",
+			sorted.Makespan, shuffled.Makespan, sorted.Iterations, shuffled.Iterations)
+	}
+	for name := range sorted.Reports {
+		if sorted.Reports[name].Wait.Mean != shuffled.Reports[name].Wait.Mean {
+			t.Fatalf("%s: wait mean diverged", name)
+		}
+	}
+}
+
 func TestDeterministicReplay(t *testing.T) {
 	r1 := runPair(t, cosched.Yield, cosched.Yield, false, 7)
 	r2 := runPair(t, cosched.Yield, cosched.Yield, false, 7)

@@ -91,18 +91,25 @@ func RunLoadSweep(cfg Config) (*LoadSweep, error) {
 		}
 	}
 
+	// Generate each (util, rep) workload exactly once and freeze it; the
+	// baseline and every combo cell of that (util, rep) materialize private
+	// jobs from the shared snapshot instead of regenerating the traces.
+	pairs, err := buildLoadTracePairs(cfg, sweep.Utils)
+	if err != nil {
+		return nil, err
+	}
+
 	results, err := parallel.Map(context.Background(), cfg.workers(), len(units), func(i int) (*loadResult, error) {
 		u := units[i]
 		util := sweep.Utils[u.ui]
-		seed := cfg.Seed + uint64(u.ui*1000+u.rep*7919)
-		intr, eur, frac, err := loadSweepTraces(cfg, seed, util)
-		if err != nil {
-			return nil, err
-		}
+		pair := &pairs[u.ui*cfg.Reps+u.rep]
+		buf := cellBufPool.Get().(*cellBuffers)
+		defer cellBufPool.Put(buf)
+		intr, eur := pair.materialize(buf)
 		r := &loadResult{}
 		if u.combo < 0 {
 			r.base = Baseline{X: util}
-			r.frac = frac
+			r.frac = pair.frac
 			if err := runBaseline(&r.base, cfg, intr, eur); err != nil {
 				return nil, err
 			}

@@ -70,14 +70,19 @@ func RunProportionSweep(cfg Config) (*ProportionSweep, error) {
 		}
 	}
 
+	// One generation per (proportion, rep), shared by its cells — see
+	// RunLoadSweep.
+	pairs, err := buildPropTracePairs(cfg, sweep.Proportions)
+	if err != nil {
+		return nil, err
+	}
+
 	results, err := parallel.Map(context.Background(), cfg.workers(), len(units), func(i int) (*loadResult, error) {
 		u := units[i]
 		prop := sweep.Proportions[u.ui]
-		seed := cfg.Seed + uint64(u.ui*1000+u.rep*104729)
-		intr, eur, err := proportionTraces(cfg, seed, prop)
-		if err != nil {
-			return nil, err
-		}
+		buf := cellBufPool.Get().(*cellBuffers)
+		defer cellBufPool.Put(buf)
+		intr, eur := pairs[u.ui*cfg.Reps+u.rep].materialize(buf)
 		r := &loadResult{}
 		if u.combo < 0 {
 			r.base = Baseline{X: prop}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"context"
+	"sync"
+
+	"cosched/internal/arena"
+	"cosched/internal/job"
+	"cosched/internal/parallel"
+	"cosched/internal/workload"
+)
+
+// tracePair is the frozen workload for one (sweep point, repetition):
+// both domain traces generated, utilization-scaled, and paired exactly
+// once, then captured as immutable snapshots. The sweep runners used to
+// regenerate identical traces inside every cell of a (point, rep) — the
+// baseline plus one per scheme combination, five generations where one
+// suffices; now each cell materializes private jobs from the shared
+// snapshot instead (copy-on-write, see workload.Snapshot).
+type tracePair struct {
+	intr, eur *workload.Snapshot
+	frac      float64 // paired fraction of Intrepid jobs (load sweep)
+}
+
+// buildLoadTracePairs prepares the load sweep's tracePair for every
+// (util, rep), indexed ui*reps+rep. Pairs build in parallel — each is
+// derived only from its own seed — and land at their index, so the result
+// is identical at any worker count.
+func buildLoadTracePairs(cfg Config, utils []float64) ([]tracePair, error) {
+	pairs := make([]tracePair, len(utils)*cfg.Reps)
+	_, err := parallel.Map(context.Background(), cfg.workers(), len(pairs), func(i int) (struct{}, error) {
+		ui, rep := i/cfg.Reps, i%cfg.Reps
+		seed := cfg.Seed + uint64(ui*1000+rep*7919)
+		intr, eur, frac, err := loadSweepTraces(cfg, seed, utils[ui])
+		if err != nil {
+			return struct{}{}, err
+		}
+		pairs[i] = tracePair{intr: workload.Capture(intr), eur: workload.Capture(eur), frac: frac}
+		return struct{}{}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return pairs, nil
+}
+
+// buildPropTracePairs prepares the proportion sweep's tracePair for every
+// (proportion, rep), indexed pi*reps+rep.
+func buildPropTracePairs(cfg Config, props []float64) ([]tracePair, error) {
+	pairs := make([]tracePair, len(props)*cfg.Reps)
+	_, err := parallel.Map(context.Background(), cfg.workers(), len(pairs), func(i int) (struct{}, error) {
+		pi, rep := i/cfg.Reps, i%cfg.Reps
+		seed := cfg.Seed + uint64(pi*1000+rep*104729)
+		intr, eur, err := proportionTraces(cfg, seed, props[pi])
+		if err != nil {
+			return struct{}{}, err
+		}
+		pairs[i] = tracePair{intr: workload.Capture(intr), eur: workload.Capture(eur)}
+		return struct{}{}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return pairs, nil
+}
+
+// cellBuffers is recycled per-cell materialization storage: one job arena
+// plus the two trace pointer slices. Workers borrow a set from the pool,
+// run the cell, and return it, so a long sweep reuses a handful of arenas
+// instead of allocating every job of every cell. Reuse cannot affect
+// results: materialization fully initializes every field it hands out.
+type cellBuffers struct {
+	jobs      arena.Arena[job.Job]
+	intr, eur []*job.Job
+}
+
+var cellBufPool = sync.Pool{New: func() any { return new(cellBuffers) }}
+
+// materialize builds private mutable traces for one cell from the shared
+// snapshots, recycling b's arena and slices. The returned jobs die with
+// the next materialize on the same buffers; return b to the pool only when
+// the cell's simulation has fully finished with them.
+func (p *tracePair) materialize(b *cellBuffers) (intr, eur []*job.Job) {
+	b.jobs.Reset()
+	b.intr = p.intr.MaterializeInto(&b.jobs, b.intr)
+	b.eur = p.eur.MaterializeInto(&b.jobs, b.eur)
+	return b.intr, b.eur
+}

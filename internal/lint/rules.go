@@ -71,6 +71,21 @@ var Rules = []Rule{
 			"is recognized and allowed.)",
 		Check: checkFloatEq,
 	},
+	{
+		ID:    "R6",
+		Title: "no append/make in //simlint:hotpath functions",
+		Doc: "Functions marked //simlint:hotpath are the per-event spine " +
+			"(engine scheduling, arena handout, policy ordering, metric " +
+			"absorption) that the arena/free-list memory architecture keeps " +
+			"allocation-free at steady state. An append or make inside one " +
+			"reintroduces per-event allocation and GC pressure that the " +
+			"zero-alloc benchmark assertions would only catch after the " +
+			"fact. Preallocate, recycle through a free list, or — for " +
+			"amortized container growth (slab, heap, free-list doubling) — " +
+			"annotate the site with //simlint:allow R6 and the amortization " +
+			"argument.",
+		Check: checkHotpath,
+	},
 }
 
 // ---------------------------------------------------------------------------

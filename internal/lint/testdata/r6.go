@@ -1,0 +1,41 @@
+// R6 fixtures: allocation builtins inside //simlint:hotpath functions.
+package fixture
+
+type ring struct {
+	buf []int
+}
+
+// push is on the per-event spine.
+//
+//simlint:hotpath
+func (r *ring) push(x int) {
+	r.buf = append(r.buf, x) // want "R6"
+}
+
+//simlint:hotpath
+func scratch(n int) []byte {
+	return make([]byte, n) // want "R6"
+}
+
+// Closures inside a hot function are still inside it: the allocation
+// happens per call of the enclosing spine.
+//
+//simlint:hotpath
+func hotClosure(xs []int) func() {
+	return func() {
+		xs = append(xs, len(xs)) // want "R6"
+	}
+}
+
+// Unmarked functions may allocate freely, and a shadowing local named
+// append is not the builtin.
+func cold(n int) []int {
+	s := make([]int, 0, n)
+	return append(s, n)
+}
+
+//simlint:hotpath
+func shadowed(n int) int {
+	append := func(x int) int { return x + 1 }
+	return append(n)
+}

@@ -132,9 +132,16 @@ type DomainReport struct {
 // Collect builds a DomainReport from a domain's jobs. span is the
 // simulated period (e.g. the trace month) used for loss/utilization rates;
 // totalNodes the pool size.
+//
+// Aggregation is streaming and bounded: three constant-size Accumulators
+// replace the per-job []float64 buffers this function used to build, so
+// collecting a million-job domain costs no per-job memory. Values
+// accumulate in the order jobs are listed; Manager.Jobs() returns
+// registration order, which is deterministic, so reports are reproducible
+// at any worker count.
 func Collect(domain string, jobs []*job.Job, totalNodes int, span sim.Duration) DomainReport {
 	r := DomainReport{Domain: domain, TotalJobs: len(jobs), Span: span}
-	var waits, sds, syncs []float64
+	var waits, sds, syncs Accumulator
 	var lostNodeSec int64
 	var busyNodeSec int64
 	for _, j := range jobs {
@@ -150,17 +157,17 @@ func Collect(domain string, jobs []*job.Job, totalNodes int, span sim.Duration) 
 			continue
 		}
 		r.Completed++
-		waits = append(waits, float64(j.WaitTime())/60)
-		sds = append(sds, j.Slowdown())
+		waits.Add(float64(j.WaitTime()) / 60)
+		sds.Add(j.Slowdown())
 		busyNodeSec += j.NodeSeconds()
 		if j.Paired() {
 			r.PairedCount++
-			syncs = append(syncs, float64(j.SyncTime())/60)
+			syncs.Add(float64(j.SyncTime()) / 60)
 		}
 	}
-	r.Wait = Summarize(waits)
-	r.Slowdown = Summarize(sds)
-	r.PairedSync = Summarize(syncs)
+	r.Wait = waits.Summary()
+	r.Slowdown = sds.Summary()
+	r.PairedSync = syncs.Summary()
 	r.LostNodeHours = float64(lostNodeSec) / 3600
 	if span > 0 && totalNodes > 0 {
 		capacity := float64(totalNodes) * float64(span)

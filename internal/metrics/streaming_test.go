@@ -1,0 +1,132 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+// testRNG is a tiny splitmix64 stream; workload.RNG would be an import
+// cycle from here.
+type testRNG struct{ state uint64 }
+
+func (r *testRNG) Uint64() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (r *testRNG) Float64() float64 { return float64(r.Uint64()>>11) / (1 << 53) }
+
+func (r *testRNG) Normal() float64 {
+	// Box-Muller; one value per call is fine for a test.
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+func (r *testRNG) Lognormal(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*r.Normal())
+}
+
+func accumulate(values []float64) Summary {
+	var a Accumulator
+	for _, v := range values {
+		a.Add(v)
+	}
+	return a.Summary()
+}
+
+func almost(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= tol*scale
+}
+
+func checkAgainstBatch(t *testing.T, name string, values []float64) {
+	t.Helper()
+	want := Summarize(values)
+	got := accumulate(values)
+	if got.Count != want.Count {
+		t.Errorf("%s: Count=%d want %d", name, got.Count, want.Count)
+	}
+	if got.Min != want.Min || got.Max != want.Max {
+		t.Errorf("%s: Min/Max=(%g,%g) want (%g,%g)", name, got.Min, got.Max, want.Min, want.Max)
+	}
+	if !almost(got.Mean, want.Mean, 1e-12) {
+		t.Errorf("%s: Mean=%g want %g", name, got.Mean, want.Mean)
+	}
+	if !almost(got.Stddev, want.Stddev, 1e-9) {
+		t.Errorf("%s: Stddev=%g want %g", name, got.Stddev, want.Stddev)
+	}
+	// Histogram quantiles carry ≤ ~4.4% bucket error; allow 5% plus an
+	// absolute floor for near-zero quantiles. Summarize additionally
+	// interpolates between order statistics, which only converges with the
+	// rank-based histogram estimate at scale — skip tiny inputs.
+	if len(values) < 1000 {
+		return
+	}
+	for _, q := range []struct {
+		name      string
+		got, want float64
+	}{{"Median", got.Median, want.Median}, {"P90", got.P90, want.P90}, {"P99", got.P99, want.P99}} {
+		if math.Abs(q.got-q.want) > 0.05*math.Max(math.Abs(q.want), 1e-9)+1e-9 {
+			t.Errorf("%s: %s=%g want %g (>5%% off)", name, q.name, q.got, q.want)
+		}
+	}
+}
+
+func TestAccumulatorMatchesSummarize(t *testing.T) {
+	rng := &testRNG{state: 42}
+	cases := map[string][]float64{
+		"empty":     nil,
+		"single":    {3.25},
+		"identical": {7, 7, 7, 7, 7, 7},
+		"withZeros": {0, 0, 0, 1, 2, 3},
+	}
+	lognormal := make([]float64, 20000)
+	for i := range lognormal {
+		lognormal[i] = rng.Lognormal(6.8, 1.4)
+	}
+	cases["lognormal"] = lognormal
+	uniform := make([]float64, 5000)
+	for i := range uniform {
+		uniform[i] = rng.Float64() * 1e6
+	}
+	cases["uniform"] = uniform
+	for name, values := range cases {
+		checkAgainstBatch(t, name, values)
+	}
+}
+
+func TestAccumulatorQuantilesClampedToRange(t *testing.T) {
+	var a Accumulator
+	for i := 0; i < 100; i++ {
+		a.Add(float64(i))
+	}
+	s := a.Summary()
+	if s.Median < s.Min || s.Median > s.Max || s.P99 < s.Min || s.P99 > s.Max {
+		t.Fatalf("quantiles escape [Min,Max]: %+v", s)
+	}
+}
+
+func TestAccumulatorBoundedMemoryAndReset(t *testing.T) {
+	var a Accumulator
+	for i := 0; i < 1000; i++ {
+		a.Add(float64(i))
+	}
+	allocs := testing.AllocsPerRun(100, func() { a.Add(3.7) })
+	if allocs != 0 {
+		t.Fatalf("Add allocated %.1f/op, want 0", allocs)
+	}
+	a.Reset()
+	if s := a.Summary(); s.Count != 0 || s.Mean != 0 {
+		t.Fatalf("Reset left state behind: %+v", s)
+	}
+}

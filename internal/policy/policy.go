@@ -13,7 +13,6 @@ package policy
 
 import (
 	"math"
-	"sort"
 
 	"cosched/internal/job"
 	"cosched/internal/sim"
@@ -105,17 +104,83 @@ func (o *Orderer) Order(p Policy, q []*job.Job, now sim.Time, boost Boost) []*jo
 		}
 		tmp[i] = scored{j, s}
 	}
-	// The comparator is a total order (ID breaks all ties), so an
-	// unstable sort is safe and faster than SliceStable.
-	sort.Slice(tmp, func(a, b int) bool {
-		return Precedes(tmp[a].s, tmp[a].j, tmp[b].s, tmp[b].j)
-	})
+	// The comparator is a strict total order (ID breaks all ties), so an
+	// unstable sort is safe and the unique sorted permutation makes the
+	// result independent of the sort algorithm. sortScored is hand-rolled
+	// with the comparison inlined: this sort runs on every scheduling
+	// iteration of every simulation, and the per-comparison function call
+	// of the generic sorts (sort.Slice's reflection swapper first, then
+	// slices.SortFunc's closure dispatch) was the sweep's largest single
+	// CPU sink.
+	sortScored(tmp)
 	out := o.out[:len(q)]
 	for i := range tmp {
 		out[i] = tmp[i].j
 		tmp[i].j = nil // drop the reference so reused buffers don't pin jobs
 	}
 	return out
+}
+
+// scoredLess orders scored entries by the canonical Precedes comparator.
+//
+//simlint:hotpath
+func scoredLess(a, b *scored) bool { return Precedes(a.s, a.j, b.s, b.j) }
+
+// sortScored sorts by scoredLess: median-of-three quicksort with an
+// insertion-sort cutoff, iterating into the larger partition so stack
+// depth stays logarithmic. Precedes is a strict total order (no two
+// entries compare equal), which rules out the quadratic equal-keys
+// pathology and makes the output the unique sorted permutation.
+//
+//simlint:hotpath
+func sortScored(s []scored) {
+	for {
+		n := len(s)
+		if n < 16 {
+			for i := 1; i < n; i++ {
+				for j := i; j > 0 && scoredLess(&s[j], &s[j-1]); j-- {
+					s[j], s[j-1] = s[j-1], s[j]
+				}
+			}
+			return
+		}
+		// Median-of-three pivot: order s[0], s[mid], s[n-1] in place.
+		mid := n / 2
+		if scoredLess(&s[mid], &s[0]) {
+			s[mid], s[0] = s[0], s[mid]
+		}
+		if scoredLess(&s[n-1], &s[mid]) {
+			s[n-1], s[mid] = s[mid], s[n-1]
+			if scoredLess(&s[mid], &s[0]) {
+				s[mid], s[0] = s[0], s[mid]
+			}
+		}
+		pivot := s[mid]
+		// Hoare partition around the pivot value.
+		i, j := 0, n-1
+		for {
+			for scoredLess(&s[i], &pivot) {
+				i++
+			}
+			for scoredLess(&pivot, &s[j]) {
+				j--
+			}
+			if i >= j {
+				break
+			}
+			s[i], s[j] = s[j], s[i]
+			i++
+			j--
+		}
+		// Recurse into the smaller half, loop on the larger.
+		if j+1 <= n-(j+1) {
+			sortScored(s[:j+1])
+			s = s[j+1:]
+		} else {
+			sortScored(s[j+1:])
+			s = s[:j+1]
+		}
+	}
 }
 
 // Order is the allocating convenience form of Orderer.Order: the returned

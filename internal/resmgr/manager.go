@@ -12,10 +12,11 @@
 package resmgr
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"cosched/internal/backfill"
 	"cosched/internal/cluster"
@@ -171,7 +172,12 @@ type Manager struct {
 
 	peers map[string]cosched.Peer
 
-	jobs    map[job.ID]*job.Job
+	jobs map[job.ID]*job.Job
+	// all mirrors jobs in insertion order. Jobs() iterates it instead of
+	// the map so downstream consumers (streaming metrics, audits) see a
+	// deterministic order without sorting; nothing is ever removed from
+	// the registry, so the two stay in lockstep.
+	all     []*job.Job
 	queue   []*job.Job
 	running map[job.ID]*runEntry
 	holding map[job.ID]*holdEntry
@@ -222,6 +228,63 @@ type Manager struct {
 	lastFPValid bool
 	lastEmpty   bool
 	skips       uint64
+
+	// Prebuilt event handlers. Scheduling with a fresh closure (or method
+	// value) heap-allocates the function value per event; building these
+	// once in New and passing the varying job through AtArg/AfterArg makes
+	// every steady-state event on the job lifecycle path allocation-free.
+	iterFn     sim.Handler    // RequestIteration body
+	releaseFn  sim.Handler    // releaseScanFire method value, pinned once
+	submitFn   sim.ArgHandler // trace-replay submission (arg = *job.Job)
+	completeFn sim.ArgHandler // job completion (arg = *job.Job)
+
+	// freeRun and freeHold recycle the per-start bookkeeping entries, so
+	// steady-state start/complete churn allocates nothing (the pool
+	// recycles the Allocation structs the same way).
+	freeRun  []*runEntry
+	freeHold []*holdEntry
+
+	// Chained trace replay (SubmitTrace): the sorted trace, the cursor to
+	// the next unsubmitted job, and the pinned chain handler.
+	replay    []*job.Job
+	replayIdx int
+	replayFn  sim.Handler
+}
+
+// newRunEntry returns a zeroed runEntry, recycled when one is available.
+func (m *Manager) newRunEntry(alloc *cluster.Allocation) *runEntry {
+	if k := len(m.freeRun); k > 0 {
+		re := m.freeRun[k-1]
+		m.freeRun[k-1] = nil
+		m.freeRun = m.freeRun[:k-1]
+		*re = runEntry{alloc: alloc}
+		return re
+	}
+	return &runEntry{alloc: alloc}
+}
+
+// recycleRun returns a runEntry removed from the running set to the free
+// list. The caller must already have deleted it from m.running.
+func (m *Manager) recycleRun(re *runEntry) {
+	*re = runEntry{}
+	m.freeRun = append(m.freeRun, re)
+}
+
+// newHoldEntry and recycleHold are the holdEntry counterparts.
+func (m *Manager) newHoldEntry(alloc *cluster.Allocation) *holdEntry {
+	if k := len(m.freeHold); k > 0 {
+		he := m.freeHold[k-1]
+		m.freeHold[k-1] = nil
+		m.freeHold = m.freeHold[:k-1]
+		*he = holdEntry{alloc: alloc}
+		return he
+	}
+	return &holdEntry{alloc: alloc}
+}
+
+func (m *Manager) recycleHold(he *holdEntry) {
+	*he = holdEntry{}
+	m.freeHold = append(m.freeHold, he)
 }
 
 // New creates a Manager bound to engine eng.
@@ -271,6 +334,25 @@ func New(eng *sim.Engine, opt Options) *Manager {
 	}
 	m.boostFn = m.boost
 	m.estFn = m.est.Estimate
+	m.iterFn = func(now sim.Time) {
+		m.iterPending = false
+		m.Iterate(now)
+	}
+	m.releaseFn = m.releaseScanFire
+	m.submitFn = func(_ sim.Time, arg any) {
+		j := arg.(*job.Job)
+		if j.State == job.Cancelled {
+			return // withdrawn before arrival
+		}
+		// Submit resets SubmitTime to now, which equals j.SubmitTime.
+		if err := m.Submit(j); err != nil {
+			panic(fmt.Sprintf("resmgr %s: replay submit job %d: %v", m.name, j.ID, err))
+		}
+	}
+	m.completeFn = func(end sim.Time, arg any) {
+		m.completeJob(arg.(*job.Job), end)
+	}
+	m.replayFn = m.replayStep
 	if m.core == CoreIncremental {
 		// The queue stays pre-sorted only when the canonical order is a
 		// function of queue membership alone: time-invariant scores and no
@@ -321,6 +403,14 @@ func (m *Manager) peerFor(ref job.MateRef) (cosched.Peer, error) {
 	return p, nil
 }
 
+// addJob is the single registration point for the job registry: every path
+// that writes m.jobs goes through it so the insertion-ordered mirror stays
+// consistent with the map.
+func (m *Manager) addJob(j *job.Job) {
+	m.jobs[j.ID] = j
+	m.all = append(m.all, j)
+}
+
 // Expect pre-registers a job that will be submitted later (trace-driven
 // operation). Until Submit, peers asking about it see StatusUnsubmitted.
 func (m *Manager) Expect(j *job.Job) error {
@@ -333,7 +423,7 @@ func (m *Manager) Expect(j *job.Job) error {
 	if j.State != job.Unsubmitted {
 		return fmt.Errorf("%w: job %d is %s, want unsubmitted", ErrBadState, j.ID, j.State)
 	}
-	m.jobs[j.ID] = j
+	m.addJob(j)
 	if eo, ok := m.obs.(ExpectObserver); ok {
 		eo.JobExpected(m.eng.Now(), j)
 	}
@@ -351,7 +441,7 @@ func (m *Manager) Submit(j *job.Job) error {
 		if err := j.Validate(); err != nil {
 			return err
 		}
-		m.jobs[j.ID] = j
+		m.addJob(j)
 	}
 	if err := j.Advance(job.Queued); err != nil {
 		return err
@@ -365,21 +455,77 @@ func (m *Manager) Submit(j *job.Job) error {
 }
 
 // SubmitAt schedules Submit(j) at the job's SubmitTime on the engine.
-// It is the trace-replay entry point.
+// It is the single-job trace-replay entry point; bulk traces should use
+// SubmitTrace, which replays through one chained event instead of
+// preloading the event heap with one submission per job.
 func (m *Manager) SubmitAt(j *job.Job) error {
 	if err := m.Expect(j); err != nil {
 		return err
 	}
-	_, err := m.eng.At(j.SubmitTime, sim.PrioritySubmit, func(sim.Time) {
-		if j.State == job.Cancelled {
-			return // withdrawn before arrival
+	_, err := m.eng.AtArg(j.SubmitTime, sim.PrioritySubmit, m.submitFn, j)
+	return err
+}
+
+// SubmitTrace registers a whole submit-time-sorted trace and replays it
+// through a single chained submission event: only the next arrival is ever
+// in the event heap, so the heap's size — and every push/pop's comparison
+// depth — tracks the running-job population instead of the full trace
+// length. Jobs cancelled before their submit instant are skipped, exactly
+// as SubmitAt's replay event would. The relative order of same-instant
+// submissions is the trace order, which matches scheduling one SubmitAt
+// event per job in trace order (both fire in PrioritySubmit band, in
+// sequence order). Call once per manager, before the run starts.
+func (m *Manager) SubmitTrace(jobs []*job.Job) error {
+	if m.replay != nil {
+		return fmt.Errorf("resmgr %s: SubmitTrace called twice", m.name)
+	}
+	if len(m.jobs) == 0 && len(jobs) > 0 {
+		// Presize the registry for the whole trace: incremental map growth
+		// during bulk Expect is a measurable slice of short simulations.
+		m.jobs = make(map[job.ID]*job.Job, len(jobs))
+		m.all = make([]*job.Job, 0, len(jobs))
+	}
+	for i, j := range jobs {
+		if i > 0 && j.SubmitTime < jobs[i-1].SubmitTime {
+			return fmt.Errorf("resmgr %s: SubmitTrace: trace not sorted by submit time at index %d", m.name, i)
 		}
-		// Submit resets SubmitTime to now, which equals j.SubmitTime.
+		if err := m.Expect(j); err != nil {
+			return err
+		}
+	}
+	m.replay = jobs
+	m.armReplay()
+	return nil
+}
+
+// armReplay schedules the chained submission event for the next
+// unsubmitted trace job, if any.
+func (m *Manager) armReplay() {
+	if m.replayIdx >= len(m.replay) {
+		return
+	}
+	if _, err := m.eng.At(m.replay[m.replayIdx].SubmitTime, sim.PrioritySubmit, m.replayFn); err != nil {
+		panic(fmt.Sprintf("resmgr %s: armReplay: %v", m.name, err))
+	}
+}
+
+// replayStep submits every trace job due at the current instant, then
+// re-arms the chain for the next arrival.
+func (m *Manager) replayStep(now sim.Time) {
+	for m.replayIdx < len(m.replay) {
+		j := m.replay[m.replayIdx]
+		if j.SubmitTime != now {
+			break
+		}
+		m.replayIdx++
+		if j.State == job.Cancelled {
+			continue // withdrawn before arrival; see Cancel
+		}
 		if err := m.Submit(j); err != nil {
 			panic(fmt.Sprintf("resmgr %s: replay submit job %d: %v", m.name, j.ID, err))
 		}
-	})
-	return err
+	}
+	m.armReplay()
 }
 
 // Job returns the job with the given ID, if known.
@@ -388,15 +534,19 @@ func (m *Manager) Job(id job.ID) (*job.Job, bool) {
 	return j, ok
 }
 
-// Jobs returns all known jobs (any state). The slice is freshly allocated;
-// the pointed-to jobs are live.
+// Jobs returns all known jobs (any state) in registration order. The order
+// is deterministic — streaming metrics accumulate in it — and the slice is
+// freshly allocated; the pointed-to jobs are live.
 func (m *Manager) Jobs() []*job.Job {
-	out := make([]*job.Job, 0, len(m.jobs))
-	for _, j := range m.jobs {
-		out = append(out, j)
-	}
+	out := make([]*job.Job, len(m.all))
+	copy(out, m.all)
 	return out
 }
+
+// JobsOrdered returns the internal registration-ordered job slice without
+// copying. Callers must not mutate it; it is meant for read-only metric
+// sweeps over very large job populations.
+func (m *Manager) JobsOrdered() []*job.Job { return m.all }
 
 // QueueLength returns the number of queued jobs.
 func (m *Manager) QueueLength() int { return len(m.queue) }
@@ -436,6 +586,7 @@ func (m *Manager) Cancel(id job.ID) error {
 			panic(fmt.Sprintf("resmgr %s: cancel hold: %v", m.name, err))
 		}
 		delete(m.holding, id)
+		m.recycleHold(he)
 		m.scheduleReleaseScan()
 	case job.Running:
 		re := m.running[id]
@@ -445,6 +596,7 @@ func (m *Manager) Cancel(id job.ID) error {
 		}
 		m.runReleaseDrop(re)
 		delete(m.running, id)
+		m.recycleRun(re)
 	default:
 		return fmt.Errorf("%w: job %d is %s", ErrBadState, id, j.State)
 	}
@@ -465,16 +617,16 @@ func (m *Manager) RequestIteration() {
 		return
 	}
 	m.iterPending = true
-	m.eng.After(0, sim.PrioritySchedule, func(now sim.Time) {
-		m.iterPending = false
-		m.Iterate(now)
-	})
+	m.eng.After(0, sim.PrioritySchedule, m.iterFn)
 }
 
 // boost computes the per-job additive priority adjustment: iteration-scoped
 // demotion for released holders, escalation boosts for repeat yielders.
 func (m *Manager) boost(j *job.Job) float64 {
-	if m.demoted[j.ID] {
+	// boost runs once per queued job on every iteration; skipping the hash
+	// lookup while no demotions are live (the overwhelmingly common state)
+	// is a measurable win on large queues.
+	if len(m.demoted) > 0 && m.demoted[j.ID] {
 		return policy.DemotionBoost
 	}
 	if m.cfg.YieldBoost {
@@ -534,6 +686,23 @@ func (m *Manager) Iterate(now sim.Time) {
 			m.skips++
 			return
 		}
+	}
+
+	// A completely full pool cannot start, hold, or backfill anything at
+	// this instant — every plan entry charges at least one node — so the
+	// plan is empty by construction under every planner and the whole
+	// score/sort/plan pass can be skipped. Completions free their nodes
+	// before the same-instant scheduling iteration fires (PriorityEnd <
+	// PrioritySchedule), so the shortcut is exact, not heuristic.
+	if m.pool.Free() == 0 {
+		if m.core == CoreIncremental {
+			if useCache {
+				m.lastFP, m.lastEmpty, m.lastFPValid = fp, true, true
+			} else {
+				m.lastFPValid = false
+			}
+		}
+		return
 	}
 
 	var ordered []*job.Job
@@ -605,7 +774,11 @@ func (m *Manager) RunJob(j *job.Job, now sim.Time, holdSafe bool) {
 		ref    job.MateRef
 		status cosched.MateStatus
 	}
-	var mates []mateInfo
+	// Coordination sets are tiny (one mate for the paper's pairs, a
+	// handful for N-way groups); stack-backed storage keeps this hot path
+	// off the heap, falling back to append growth only past 4 mates.
+	var matesArr [4]mateInfo
+	mates := matesArr[:0]
 	for _, ref := range j.Mates {
 		p, err := m.peerFor(ref)
 		if err != nil {
@@ -627,8 +800,9 @@ func (m *Manager) RunJob(j *job.Job, now sim.Time, holdSafe bool) {
 	}
 
 	// Partition the mates by what must happen for a simultaneous start.
-	var toRelease []mateInfo // holding: release into run once we start
-	var toTry []mateInfo     // queuing/unsubmitted: need TryStartMate
+	var releaseArr, tryArr [4]mateInfo
+	toRelease := releaseArr[:0] // holding: release into run once we start
+	toTry := tryArr[:0]         // queuing/unsubmitted: need TryStartMate
 	terminalOnly := true
 	for _, mi := range mates {
 		switch mi.status {
@@ -746,12 +920,12 @@ func (m *Manager) startJobAt(j *job.Job, at, now sim.Time) {
 	}
 	j.StartTime = at
 	m.removeFromQueue(j.ID)
-	delete(m.lastYieldAt, j.ID)
-	entry := &runEntry{alloc: alloc}
+	if len(m.lastYieldAt) > 0 {
+		delete(m.lastYieldAt, j.ID)
+	}
+	entry := m.newRunEntry(alloc)
 	m.runReleaseAdd(entry, j)
-	entry.end = m.eng.After(j.Runtime, sim.PriorityEnd, func(end sim.Time) {
-		m.completeJob(j, end)
-	})
+	entry.end = m.eng.AfterArg(j.Runtime, sim.PriorityEnd, m.completeFn, j)
 	m.running[j.ID] = entry
 	m.obs.JobStarted(at, j)
 }
@@ -780,11 +954,10 @@ func (m *Manager) startHeldJobAt(j *job.Job, at, now sim.Time) error {
 		panic(fmt.Sprintf("resmgr %s: startHeldJob: %v", m.name, err))
 	}
 	j.StartTime = at
-	entry := &runEntry{alloc: he.alloc}
+	entry := m.newRunEntry(he.alloc)
+	m.recycleHold(he)
 	m.runReleaseAdd(entry, j)
-	entry.end = m.eng.After(j.Runtime, sim.PriorityEnd, func(end sim.Time) {
-		m.completeJob(j, end)
-	})
+	entry.end = m.eng.AfterArg(j.Runtime, sim.PriorityEnd, m.completeFn, j)
 	m.running[j.ID] = entry
 	m.obs.JobStarted(at, j)
 	return nil
@@ -804,7 +977,7 @@ func (m *Manager) holdJob(j *job.Job, now sim.Time) {
 	j.HoldStart = now
 	j.HoldCount++
 	m.removeFromQueue(j.ID)
-	m.holding[j.ID] = &holdEntry{alloc: alloc}
+	m.holding[j.ID] = m.newHoldEntry(alloc)
 	m.obs.JobHeld(now, j)
 	m.scheduleReleaseScan()
 }
@@ -842,7 +1015,7 @@ func (m *Manager) scheduleReleaseScan() {
 	if now := m.eng.Now(); due < now {
 		due = now
 	}
-	ref, err := m.eng.At(due, sim.PriorityRelease, m.releaseScanFire)
+	ref, err := m.eng.At(due, sim.PriorityRelease, m.releaseFn)
 	if err != nil {
 		panic(fmt.Sprintf("resmgr %s: scheduleReleaseScan: %v", m.name, err))
 	}
@@ -863,7 +1036,7 @@ func (m *Manager) releaseScanFire(now sim.Time) {
 		due = append(due, m.jobs[id])
 	}
 	// Map iteration order is random; sort for reproducible simulations.
-	sort.Slice(due, func(a, b int) bool { return due[a].ID < due[b].ID })
+	slices.SortFunc(due, func(a, b *job.Job) int { return cmp.Compare(a.ID, b.ID) })
 	for _, j := range due {
 		he := m.holding[j.ID]
 		j.HeldNodeSeconds += int64(he.alloc.Allocated) * (now - j.HoldStart)
@@ -871,6 +1044,7 @@ func (m *Manager) releaseScanFire(now sim.Time) {
 			panic(fmt.Sprintf("resmgr %s: release scan: %v", m.name, err))
 		}
 		delete(m.holding, j.ID)
+		m.recycleHold(he)
 		if err := j.Advance(job.Queued); err != nil {
 			panic(fmt.Sprintf("resmgr %s: release scan: %v", m.name, err))
 		}
@@ -901,6 +1075,7 @@ func (m *Manager) completeJob(j *job.Job, now sim.Time) {
 	}
 	m.runReleaseDrop(re)
 	delete(m.running, j.ID)
+	m.recycleRun(re)
 	if err := j.Advance(job.Completed); err != nil {
 		panic(fmt.Sprintf("resmgr %s: completeJob: %v", m.name, err))
 	}

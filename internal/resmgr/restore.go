@@ -35,16 +35,16 @@ func (m *Manager) RestoreJob(j *job.Job) error {
 	now := m.eng.Now()
 	switch j.State {
 	case job.Unsubmitted:
-		m.jobs[j.ID] = j
+		m.addJob(j)
 	case job.Queued:
-		m.jobs[j.ID] = j
+		m.addJob(j)
 		m.enqueue(j)
 	case job.Holding:
 		alloc, err := m.pool.Allocate(now, j.Nodes, cluster.AllocHold)
 		if err != nil {
 			return fmt.Errorf("restore hold for job %d: %w", j.ID, err)
 		}
-		m.jobs[j.ID] = j
+		m.addJob(j)
 		m.holding[j.ID] = &holdEntry{alloc: alloc}
 		m.scheduleReleaseScan()
 	case job.Running:
@@ -52,7 +52,7 @@ func (m *Manager) RestoreJob(j *job.Job) error {
 		if err != nil {
 			return fmt.Errorf("restore run for job %d: %w", j.ID, err)
 		}
-		m.jobs[j.ID] = j
+		m.addJob(j)
 		entry := &runEntry{alloc: alloc}
 		m.runReleaseAdd(entry, j)
 		end := j.StartTime + sim.Time(j.Runtime)
@@ -61,19 +61,17 @@ func (m *Manager) RestoreJob(j *job.Job) error {
 			// the first opportunity rather than rewinding the clock.
 			end = now
 		}
-		ref, err := m.eng.At(end, sim.PriorityEnd, func(t sim.Time) {
-			m.completeJob(j, t)
-		})
+		ref, err := m.eng.AtArg(end, sim.PriorityEnd, m.completeFn, j)
 		if err != nil {
 			return fmt.Errorf("restore completion for job %d: %w", j.ID, err)
 		}
 		entry.end = ref
 		m.running[j.ID] = entry
 	case job.Completed:
-		m.jobs[j.ID] = j
+		m.addJob(j)
 		m.completed++
 	case job.Cancelled:
-		m.jobs[j.ID] = j
+		m.addJob(j)
 		m.cancelled++
 	default:
 		return fmt.Errorf("%w: job %d is %s", ErrBadState, j.ID, j.State)

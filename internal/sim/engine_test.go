@@ -284,3 +284,82 @@ func TestAfterClampsNegative(t *testing.T) {
 		t.Fatalf("negative After: fired=%v now=%d", fired, e.Now())
 	}
 }
+
+func TestEventRecycleInvalidatesStaleRefs(t *testing.T) {
+	e := NewEngine()
+	var aFired, bFired bool
+	refA := e.After(1, PriorityDefault, func(Time) { aFired = true })
+	e.Run()
+	if !aFired {
+		t.Fatal("A did not fire")
+	}
+	if refA.Pending() {
+		t.Fatal("fired event still pending")
+	}
+	// B reuses A's recycled struct; a stale Cancel on A must not kill B.
+	refB := e.After(1, PriorityDefault, func(Time) { bFired = true })
+	if refA.ev != refB.ev {
+		t.Fatalf("expected struct reuse through the free list (pool len %d)", len(e.free))
+	}
+	refA.Cancel()
+	if !refB.Pending() {
+		t.Fatal("stale Cancel killed the recycled event")
+	}
+	e.Run()
+	if !bFired {
+		t.Fatal("B did not fire")
+	}
+}
+
+func TestCanceledEventsAreRecycled(t *testing.T) {
+	e := NewEngine()
+	ref := e.After(5, PriorityDefault, func(Time) { t.Fatal("canceled event fired") })
+	ref.Cancel()
+	e.After(1, PriorityDefault, func(Time) {})
+	e.Run()
+	if got := len(e.free); got != 2 {
+		t.Fatalf("free pool has %d events, want 2 (one canceled, one fired)", got)
+	}
+	if ref.Pending() {
+		t.Fatal("collected canceled event still pending")
+	}
+}
+
+func TestAtArgPassesPayload(t *testing.T) {
+	e := NewEngine()
+	type payload struct{ n int }
+	p1, p2 := &payload{1}, &payload{2}
+	var got []int
+	h := func(_ Time, arg any) { got = append(got, arg.(*payload).n) }
+	e.AfterArg(2, PriorityDefault, h, p2)
+	e.AfterArg(1, PriorityDefault, h, p1)
+	if _, err := e.AtArg(-1, PriorityDefault, h, p1); err == nil {
+		t.Fatal("AtArg accepted a past event")
+	}
+	e.Run()
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("got %v, want [1 2]", got)
+	}
+}
+
+// TestEngineSteadyStateZeroAlloc pins the free-list property: once the
+// pool is warm, the schedule→fire→recycle cycle performs no allocations.
+func TestEngineSteadyStateZeroAlloc(t *testing.T) {
+	e := NewEngine()
+	h := func(Time) {}
+	// Warm the pool past the loop's concurrent event count.
+	for i := 0; i < 64; i++ {
+		e.After(Duration(i), PriorityDefault, h)
+	}
+	e.Run()
+	allocs := testing.AllocsPerRun(1000, func() {
+		for i := 0; i < 32; i++ {
+			e.After(Duration(i%8), PriorityDefault, h)
+		}
+		for e.Step() {
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state engine churn allocates %.1f per cycle, want 0", allocs)
+	}
+}

@@ -1,0 +1,109 @@
+package workload
+
+import (
+	"cosched/internal/arena"
+	"cosched/internal/job"
+	"cosched/internal/sim"
+)
+
+// Snapshot is a frozen struct-of-arrays copy of a fully prepared trace
+// (generated, utilization-scaled, and mate-paired). One snapshot is built
+// per (sweep point, repetition) and shared read-only by every simulation
+// cell replaying that workload; each cell materializes private mutable Job
+// structs from it instead of regenerating — or deep-cloning — the trace.
+//
+// The copy-on-write contract: everything inside the snapshot is immutable.
+// Name strings are shared (string headers are safe to alias), and mate
+// slices are handed out with capacity clamped to their length, so a cell
+// that appends to a materialized job's Mates reallocates instead of writing
+// into the shared backing array. A materialized job is field-for-field
+// identical to what workload.Clone of the captured trace would produce, so
+// simulations driven from a snapshot are byte-identical to clone-driven
+// ones.
+type Snapshot struct {
+	ids       []job.ID
+	names     []string
+	users     []int32
+	nodes     []int32
+	runtimes  []sim.Duration
+	walltimes []sim.Duration
+	submits   []sim.Time
+	mateOff   []int32       // mates of job i: mates[mateOff[i]:mateOff[i+1]]
+	mates     []job.MateRef // flattened linkage, shared by all cells
+}
+
+// Capture freezes jobs into a snapshot. Call it after all trace
+// preparation (ScaleToUtilization, pairing) — later mutation of the source
+// jobs is not reflected. Only request fields and mate linkage are
+// captured; scheduling state is discarded, as Clone discards it.
+func Capture(jobs []*job.Job) *Snapshot {
+	n := len(jobs)
+	s := &Snapshot{
+		ids:       make([]job.ID, n),
+		names:     make([]string, n),
+		users:     make([]int32, n),
+		nodes:     make([]int32, n),
+		runtimes:  make([]sim.Duration, n),
+		walltimes: make([]sim.Duration, n),
+		submits:   make([]sim.Time, n),
+		mateOff:   make([]int32, n+1),
+	}
+	total := 0
+	for _, j := range jobs {
+		total += len(j.Mates)
+	}
+	s.mates = make([]job.MateRef, 0, total)
+	for i, j := range jobs {
+		s.ids[i] = j.ID
+		s.names[i] = j.Name
+		s.users[i] = int32(j.User)
+		s.nodes[i] = int32(j.Nodes)
+		s.runtimes[i] = j.Runtime
+		s.walltimes[i] = j.Walltime
+		s.submits[i] = j.SubmitTime
+		s.mateOff[i] = int32(len(s.mates))
+		s.mates = append(s.mates, j.Mates...)
+	}
+	s.mateOff[n] = int32(len(s.mates))
+	return s
+}
+
+// Len returns the number of jobs in the snapshot.
+func (s *Snapshot) Len() int { return len(s.ids) }
+
+// MaterializeInto builds the snapshot's jobs as fresh Unsubmitted structs
+// allocated from a, reusing dst's backing array for the pointer slice.
+// Arena and dst can be recycled cell after cell, making repeated
+// materialization allocation-free at steady state.
+func (s *Snapshot) MaterializeInto(a *arena.Arena[job.Job], dst []*job.Job) []*job.Job {
+	if cap(dst) < len(s.ids) {
+		dst = make([]*job.Job, 0, len(s.ids))
+	}
+	dst = dst[:0]
+	for i := range s.ids {
+		j := a.Get()
+		j.ID = s.ids[i]
+		j.Name = s.names[i]
+		j.User = int(s.users[i])
+		j.Nodes = int(s.nodes[i])
+		j.Runtime = s.runtimes[i]
+		j.Walltime = s.walltimes[i]
+		j.SubmitTime = s.submits[i]
+		if off, end := s.mateOff[i], s.mateOff[i+1]; off < end {
+			// Three-index slice: len == cap, so a cell appending mates
+			// copies out instead of scribbling on the shared array.
+			j.Mates = s.mates[off:end:end]
+		}
+		// State/accounting fields are zero from the arena, which matches
+		// job.Clone's reset (State Unsubmitted, timestamps and counts 0).
+		dst = append(dst, j)
+	}
+	return dst
+}
+
+// Materialize is MaterializeInto with heap-allocated jobs — the convenience
+// form for callers without an arena to recycle.
+func (s *Snapshot) Materialize() []*job.Job {
+	var a arena.Arena[job.Job]
+	return s.MaterializeInto(&a, nil)
+}

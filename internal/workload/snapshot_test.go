@@ -1,0 +1,95 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"cosched/internal/arena"
+	"cosched/internal/job"
+)
+
+// pairedFixture builds a scaled, paired two-trace fixture the way the
+// experiment harness does.
+func pairedFixture(t *testing.T) ([]*job.Job, []*job.Job) {
+	t.Helper()
+	ispec := IntrepidSpec(7)
+	ispec.Jobs = 400
+	espec := EurekaSpec(11)
+	espec.Jobs = 150
+	ij, err := Generate(ispec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ej, err := Generate(espec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ScaleToUtilization(ij, 40960, 0.7); err != nil {
+		t.Fatal(err)
+	}
+	PairByWindow(ij, ej, "intrepid", "eureka", 30*60)
+	return ij, ej
+}
+
+func TestMaterializeMatchesClone(t *testing.T) {
+	ij, ej := pairedFixture(t)
+	for _, jobs := range [][]*job.Job{ij, ej} {
+		want := Clone(jobs)
+		got := Capture(jobs).Materialize()
+		if len(got) != len(want) {
+			t.Fatalf("len=%d want %d", len(got), len(want))
+		}
+		for i := range want {
+			if !reflect.DeepEqual(*got[i], *want[i]) {
+				t.Fatalf("job %d differs:\n got %+v\nwant %+v", i, *got[i], *want[i])
+			}
+		}
+	}
+}
+
+func TestMaterializeCOWMates(t *testing.T) {
+	ij, _ := pairedFixture(t)
+	snap := Capture(ij)
+	a := snap.Materialize()
+	b := snap.Materialize()
+	var touched int
+	for i, j := range a {
+		if len(j.Mates) == 0 {
+			continue
+		}
+		touched++
+		// Appending must not grow into the shared backing array.
+		j.Mates = append(j.Mates, job.MateRef{Domain: "evil", Job: 999})
+		if got := b[i].Mates; len(got) != 1 || got[0].Domain == "evil" {
+			t.Fatalf("append leaked into sibling materialization: %+v", got)
+		}
+		// In-place writes through the original window are the caller's
+		// contract violation; the append path is what the scheduler does.
+	}
+	if touched == 0 {
+		t.Fatal("fixture produced no paired jobs; test is vacuous")
+	}
+	c := snap.Materialize()
+	for i, j := range c {
+		if len(j.Mates) > 0 && j.Mates[0].Domain == "evil" {
+			t.Fatalf("shared mate array corrupted at %d", i)
+		}
+	}
+}
+
+func TestMaterializeIntoSteadyStateZeroAlloc(t *testing.T) {
+	ij, _ := pairedFixture(t)
+	snap := Capture(ij)
+	var a arena.Arena[job.Job]
+	dst := snap.MaterializeInto(&a, nil)
+	allocs := testing.AllocsPerRun(10, func() {
+		a.Reset()
+		dst = snap.MaterializeInto(&a, dst)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state materialize allocated %.1f/run, want 0", allocs)
+	}
+	if len(dst) != snap.Len() {
+		t.Fatalf("len=%d want %d", len(dst), snap.Len())
+	}
+}
