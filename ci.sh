@@ -55,6 +55,18 @@ go test -run '^$' -fuzz 'FuzzDecodeEntries' -fuzztime 10s ./internal/journal
 # -tags debug; run their suites together with the asserts live.
 go test -tags debug ./internal/invariant ./internal/backfill
 
+# Distributed-sweep gate: the coordinator/worker protocol (heartbeats,
+# failure detection, deterministic re-dispatch) reruns under -race, the
+# SIGKILL acceptance test kills a real worker process mid-sweep and
+# byte-compares the merged tables against serial, and the smoke runs a
+# tiny load sweep across two spawned worker processes and fails on any
+# table mismatch against the in-process run. The streaming-ingestion
+# differentials (SubmitTraceStream vs SubmitTrace, AnalyzeStream vs
+# Analyze, traceinfo render-twice) ride in the main -race pass above.
+go test -race -count=2 ./internal/distsweep
+go test -race -run 'WorkerSIGKILLMidSweep' ./cmd/experiments
+go run ./cmd/experiments -distsmoke -factor 0.05 -reps 1
+
 # Memory-architecture perf smoke: a downsized -megabench cell (100k
 # Intrepid jobs instead of the full million) through the same
 # snapshot/arena/free-list path — it fails on non-byte-identical tables

@@ -1,0 +1,354 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"time"
+
+	"cosched/internal/coupled"
+	"cosched/internal/experiments"
+	"cosched/internal/job"
+	"cosched/internal/sim"
+	"cosched/internal/trace"
+	"cosched/internal/workload"
+)
+
+// distBenchRecord is the BENCH_dist.json schema: the distributed-sweep
+// and streaming-ingestion headline numbers. Throughput is recorded with
+// its go_maxprocs context and not gated — on a single-core machine no
+// wall-clock speedup is physically possible however many processes fan
+// out (same policy as BENCH_parallel.json / BENCH_mega.json); the gated
+// properties are byte-identity across topologies and RSS independence of
+// trace length.
+type distBenchRecord struct {
+	Experiment string  `json:"experiment"`
+	JobFactor  float64 `json:"job_factor"`
+	Reps       int     `json:"reps"`
+	Cells      int     `json:"cells"`
+	GoMaxProcs int     `json:"go_maxprocs"`
+
+	SerialSeconds        float64 `json:"serial_seconds"`
+	SerialCellsPerSec    float64 `json:"serial_cells_per_sec"`
+	Parallel8Seconds     float64 `json:"parallel8_seconds"`
+	Parallel8CellsPerSec float64 `json:"parallel8_cells_per_sec"`
+	DistWorkers          int     `json:"dist_workers"`
+	DistSeconds          float64 `json:"dist_seconds"`
+	DistCellsPerSec      float64 `json:"dist_cells_per_sec"`
+	SpeedupDistVsSerial  float64 `json:"speedup_dist_vs_serial"`
+	TablesIdentical      bool    `json:"tables_byte_identical"`
+
+	StreamWindow       int     `json:"stream_window"`
+	StreamSmallJobs    int     `json:"stream_small_jobs"`
+	StreamLargeJobs    int     `json:"stream_large_jobs"`
+	StreamSmallRSS     int64   `json:"stream_small_peak_rss_bytes"`
+	StreamLargeRSS     int64   `json:"stream_large_peak_rss_bytes"`
+	StreamRSSRatio     float64 `json:"stream_rss_ratio_large_vs_small"`
+	StreamRSSFlat      bool    `json:"stream_rss_independent_of_length"`
+	StreamSmallSeconds float64 `json:"stream_small_seconds"`
+	StreamLargeSeconds float64 `json:"stream_large_seconds"`
+}
+
+// streamRSSBudgetRatio is how much the large streaming run's peak RSS may
+// exceed the small run's before the length-independence claim fails. The
+// trace is 10x longer; a materialized path multiplies its O(trace) term
+// by 10, while the streamed path adds only noise (GC timing, allocator
+// slack).
+const streamRSSBudgetRatio = 1.35
+
+// runDistBench benchmarks the distributed fan-out and the streaming
+// ingestion path, writes BENCH_dist.json, and enforces the two hard
+// gates: byte-identical tables across {serial, -parallel 8, -distworkers
+// N} and peak RSS independent of streamed trace length.
+func runDistBench(cfg experiments.Config, path string, workers int) error {
+	if workers <= 0 {
+		workers = 4
+	}
+	fmt.Printf("=== distributed sweep benchmark (load sweep, factor %g, reps %d) ===\n", cfg.JobFactor, cfg.Reps)
+
+	serialCfg := cfg
+	serialCfg.Parallelism = 1
+	serialCfg.Dist = nil
+	start := time.Now()
+	serial, err := experiments.RunLoadSweep(serialCfg)
+	if err != nil {
+		return err
+	}
+	serialDur := time.Since(start)
+	fmt.Printf("serial      (in-process, 1 worker):  %v\n", serialDur.Round(time.Millisecond))
+
+	parCfg := cfg
+	parCfg.Parallelism = 8
+	parCfg.Dist = nil
+	start = time.Now()
+	par, err := experiments.RunLoadSweep(parCfg)
+	if err != nil {
+		return err
+	}
+	parDur := time.Since(start)
+	fmt.Printf("parallel    (in-process, 8 workers): %v\n", parDur.Round(time.Millisecond))
+
+	distCfg := cfg
+	distCfg.Dist = &procDistributor{Workers: workers, Quiet: true}
+	start = time.Now()
+	dist, err := experiments.RunLoadSweep(distCfg)
+	if err != nil {
+		return err
+	}
+	distDur := time.Since(start)
+	fmt.Printf("distributed (%d worker processes):   %v\n", workers, distDur.Round(time.Millisecond))
+
+	serialTables := renderLoadTables(serial)
+	identical := serialTables == renderLoadTables(par) && serialTables == renderLoadTables(dist)
+	if identical {
+		fmt.Println("tables byte-identical across {serial, parallel 8, distributed}")
+	} else {
+		fmt.Println("WARNING: tables differ across topologies — determinism bug")
+	}
+
+	cells := len(serial.Utils) * (len(experiments.Combos) + 1) * serial.Config.Reps
+	rec := distBenchRecord{
+		Experiment:           "load",
+		JobFactor:            serial.Config.JobFactor,
+		Reps:                 serial.Config.Reps,
+		Cells:                cells,
+		GoMaxProcs:           runtime.GOMAXPROCS(0),
+		SerialSeconds:        serialDur.Seconds(),
+		SerialCellsPerSec:    float64(cells) / serialDur.Seconds(),
+		Parallel8Seconds:     parDur.Seconds(),
+		Parallel8CellsPerSec: float64(cells) / parDur.Seconds(),
+		DistWorkers:          workers,
+		DistSeconds:          distDur.Seconds(),
+		DistCellsPerSec:      float64(cells) / distDur.Seconds(),
+		SpeedupDistVsSerial:  serialDur.Seconds() / distDur.Seconds(),
+		TablesIdentical:      identical,
+	}
+	fmt.Printf("throughput: %.2f serial, %.2f parallel, %.2f distributed cells/sec (go_maxprocs %d; speedup needs cores)\n",
+		rec.SerialCellsPerSec, rec.Parallel8CellsPerSec, rec.DistCellsPerSec, rec.GoMaxProcs)
+
+	if err := runStreamRSSLegs(&rec); err != nil {
+		return err
+	}
+
+	if err := writeBenchJSON(path, rec); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	if !identical {
+		return fmt.Errorf("tables not byte-identical across topologies")
+	}
+	if !rec.StreamRSSFlat {
+		return fmt.Errorf("streaming peak RSS grew %.2fx on a 10x trace (budget %.2fx) — memory tracks trace length",
+			rec.StreamRSSRatio, streamRSSBudgetRatio)
+	}
+	return nil
+}
+
+// streamRSSResult is the -streamrss child's report.
+type streamRSSResult struct {
+	Reps         int     `json:"reps"`
+	TotalJobs    int     `json:"total_jobs"`
+	Completed    int     `json:"completed"`
+	Stuck        int     `json:"stuck"`
+	Window       int     `json:"window"`
+	PeakRSSBytes int64   `json:"peak_rss_bytes"`
+	Seconds      float64 `json:"seconds"`
+}
+
+// runStreamRSSLegs runs the streaming simulation in two fresh child
+// processes — ru_maxrss is a monotonic high-water mark, so each
+// measurement needs its own process — once on a small SWF trace and once
+// on the same workload repeated 10x, and records whether peak RSS stayed
+// flat.
+func runStreamRSSLegs(rec *distBenchRecord) error {
+	const smallReps, largeReps = 5, 50
+	fmt.Printf("=== streaming ingestion: peak RSS on %dx vs %dx month traces ===\n", smallReps, largeReps)
+	self, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	run := func(reps int) (streamRSSResult, error) {
+		var res streamRSSResult
+		out, err := exec.Command(self, "-streamrss", strconv.Itoa(reps)).Output()
+		if err != nil {
+			if ee, ok := err.(*exec.ExitError); ok {
+				return res, fmt.Errorf("streamrss child: %v: %s", err, ee.Stderr)
+			}
+			return res, err
+		}
+		if err := json.Unmarshal(out, &res); err != nil {
+			return res, fmt.Errorf("streamrss child output: %w", err)
+		}
+		return res, nil
+	}
+	small, err := run(smallReps)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("small: %d jobs, peak RSS %.1f MiB, %.2fs\n",
+		small.TotalJobs, float64(small.PeakRSSBytes)/(1<<20), small.Seconds)
+	large, err := run(largeReps)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("large: %d jobs, peak RSS %.1f MiB, %.2fs\n",
+		large.TotalJobs, float64(large.PeakRSSBytes)/(1<<20), large.Seconds)
+	if small.Completed != small.TotalJobs || large.Completed != large.TotalJobs {
+		return fmt.Errorf("streaming runs incomplete: %d/%d and %d/%d",
+			small.Completed, small.TotalJobs, large.Completed, large.TotalJobs)
+	}
+	rec.StreamWindow = small.Window
+	rec.StreamSmallJobs = small.TotalJobs
+	rec.StreamLargeJobs = large.TotalJobs
+	rec.StreamSmallRSS = small.PeakRSSBytes
+	rec.StreamLargeRSS = large.PeakRSSBytes
+	rec.StreamSmallSeconds = small.Seconds
+	rec.StreamLargeSeconds = large.Seconds
+	rec.StreamRSSRatio = float64(large.PeakRSSBytes) / float64(small.PeakRSSBytes)
+	rec.StreamRSSFlat = rec.StreamRSSRatio <= streamRSSBudgetRatio
+	fmt.Printf("peak RSS ratio on a %dx longer trace: %.2fx (flat means streaming; budget %.2fx)\n",
+		largeReps/smallReps, rec.StreamRSSRatio, streamRSSBudgetRatio)
+	return nil
+}
+
+// runStreamRSSChild is the subprocess body behind -streamrss: write an
+// SWF trace of reps offset copies of one base month incrementally (never
+// holding more than one copy), stream it back through
+// trace.Stream → JobStream → SubmitTraceStream, simulate, and report
+// peak RSS as JSON on stdout.
+func runStreamRSSChild(reps, baseJobs int) error {
+	const (
+		nodes  = 100
+		window = 4096
+	)
+	spec := workload.EurekaSpec(7)
+	spec.Jobs = baseJobs
+	base, err := workload.Generate(spec)
+	if err != nil {
+		return err
+	}
+	if _, err := workload.ScaleToUtilization(base, nodes, 0.6); err != nil {
+		return err
+	}
+	var maxSubmit sim.Time
+	for _, j := range base {
+		if j.SubmitTime > maxSubmit {
+			maxSubmit = j.SubmitTime
+		}
+	}
+	period := sim.Duration(maxSubmit) + sim.Hour
+
+	dir, err := os.MkdirTemp("", "streamrss")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "trace.swf")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	hdr := trace.NewHeader()
+	hdr.Set("Computer", "streamrss")
+	hdr.Set("Note", fmt.Sprintf("%d x %d-job month", reps, len(base)))
+	if err := trace.Write(f, hdr, nil); err != nil {
+		return err
+	}
+	// One repetition in memory at a time: shift copies through a repeat
+	// stream and flush each repetition's records before building the next.
+	rs, err := workload.NewRepeatStream(base, reps, period, 0)
+	if err != nil {
+		return err
+	}
+	batch := make([]*job.Job, 0, len(base))
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		err := trace.Write(f, nil, trace.FromJobs(batch))
+		batch = batch[:0]
+		return err
+	}
+	for {
+		j, err := rs.NextJob()
+		if err != nil {
+			break // io.EOF: RepeatStream yields no other error
+		}
+		batch = append(batch, j)
+		if len(batch) == cap(batch) {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+
+	fs, err := trace.OpenStream(path)
+	if err != nil {
+		return err
+	}
+	defer fs.Close()
+	start := time.Now()
+	s, err := coupled.New(coupled.Options{
+		Domains: []coupled.DomainConfig{{
+			Name: "stream", Nodes: nodes, Backfilling: true,
+			TraceStream: trace.NewJobStream(fs.Stream), StreamWindow: window,
+		}},
+		Horizon: sim.Duration(reps+2) * 40 * sim.Day,
+	})
+	if err != nil {
+		return err
+	}
+	res := s.Run()
+	if err := s.Manager("stream").StreamErr(); err != nil {
+		return err
+	}
+	out, err := json.Marshal(streamRSSResult{
+		Reps:         reps,
+		TotalJobs:    res.TotalJobs,
+		Completed:    res.CompletedJobs,
+		Stuck:        res.StuckJobs,
+		Window:       window,
+		PeakRSSBytes: peakRSSBytes(),
+		Seconds:      time.Since(start).Seconds(),
+	})
+	if err != nil {
+		return err
+	}
+	_, err = os.Stdout.Write(append(out, '\n'))
+	return err
+}
+
+// runDistSmoke is the CI gate: a tiny load sweep in process at
+// -parallel 1 and again through two spawned worker processes, failing
+// unless the rendered tables are byte-identical.
+func runDistSmoke(cfg experiments.Config) error {
+	fmt.Println("=== distributed sweep smoke (differential vs in-process) ===")
+	serialCfg := cfg
+	serialCfg.Parallelism = 1
+	serialCfg.Dist = nil
+	serial, err := experiments.RunLoadSweep(serialCfg)
+	if err != nil {
+		return err
+	}
+	distCfg := cfg
+	distCfg.Dist = &procDistributor{Workers: 2, Quiet: true}
+	dist, err := experiments.RunLoadSweep(distCfg)
+	if err != nil {
+		return err
+	}
+	if renderLoadTables(serial) != renderLoadTables(dist) {
+		return fmt.Errorf("distributed load-sweep tables differ from in-process tables")
+	}
+	fmt.Println("differential load sweep: tables byte-identical across 2 worker processes")
+	return nil
+}

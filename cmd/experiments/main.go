@@ -55,8 +55,45 @@ func main() {
 		megaJobs      = flag.Int("megajobs", 1_000_000, "Intrepid job count for the -megabench huge cell")
 		gcPercent     = flag.Int("gcpercent", 1000, "GC target percentage (runtime/debug.SetGCPercent); negative leaves the GOGC default")
 		memLimitMiB   = flag.Int64("memlimit", 1536, "soft heap memory limit in MiB (runtime/debug.SetMemoryLimit); 0 or negative leaves it unlimited")
+		distWorker    = flag.Bool("distworker", false, "run as a sweep worker: dial the -distconnect address, serve one sweep, exit")
+		distServe     = flag.String("distserve", "", "run as a standing sweep worker listening on this address (serves one sweep per connection, forever)")
+		distWorkers   = flag.Int("distworkers", 0, "fan sweep groups across N spawned worker processes")
+		distConnect   = flag.String("distconnect", "", "comma-separated worker addresses to dial (workers started with -distserve)")
+		distBench     = flag.String("distbench", "", "benchmark the distributed fan-out and streaming ingestion, verify byte-identical tables and flat RSS, and write a JSON perf record to this path")
+		distSmoke     = flag.Bool("distsmoke", false, "run a tiny load sweep in-process and across 2 worker processes and fail unless the rendered tables are byte-identical")
+		streamRSS     = flag.Int("streamrss", 0, "internal: run the streaming-RSS child with this many trace repetitions and print a JSON report")
+		streamJobs    = flag.Int("streamjobs", 3000, "internal: base month size (jobs) for the -streamrss child")
 	)
 	flag.Parse()
+
+	// Worker / child modes dispatch before anything else: they are spawned
+	// by a coordinator process and speak JSON on their socket or stdout.
+	if *distWorker {
+		addrs := splitAddrs(*distConnect)
+		if len(addrs) != 1 {
+			fmt.Fprintln(os.Stderr, "experiments: -distworker needs exactly one -distconnect address")
+			os.Exit(2)
+		}
+		if err := runDistWorker(addrs[0]); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: distworker: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *distServe != "" {
+		if err := runDistServe(*distServe); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: distserve: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *streamRSS > 0 {
+		if err := runStreamRSSChild(*streamRSS, *streamJobs); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: streamrss: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	// The arena/free-list memory architecture keeps the live set small and
 	// bounded, so the default GOGC=100 collects far too eagerly: with a
@@ -76,6 +113,9 @@ func main() {
 	cfg.Reps = *reps
 	cfg.Parallelism = *par
 	cfg.SchedCore = *schedCore
+	if *distWorkers > 0 || *distConnect != "" {
+		cfg.Dist = &procDistributor{Workers: *distWorkers, Connect: splitAddrs(*distConnect)}
+	}
 
 	if *profDir != "" {
 		stop, err := startProfiles(*profDir)
@@ -93,6 +133,20 @@ func main() {
 		return
 	}
 
+	if *distBench != "" {
+		if err := runDistBench(cfg, *distBench, *distWorkers); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: distbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *distSmoke {
+		if err := runDistSmoke(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: distsmoke: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *schedSmoke {
 		if err := runSchedSmoke(cfg); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: schedsmoke: %v\n", err)

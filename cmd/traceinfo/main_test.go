@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cosched/internal/job"
+	"cosched/internal/sim"
+	"cosched/internal/trace"
+	"cosched/internal/workload"
+)
+
+// testTrace renders a small SWF trace with a header, a mix of sizes and
+// runtimes, and one invalid record (zero runtime) the skip rules reject.
+func testTrace(t *testing.T) []byte {
+	t.Helper()
+	var jobs []*job.Job
+	for i := 1; i <= 40; i++ {
+		j := job.New(job.ID(i), 1+(i*7)%32, sim.Time(i*300+(i%5)*13), sim.Duration(60+(i*97)%7200), sim.Duration(120+(i*97)%7200))
+		j.User = i % 6
+		jobs = append(jobs, j)
+	}
+	hdr := trace.NewHeader()
+	hdr.Set("Version", "2.2")
+	hdr.Set("Computer", "traceinfo-test")
+	var buf bytes.Buffer
+	if err := trace.Write(&buf, hdr, trace.FromJobs(jobs)); err != nil {
+		t.Fatal(err)
+	}
+	// One record with unknown runtime: ToJobs and JobStream both skip it.
+	buf.WriteString("9999 999999 -1 -1 -1 -1 -1 4 -1 -1 1 1 1 -1 -1 -1 -1 -1\n")
+	return buf.Bytes()
+}
+
+// referenceRender is the materialized oracle: whole-file Read, ToJobs,
+// Analyze — the pre-streaming implementation's exact pipeline.
+func referenceRender(t *testing.T, src []byte, name string, nodes int) string {
+	t.Helper()
+	hdr, recs, err := trace.Read(bytes.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, skipped := trace.ToJobs(recs)
+	return render(hdr, skipped, workload.Analyze(jobs, nodes), name, nodes)
+}
+
+// TestStreamingSummarizeMatchesMaterialized is the satellite's
+// render-twice gate: the streaming single-pass summary must be
+// byte-identical to the materialized pipeline, run after run.
+func TestStreamingSummarizeMatchesMaterialized(t *testing.T) {
+	src := testTrace(t)
+	const nodes = 64
+	want := referenceRender(t, src, "x.swf", nodes)
+	for round := 0; round < 2; round++ {
+		got, err := summarize(bytes.NewReader(src), "x.swf", nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("round %d: streaming summary differs:\n got:\n%s\nwant:\n%s", round, got, want)
+		}
+	}
+	if !strings.Contains(want, "skipped 1 records") {
+		t.Fatalf("fixture lost its skipped record:\n%s", want)
+	}
+	if !strings.Contains(want, "traceinfo-test") {
+		t.Fatalf("header line missing:\n%s", want)
+	}
+}
+
+// TestSummarizeFileUnsortedFallsBack: a file out of submit order cannot
+// stream, so traceinfo re-reads it materialized and still reports.
+func TestSummarizeFileUnsortedFallsBack(t *testing.T) {
+	src := testTrace(t)
+	// Append a record far in the past: breaks streaming order.
+	src = append(src, "9998 5 -1 3600 4 -1 -1 4 3600 -1 1 1 1 -1 -1 -1 -1 -1\n"...)
+	path := filepath.Join(t.TempDir(), "unsorted.swf")
+	if err := os.WriteFile(path, src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := summarizeFile(path, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := referenceRender(t, src, path, 64)
+	if got != want {
+		t.Fatalf("fallback summary differs:\n got:\n%s\nwant:\n%s", got, want)
+	}
+
+	// The same bytes on a pipe cannot fall back: the error must say so.
+	_, err = summarize(bytes.NewReader(src), "stdin", 64)
+	if !errors.Is(err, trace.ErrUnsorted) {
+		t.Fatalf("err = %v, want ErrUnsorted", err)
+	}
+}

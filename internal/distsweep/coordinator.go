@@ -1,0 +1,260 @@
+package distsweep
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"cosched/internal/experiments"
+	"cosched/internal/proto"
+)
+
+// Coordinator drives a set of worker connections through one sweep. It
+// implements experiments.Distributor: plug it into Config.Dist and run
+// the sweep normally; every group computes on a worker process and the
+// tables come out byte-identical to the in-process run.
+type Coordinator struct {
+	// Conns are the connected workers. The coordinator owns them for the
+	// duration of RunGroups and closes them when the sweep ends.
+	Conns []Conn
+	// Heartbeat is the expected worker heartbeat cadence; the read
+	// deadline is readTimeoutFactor times it. Zero means
+	// DefaultHeartbeat. Must match the workers' WorkerOptions.Heartbeat.
+	Heartbeat time.Duration
+	// Batch caps how many groups one assign frame carries. Zero picks
+	// numGroups/(4*workers), at least 1: large sweeps amortize round
+	// trips, small sweeps still spread across every worker.
+	Batch int
+	// Logf, when set, receives coordinator progress and worker-failure
+	// notes (re-dispatch events are operationally interesting but not
+	// errors).
+	Logf func(format string, args ...any)
+}
+
+// dispatch is the shared sweep state all worker goroutines drain. The
+// queue hands out the lowest pending index first and results dedup by
+// first delivery, so re-dispatch after a failure cannot perturb the
+// merge: slot g either holds the rows of the one function evaluation
+// RunSweepGroup(kind, cfg, g) defines, or the sweep fails.
+type dispatch struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending []int // ascending group indices awaiting assignment
+	results [][]experiments.CellRow
+	left    int   // undelivered groups
+	fatal   error // deterministic group failure: abort everyone
+}
+
+func newDispatch(numGroups int) *dispatch {
+	d := &dispatch{
+		pending: make([]int, numGroups),
+		results: make([][]experiments.CellRow, numGroups),
+		left:    numGroups,
+	}
+	for i := range d.pending {
+		d.pending[i] = i
+	}
+	d.cond = sync.NewCond(&d.mu)
+	return d
+}
+
+// next blocks until a batch is available, the sweep is complete, or a
+// fatal error aborts it. done is true when the caller should send
+// frameDone and exit.
+func (d *dispatch) next(batch int) (groups []int, done bool, err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for {
+		if d.fatal != nil {
+			return nil, false, d.fatal
+		}
+		if d.left == 0 {
+			return nil, true, nil
+		}
+		if len(d.pending) > 0 {
+			n := batch
+			if n > len(d.pending) {
+				n = len(d.pending)
+			}
+			groups = append([]int(nil), d.pending[:n]...)
+			d.pending = d.pending[n:]
+			return groups, false, nil
+		}
+		// Nothing to assign but groups are in flight elsewhere: wait for
+		// a delivery (left hits 0) or a failure (requeue refills pending).
+		d.cond.Wait()
+	}
+}
+
+// deliver records one group's rows; the first delivery wins (a worker
+// presumed dead may still get its result through after a re-dispatch —
+// both evaluations are the same pure function, keep whichever landed).
+func (d *dispatch) deliver(g int, rows []experiments.CellRow) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if g < 0 || g >= len(d.results) || d.results[g] != nil {
+		return
+	}
+	d.results[g] = rows
+	d.left--
+	if d.left == 0 {
+		d.cond.Broadcast()
+	}
+}
+
+// requeue returns a failed worker's outstanding groups to the queue in
+// ascending order (already-delivered ones are dropped).
+func (d *dispatch) requeue(groups []int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, g := range groups {
+		if g >= 0 && g < len(d.results) && d.results[g] == nil {
+			d.pending = append(d.pending, g)
+		}
+	}
+	sort.Ints(d.pending)
+	d.cond.Broadcast()
+}
+
+// abort records a deterministic failure and wakes every waiter.
+func (d *dispatch) abort(err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.fatal == nil {
+		d.fatal = err
+	}
+	d.cond.Broadcast()
+}
+
+func (c *Coordinator) heartbeat() time.Duration {
+	if c.Heartbeat > 0 {
+		return c.Heartbeat
+	}
+	return DefaultHeartbeat
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+// RunGroups implements experiments.Distributor: fan the groups out,
+// tolerate worker deaths by re-dispatching, and return the rows indexed
+// by group. An error means the sweep could not complete — a group failed
+// deterministically, or every worker died with groups pending.
+func (c *Coordinator) RunGroups(kind experiments.SweepKind, cfg experiments.Config, numGroups int) ([][]experiments.CellRow, error) {
+	if len(c.Conns) == 0 {
+		return nil, errors.New("distsweep: no worker connections")
+	}
+	batch := c.Batch
+	if batch <= 0 {
+		batch = numGroups / (4 * len(c.Conns))
+		if batch < 1 {
+			batch = 1
+		}
+	}
+	d := newDispatch(numGroups)
+	var wg sync.WaitGroup
+	for i, conn := range c.Conns {
+		wg.Add(1)
+		go func(id int, conn Conn) {
+			defer wg.Done()
+			defer conn.Close()
+			if err := c.runWorker(d, id, conn, kind, cfg, batch); err != nil {
+				c.logf("distsweep: worker %d lost: %v", id, err)
+			}
+		}(i, conn)
+	}
+	wg.Wait()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.fatal != nil {
+		return nil, d.fatal
+	}
+	if d.left > 0 {
+		return nil, fmt.Errorf("distsweep: %d group(s) undelivered — every worker failed", d.left)
+	}
+	return d.results, nil
+}
+
+// runWorker owns one connection: handshake, then an assign/collect loop.
+// A transport error requeues the worker's outstanding groups and returns
+// it (the sweep survives if other workers remain); a frameError from the
+// worker aborts the whole sweep (the failure is deterministic).
+func (c *Coordinator) runWorker(d *dispatch, id int, conn Conn, kind experiments.SweepKind, cfg experiments.Config, batch int) error {
+	readDeadline := func() error {
+		//simlint:allow R2 failure-detection deadline on a real worker socket; simulation time is untouched
+		return conn.SetReadDeadline(time.Now().Add(readTimeoutFactor * c.heartbeat()))
+	}
+	if err := readDeadline(); err != nil {
+		return err
+	}
+	var hello frame
+	if err := proto.ReadFrame(conn, &hello); err != nil {
+		return fmt.Errorf("hello: %w", err)
+	}
+	if hello.Type != frameHello || hello.Version != ProtocolVersion {
+		return fmt.Errorf("bad hello: type=%q version=%d (want %d)", hello.Type, hello.Version, ProtocolVersion)
+	}
+	if err := proto.WriteFrame(conn, &frame{Type: frameSweep, Kind: kind, Cfg: &cfg}); err != nil {
+		return fmt.Errorf("sweep frame: %w", err)
+	}
+
+	for {
+		groups, done, err := d.next(batch)
+		if err != nil {
+			return nil // sweep aborted elsewhere; nothing to requeue
+		}
+		if done {
+			// Best-effort farewell: the worker exits on it, or on the
+			// close that follows either way.
+			_ = proto.WriteFrame(conn, &frame{Type: frameDone})
+			return nil
+		}
+		if err := proto.WriteFrame(conn, &frame{Type: frameAssign, Groups: groups}); err != nil {
+			d.requeue(groups)
+			return fmt.Errorf("assign: %w", err)
+		}
+		outstanding := make(map[int]bool, len(groups))
+		for _, g := range groups {
+			outstanding[g] = true
+		}
+		for len(outstanding) > 0 {
+			if err := readDeadline(); err != nil {
+				d.requeue(groups)
+				return err
+			}
+			var f frame
+			if err := proto.ReadFrame(conn, &f); err != nil {
+				d.requeue(groups)
+				return fmt.Errorf("worker %d read: %w", id, err)
+			}
+			switch f.Type {
+			case frameHeartbeat:
+				// Liveness only; the deadline resets on the next read.
+			case frameRows:
+				if !outstanding[f.Group] {
+					// Duplicate or stale delivery — harmless, see deliver.
+					d.deliver(f.Group, f.Rows)
+					continue
+				}
+				if len(f.Rows) != experiments.RowsPerGroup() {
+					d.requeue(groups)
+					return fmt.Errorf("worker %d: group %d carried %d rows, want %d",
+						id, f.Group, len(f.Rows), experiments.RowsPerGroup())
+				}
+				delete(outstanding, f.Group)
+				d.deliver(f.Group, f.Rows)
+			case frameError:
+				d.abort(fmt.Errorf("distsweep: worker %d: %s", id, f.Err))
+				return nil
+			default:
+				d.requeue(groups)
+				return fmt.Errorf("worker %d: unexpected frame %q", id, f.Type)
+			}
+		}
+	}
+}

@@ -1,0 +1,82 @@
+// Package distsweep fans sweep groups out across worker processes: a
+// coordinator implementing experiments.Distributor dispatches group
+// indices over length-prefixed JSON frames (the internal/proto framing
+// discipline) and workers recompute each group from its seed with
+// experiments.RunSweepGroup. The wire carries indices and compact result
+// rows — never traces — so a group assignment costs a few dozen bytes
+// while the worker regenerates the identical workload locally.
+//
+// Determinism contract: every group is a pure function of (kind, cfg,
+// index), rows within a group arrive in serial unit order, and the
+// coordinator merges rows strictly by group index with first-delivery
+// wins. Workers may therefore run anywhere, finish in any order, die and
+// have their groups re-dispatched — the merged sweep is byte-identical
+// to the in-process run at any worker count or topology.
+//
+// Failure model: workers send heartbeat frames on a fixed cadence from a
+// dedicated goroutine, so the coordinator's read deadline (a small
+// multiple of the cadence) only fires when a worker has actually died or
+// hung — not merely when a group computes slowly. A dead worker's
+// outstanding groups requeue lowest-index-first and surviving workers
+// absorb them; the sweep fails only when a group error is deterministic
+// (a compute error would fail identically on every worker) or every
+// worker has died with groups still pending.
+//
+// The package is transport-agnostic: anything satisfying Conn works.
+// Real deployments use TCP (cmd/experiments -distworkers/-distconnect);
+// tests use loopback TCP. Wall-clock use (deadlines, heartbeat pacing)
+// is confined to this real-transport layer and annotated; the simulation
+// itself never sees it.
+package distsweep
+
+import (
+	"io"
+	"time"
+
+	"cosched/internal/experiments"
+)
+
+// ProtocolVersion gates hello frames: coordinator and worker must agree
+// exactly, since frames carry experiments.Config whose shape may change
+// between revisions.
+const ProtocolVersion = 1
+
+// DefaultHeartbeat is the worker heartbeat cadence when none is set. The
+// coordinator declares a worker dead after missing readTimeoutFactor
+// consecutive beats.
+const DefaultHeartbeat = 500 * time.Millisecond
+
+// readTimeoutFactor scales the heartbeat cadence into the coordinator's
+// read deadline.
+const readTimeoutFactor = 4
+
+// Frame types.
+const (
+	frameHello     = "hello"     // worker → coordinator, once
+	frameSweep     = "sweep"     // coordinator → worker, once: kind + cfg
+	frameAssign    = "assign"    // coordinator → worker: batch of group indices
+	frameRows      = "rows"      // worker → coordinator: one group's rows
+	frameHeartbeat = "heartbeat" // worker → coordinator, on a cadence
+	frameError     = "error"     // worker → coordinator: deterministic group failure
+	frameDone      = "done"      // coordinator → worker: no more work, exit
+)
+
+// frame is the single wire message; Type selects which fields are live.
+type frame struct {
+	Type    string                `json:"type"`
+	Version int                   `json:"version,omitempty"` // hello
+	Kind    experiments.SweepKind `json:"kind,omitempty"`    // sweep
+	Cfg     *experiments.Config   `json:"cfg,omitempty"`     // sweep (Dist never crosses: tagged json:"-")
+	Groups  []int                 `json:"groups,omitempty"`  // assign
+	Group   int                   `json:"group"`             // rows
+	Rows    []experiments.CellRow `json:"rows,omitempty"`    // rows
+	Err     string                `json:"err,omitempty"`     // error
+}
+
+// Conn is the transport the protocol needs: framed reads and writes plus
+// a read deadline for failure detection. *net.TCPConn and friends
+// satisfy it.
+type Conn interface {
+	io.ReadWriteCloser
+	SetReadDeadline(t time.Time) error
+}

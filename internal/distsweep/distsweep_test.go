@@ -1,0 +1,279 @@
+package distsweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cosched/internal/experiments"
+	"cosched/internal/proto"
+)
+
+// testCfg is a sweep small enough for CI: 3 utils × 1 rep = 3 load
+// groups, each a baseline plus four combos over ~10-job traces.
+func testCfg() experiments.Config {
+	return experiments.Config{Seed: 3, JobFactor: 0.01, Reps: 1, Parallelism: 1}
+}
+
+// harness accepts n loopback-TCP worker connections and runs Serve on
+// each in its own goroutine, returning the coordinator-side conns.
+type harness struct {
+	t     *testing.T
+	conns []Conn
+	wg    sync.WaitGroup
+	errs  chan error
+}
+
+func newHarness(t *testing.T, n int, opt WorkerOptions) *harness {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	h := &harness{t: t, errs: make(chan error, n)}
+	for i := 0; i < n; i++ {
+		wc, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cc, err := ln.Accept()
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.conns = append(h.conns, cc.(Conn))
+		h.wg.Add(1)
+		go func(conn net.Conn) {
+			defer h.wg.Done()
+			defer conn.Close()
+			h.errs <- Serve(conn.(Conn), opt)
+		}(wc)
+	}
+	return h
+}
+
+// rowsJSON renders group rows for exact comparison.
+func rowsJSON(t *testing.T, rows [][]experiments.CellRow) string {
+	t.Helper()
+	raw, err := json.Marshal(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}
+
+// localRows computes every group in process — the oracle.
+func localRows(t *testing.T, kind experiments.SweepKind, cfg experiments.Config) [][]experiments.CellRow {
+	t.Helper()
+	n, err := experiments.NumGroups(kind, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([][]experiments.CellRow, n)
+	for g := 0; g < n; g++ {
+		rows, err := experiments.RunSweepGroup(kind, cfg, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[g] = rows
+	}
+	return out
+}
+
+// TestCoordinatorMatchesLocalOverTCP is the wire acceptance test: three
+// TCP workers computing a load sweep must deliver rows byte-identical to
+// the in-process oracle, and the full sweep through Config.Dist must
+// succeed end to end.
+func TestCoordinatorMatchesLocalOverTCP(t *testing.T) {
+	cfg := testCfg()
+	want := rowsJSON(t, localRows(t, experiments.KindLoad, cfg))
+
+	h := newHarness(t, 3, WorkerOptions{Heartbeat: 20 * time.Millisecond})
+	co := &Coordinator{Conns: h.conns, Heartbeat: 20 * time.Millisecond, Logf: t.Logf}
+	cfg.Dist = co
+	sweep, err := experiments.RunLoadSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.wg.Wait()
+	if len(sweep.Cells) != len(experiments.LoadSweepUtils)*len(experiments.Combos) {
+		t.Fatalf("sweep shape: %d cells", len(sweep.Cells))
+	}
+
+	// Second pass, fresh workers, direct RunGroups: compare the raw rows.
+	h2 := newHarness(t, 2, WorkerOptions{Heartbeat: 20 * time.Millisecond})
+	co2 := &Coordinator{Conns: h2.conns, Heartbeat: 20 * time.Millisecond}
+	n, _ := experiments.NumGroups(experiments.KindLoad, cfg)
+	got, err := co2.RunGroups(experiments.KindLoad, testCfg(), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2.wg.Wait()
+	if gotJSON := rowsJSON(t, got); gotJSON != want {
+		t.Fatalf("distributed rows differ from local oracle:\n got: %s\nwant: %s", gotJSON, want)
+	}
+	for range h.conns {
+		if err := <-h.errs; err != nil {
+			t.Errorf("worker error: %v", err)
+		}
+	}
+}
+
+// flakyConn handshakes like a worker, accepts its first assignment, then
+// drops the connection without delivering — the shape of a worker
+// process dying mid-group.
+func flakyWorker(t *testing.T, conn net.Conn) {
+	defer conn.Close()
+	if err := proto.WriteFrame(conn, &frame{Type: frameHello, Version: ProtocolVersion}); err != nil {
+		return
+	}
+	var sweep, assign frame
+	if err := proto.ReadFrame(conn, &sweep); err != nil {
+		return
+	}
+	if err := proto.ReadFrame(conn, &assign); err != nil {
+		return
+	}
+	// Die with the assignment in hand.
+}
+
+// TestWorkerDeathRedispatch: one worker takes groups and dies; the
+// survivor absorbs them and the merged rows still match the oracle.
+func TestWorkerDeathRedispatch(t *testing.T) {
+	cfg := testCfg()
+	want := rowsJSON(t, localRows(t, experiments.KindLoad, cfg))
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	dial := func() (worker net.Conn, coord Conn) {
+		wc, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cc, err := ln.Accept()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return wc, cc.(Conn)
+	}
+	flakyW, flakyC := dial()
+	goodW, goodC := dial()
+	go flakyWorker(t, flakyW)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer goodW.Close()
+		if err := Serve(goodW.(Conn), WorkerOptions{Heartbeat: 10 * time.Millisecond}); err != nil {
+			t.Errorf("healthy worker: %v", err)
+		}
+	}()
+
+	var deaths []string
+	co := &Coordinator{
+		Conns:     []Conn{flakyC, goodC},
+		Heartbeat: 10 * time.Millisecond,
+		Batch:     1,
+		Logf:      func(f string, a ...any) { deaths = append(deaths, fmt.Sprintf(f, a...)) },
+	}
+	n, _ := experiments.NumGroups(experiments.KindLoad, cfg)
+	got, err := co.RunGroups(experiments.KindLoad, cfg, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if gotJSON := rowsJSON(t, got); gotJSON != want {
+		t.Fatalf("post-redispatch rows differ from oracle:\n got: %s\nwant: %s", gotJSON, want)
+	}
+	if len(deaths) == 0 {
+		t.Fatal("flaky worker's death was never observed")
+	}
+}
+
+// TestHeartbeatKeepsSlowWorkerAlive: a group that computes far longer
+// than the read deadline must not be mistaken for a death, because the
+// heartbeat goroutine keeps beating through it.
+func TestHeartbeatKeepsSlowWorkerAlive(t *testing.T) {
+	cfg := testCfg()
+	// 25ms beats → 100ms read deadline; each group stalls 400ms. The
+	// deadline would fire four times over without live heartbeats, while
+	// the beat period leaves generous scheduling slack on a loaded
+	// single-core CI box.
+	slow := func(kind experiments.SweepKind, c experiments.Config, g int) ([]experiments.CellRow, error) {
+		//simlint:allow R2 simulating a slow real-time group computation; the deadline under test is wall-clock by design
+		time.Sleep(400 * time.Millisecond)
+		return experiments.RunSweepGroup(kind, c, g)
+	}
+	h := newHarness(t, 1, WorkerOptions{Heartbeat: 25 * time.Millisecond, Run: slow})
+	co := &Coordinator{Conns: h.conns, Heartbeat: 25 * time.Millisecond, Batch: 2}
+	n, _ := experiments.NumGroups(experiments.KindLoad, cfg)
+	got, err := co.RunGroups(experiments.KindLoad, cfg, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.wg.Wait()
+	if want := rowsJSON(t, localRows(t, experiments.KindLoad, cfg)); rowsJSON(t, got) != want {
+		t.Fatal("slow-worker rows differ from oracle")
+	}
+}
+
+// TestComputeErrorAbortsSweep: a deterministic group failure must fail
+// the sweep with the worker's message, not requeue forever.
+func TestComputeErrorAbortsSweep(t *testing.T) {
+	cfg := testCfg()
+	boom := func(kind experiments.SweepKind, c experiments.Config, g int) ([]experiments.CellRow, error) {
+		if g == 1 {
+			return nil, fmt.Errorf("synthetic failure in group %d", g)
+		}
+		return experiments.RunSweepGroup(kind, c, g)
+	}
+	h := newHarness(t, 2, WorkerOptions{Heartbeat: 10 * time.Millisecond, Run: boom})
+	co := &Coordinator{Conns: h.conns, Heartbeat: 10 * time.Millisecond, Batch: 1}
+	n, _ := experiments.NumGroups(experiments.KindLoad, cfg)
+	_, err := co.RunGroups(experiments.KindLoad, cfg, n)
+	if err == nil || !strings.Contains(err.Error(), "synthetic failure") {
+		t.Fatalf("err = %v, want synthetic failure", err)
+	}
+	h.wg.Wait()
+}
+
+// TestAllWorkersDeadFailsSweep: when every worker dies the coordinator
+// reports undelivered groups instead of hanging.
+func TestAllWorkersDeadFailsSweep(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	wc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, err := ln.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	go flakyWorker(t, wc)
+	co := &Coordinator{Conns: []Conn{cc.(Conn)}, Heartbeat: 10 * time.Millisecond}
+	cfg := testCfg()
+	n, _ := experiments.NumGroups(experiments.KindLoad, cfg)
+	_, err = co.RunGroups(experiments.KindLoad, cfg, n)
+	if err == nil || !strings.Contains(err.Error(), "undelivered") {
+		t.Fatalf("err = %v, want undelivered-groups failure", err)
+	}
+}
+
+// TestNoWorkersRejected: an empty coordinator is a configuration error.
+func TestNoWorkersRejected(t *testing.T) {
+	co := &Coordinator{}
+	if _, err := co.RunGroups(experiments.KindLoad, testCfg(), 1); err == nil {
+		t.Fatal("empty worker set accepted")
+	}
+}

@@ -1,0 +1,120 @@
+package distsweep
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"cosched/internal/experiments"
+	"cosched/internal/proto"
+)
+
+// WorkerOptions tunes one Serve loop.
+type WorkerOptions struct {
+	// Heartbeat is the cadence of liveness frames; zero means
+	// DefaultHeartbeat. Must match the coordinator's setting.
+	Heartbeat time.Duration
+	// Run computes one group; nil means experiments.RunSweepGroup. Tests
+	// substitute slow, failing, or counting implementations.
+	Run func(kind experiments.SweepKind, cfg experiments.Config, g int) ([]experiments.CellRow, error)
+	// Logf, when set, receives worker progress notes.
+	Logf func(format string, args ...any)
+}
+
+func (o WorkerOptions) heartbeat() time.Duration {
+	if o.Heartbeat > 0 {
+		return o.Heartbeat
+	}
+	return DefaultHeartbeat
+}
+
+func (o WorkerOptions) run() func(experiments.SweepKind, experiments.Config, int) ([]experiments.CellRow, error) {
+	if o.Run != nil {
+		return o.Run
+	}
+	return experiments.RunSweepGroup
+}
+
+// Serve runs the worker side of one sweep on conn: handshake, then
+// compute every assigned group in order and stream the rows back. Group
+// computation happens on this goroutine — the simulation stack below
+// RunSweepGroup is single-threaded by contract — while a dedicated
+// heartbeat goroutine keeps liveness frames flowing so a long group
+// never looks like a death to the coordinator. Returns nil on a clean
+// done/close from the coordinator.
+func Serve(conn Conn, opt WorkerOptions) error {
+	if err := proto.WriteFrame(conn, &frame{Type: frameHello, Version: ProtocolVersion}); err != nil {
+		return fmt.Errorf("distsweep: hello: %w", err)
+	}
+	var sweep frame
+	if err := proto.ReadFrame(conn, &sweep); err != nil {
+		return fmt.Errorf("distsweep: sweep frame: %w", err)
+	}
+	if sweep.Type != frameSweep || sweep.Cfg == nil {
+		return fmt.Errorf("distsweep: expected sweep frame, got %q", sweep.Type)
+	}
+	kind, cfg := sweep.Kind, *sweep.Cfg
+
+	// Writes interleave from two goroutines (rows here, heartbeats from
+	// the ticker); a mutex keeps frames whole on the wire.
+	var wmu sync.Mutex
+	write := func(f *frame) error {
+		wmu.Lock()
+		defer wmu.Unlock()
+		return proto.WriteFrame(conn, f)
+	}
+
+	stop := make(chan struct{})
+	defer close(stop)
+	var hbWG sync.WaitGroup
+	hbWG.Add(1)
+	go func() {
+		defer hbWG.Done()
+		//simlint:allow R2 heartbeat pacing on a real worker socket; the simulation inside each group uses sim.Time only
+		tick := time.NewTicker(opt.heartbeat())
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				// A write error here means the coordinator is gone; the
+				// main loop's next read or write surfaces it.
+				if err := write(&frame{Type: frameHeartbeat}); err != nil {
+					return
+				}
+			}
+		}
+	}()
+	defer hbWG.Wait()
+
+	run := opt.run()
+	for {
+		var f frame
+		if err := proto.ReadFrame(conn, &f); err != nil {
+			return fmt.Errorf("distsweep: read: %w", err)
+		}
+		switch f.Type {
+		case frameAssign:
+			for _, g := range f.Groups {
+				if opt.Logf != nil {
+					opt.Logf("distsweep: computing group %d", g)
+				}
+				rows, err := run(kind, cfg, g)
+				if err != nil {
+					// Deterministic failure: report it and exit; the
+					// coordinator aborts the sweep.
+					_ = write(&frame{Type: frameError, Err: err.Error()})
+					return fmt.Errorf("distsweep: group %d: %w", g, err)
+				}
+				if err := write(&frame{Type: frameRows, Group: g, Rows: rows}); err != nil {
+					return fmt.Errorf("distsweep: rows: %w", err)
+				}
+			}
+		case frameDone:
+			return nil
+		default:
+			return fmt.Errorf("distsweep: unexpected frame %q", f.Type)
+		}
+	}
+}

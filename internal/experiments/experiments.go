@@ -111,6 +111,13 @@ type Config struct {
 	// violation fails the run with an error. Used by the differential
 	// tests; costs roughly one pool-and-queue scan per lifecycle event.
 	Audit bool
+	// Dist, when non-nil, fans sweep groups out through a Distributor —
+	// worker processes or remote machines — instead of the in-process
+	// parallel.Map path. Results merge in group-index order, so any
+	// distributor that honors the RunGroups contract yields tables
+	// byte-identical to the in-process run. Never serialized: workers
+	// receive a Config with Dist cleared and always compute locally.
+	Dist Distributor `json:"-"`
 }
 
 // DefaultConfig returns the paper's experiment parameters at the given

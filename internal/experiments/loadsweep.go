@@ -91,39 +91,50 @@ func RunLoadSweep(cfg Config) (*LoadSweep, error) {
 		}
 	}
 
-	// Generate each (util, rep) workload exactly once and freeze it; the
-	// baseline and every combo cell of that (util, rep) materialize private
-	// jobs from the shared snapshot instead of regenerating the traces.
-	pairs, err := buildLoadTracePairs(cfg, sweep.Utils)
-	if err != nil {
-		return nil, err
-	}
-
-	results, err := parallel.Map(context.Background(), cfg.workers(), len(units), func(i int) (*loadResult, error) {
-		u := units[i]
-		util := sweep.Utils[u.ui]
-		pair := &pairs[u.ui*cfg.Reps+u.rep]
-		buf := cellBufPool.Get().(*cellBuffers)
-		defer cellBufPool.Put(buf)
-		intr, eur := pair.materialize(buf)
-		r := &loadResult{}
-		if u.combo < 0 {
-			r.base = Baseline{X: util}
-			r.frac = pair.frac
-			if err := runBaseline(&r.base, cfg, intr, eur); err != nil {
-				return nil, err
-			}
-		} else {
-			combo := Combos[u.combo]
-			r.cell = Cell{Combo: combo, X: util}
-			if err := runCell(&r.cell, cfg, combo, intr, eur); err != nil {
-				return nil, err
-			}
+	var results []*loadResult
+	if cfg.Dist != nil {
+		// Distributed fan-out: worker processes compute whole groups and
+		// the rows land here in unit order (see distResults).
+		var err error
+		results, err = distResults(KindLoad, cfg)
+		if err != nil {
+			return nil, err
 		}
-		return r, nil
-	})
-	if err != nil {
-		return nil, err
+	} else {
+		// Generate each (util, rep) workload exactly once and freeze it; the
+		// baseline and every combo cell of that (util, rep) materialize private
+		// jobs from the shared snapshot instead of regenerating the traces.
+		pairs, err := buildLoadTracePairs(cfg, sweep.Utils)
+		if err != nil {
+			return nil, err
+		}
+
+		results, err = parallel.Map(context.Background(), cfg.workers(), len(units), func(i int) (*loadResult, error) {
+			u := units[i]
+			util := sweep.Utils[u.ui]
+			pair := &pairs[u.ui*cfg.Reps+u.rep]
+			buf := cellBufPool.Get().(*cellBuffers)
+			defer cellBufPool.Put(buf)
+			intr, eur := pair.materialize(buf)
+			r := &loadResult{}
+			if u.combo < 0 {
+				r.base = Baseline{X: util}
+				r.frac = pair.frac
+				if err := runBaseline(&r.base, cfg, intr, eur); err != nil {
+					return nil, err
+				}
+			} else {
+				combo := Combos[u.combo]
+				r.cell = Cell{Combo: combo, X: util}
+				if err := runCell(&r.cell, cfg, combo, intr, eur); err != nil {
+					return nil, err
+				}
+			}
+			return r, nil
+		})
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	// Aggregate by index, never by completion order: the unit slice is

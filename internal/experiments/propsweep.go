@@ -70,36 +70,46 @@ func RunProportionSweep(cfg Config) (*ProportionSweep, error) {
 		}
 	}
 
-	// One generation per (proportion, rep), shared by its cells — see
-	// RunLoadSweep.
-	pairs, err := buildPropTracePairs(cfg, sweep.Proportions)
-	if err != nil {
-		return nil, err
-	}
-
-	results, err := parallel.Map(context.Background(), cfg.workers(), len(units), func(i int) (*loadResult, error) {
-		u := units[i]
-		prop := sweep.Proportions[u.ui]
-		buf := cellBufPool.Get().(*cellBuffers)
-		defer cellBufPool.Put(buf)
-		intr, eur := pairs[u.ui*cfg.Reps+u.rep].materialize(buf)
-		r := &loadResult{}
-		if u.combo < 0 {
-			r.base = Baseline{X: prop}
-			if err := runBaseline(&r.base, cfg, intr, eur); err != nil {
-				return nil, err
-			}
-		} else {
-			combo := Combos[u.combo]
-			r.cell = Cell{Combo: combo, X: prop}
-			if err := runCell(&r.cell, cfg, combo, intr, eur); err != nil {
-				return nil, err
-			}
+	var results []*loadResult
+	if cfg.Dist != nil {
+		// Distributed fan-out — see RunLoadSweep and distResults.
+		var err error
+		results, err = distResults(KindProp, cfg)
+		if err != nil {
+			return nil, err
 		}
-		return r, nil
-	})
-	if err != nil {
-		return nil, err
+	} else {
+		// One generation per (proportion, rep), shared by its cells — see
+		// RunLoadSweep.
+		pairs, err := buildPropTracePairs(cfg, sweep.Proportions)
+		if err != nil {
+			return nil, err
+		}
+
+		results, err = parallel.Map(context.Background(), cfg.workers(), len(units), func(i int) (*loadResult, error) {
+			u := units[i]
+			prop := sweep.Proportions[u.ui]
+			buf := cellBufPool.Get().(*cellBuffers)
+			defer cellBufPool.Put(buf)
+			intr, eur := pairs[u.ui*cfg.Reps+u.rep].materialize(buf)
+			r := &loadResult{}
+			if u.combo < 0 {
+				r.base = Baseline{X: prop}
+				if err := runBaseline(&r.base, cfg, intr, eur); err != nil {
+					return nil, err
+				}
+			} else {
+				combo := Combos[u.combo]
+				r.cell = Cell{Combo: combo, X: prop}
+				if err := runCell(&r.cell, cfg, combo, intr, eur); err != nil {
+					return nil, err
+				}
+			}
+			return r, nil
+		})
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	perProp := make([]struct {

@@ -74,7 +74,7 @@ func parseWants(t *testing.T, path string) map[int]string {
 // produce a matching finding, and no finding may appear on a line
 // without one. Deleting or de-fanging a rule fails its fixture.
 func TestRuleFixtures(t *testing.T) {
-	for _, name := range []string{"r1.go", "r2.go", "r3.go", "r4.go", "r5.go", "r6.go"} {
+	for _, name := range []string{"r1.go", "r2.go", "r3.go", "r4.go", "r4dist.go", "r5.go", "r6.go"} {
 		t.Run(name, func(t *testing.T) {
 			findings := checkFixture(t, name)
 			wants := parseWants(t, "testdata/"+name)

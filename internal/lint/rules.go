@@ -57,7 +57,9 @@ var Rules = []Rule{
 			"event loop serializes everything. Goroutines capturing a Manager " +
 			"or t.Parallel in its tests race the scheduler state; concurrency " +
 			"belongs in internal/parallel's deterministic cell pool, where each " +
-			"worker owns a private engine.",
+			"worker owns a private engine, or across process boundaries in " +
+			"internal/distsweep, whose coordinator goroutines hold only " +
+			"connections and serialized rows — never a Manager.",
 		Check: checkConcurrency,
 	},
 	{

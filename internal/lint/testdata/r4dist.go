@@ -1,0 +1,42 @@
+// R4 distsweep fixtures: the coordinator/worker split moves sweep
+// concurrency across process boundaries. A coordinator goroutine that
+// holds only a connection and serialized rows is fine; smuggling a live
+// *resmgr.Manager into one is the exact race R4 exists to stop.
+package fixture
+
+import (
+	"io"
+	"sync"
+
+	"cosched/internal/resmgr"
+)
+
+// coordinatorShape mirrors distsweep.Coordinator.RunGroups: one goroutine
+// per worker connection, each owning a conn and a result slot — no
+// Manager in sight, so no finding.
+func coordinatorShape(conns []io.ReadWriteCloser, results [][]byte) {
+	var wg sync.WaitGroup
+	for i, conn := range conns {
+		wg.Add(1)
+		go func(i int, conn io.ReadWriteCloser) {
+			defer wg.Done()
+			defer conn.Close()
+			buf := make([]byte, 256)
+			n, _ := conn.Read(buf)
+			results[i] = buf[:n]
+		}(i, conn)
+	}
+	wg.Wait()
+}
+
+// managerOverTheWire hands a live Manager to a per-connection goroutine —
+// the split's whole point is that only serialized rows cross between
+// goroutines, so this races the scheduler state.
+func managerOverTheWire(conns []io.ReadWriteCloser, m *resmgr.Manager) {
+	for _, conn := range conns {
+		go func(conn io.ReadWriteCloser) { // want "R4"
+			m.RequestIteration()
+			conn.Close()
+		}(conn)
+	}
+}

@@ -1,0 +1,68 @@
+package metrics
+
+import (
+	"cosched/internal/job"
+	"cosched/internal/sim"
+)
+
+// Collector is the incremental form of Collect: jobs are folded in one at a
+// time and the report is rendered at the end. Collect is now a loop over a
+// Collector, so the two cannot drift; the streaming trace-replay path in
+// resmgr folds jobs as their windows retire, in registration order, and
+// produces reports byte-identical to collecting the full job slice.
+//
+// Add order is the float-accumulation order. For reproducible reports, feed
+// jobs in registration order (Manager.Jobs()).
+type Collector struct {
+	r                 DomainReport
+	waits, sds, syncs Accumulator
+	lostNodeSec       int64
+	busyNodeSec       int64
+}
+
+// NewCollector starts an empty collector for one domain.
+func NewCollector(domain string) *Collector {
+	return &Collector{r: DomainReport{Domain: domain}}
+}
+
+// Add folds one job into the report-in-progress.
+func (c *Collector) Add(j *job.Job) {
+	c.r.TotalJobs++
+	c.r.Yields += j.YieldCount
+	c.r.Holds += j.HoldCount
+	c.lostNodeSec += j.HeldNodeSeconds
+	if j.State == job.Cancelled {
+		c.r.Cancelled++
+		return
+	}
+	if j.State != job.Completed {
+		c.r.Stuck++
+		return
+	}
+	c.r.Completed++
+	c.waits.Add(float64(j.WaitTime()) / 60)
+	c.sds.Add(j.Slowdown())
+	c.busyNodeSec += j.NodeSeconds()
+	if j.Paired() {
+		c.r.PairedCount++
+		c.syncs.Add(float64(j.SyncTime()) / 60)
+	}
+}
+
+// Report renders the folded jobs into a DomainReport. span is the simulated
+// period used for loss/utilization rates; totalNodes the pool size. Report
+// may be called more than once (e.g. once per span candidate).
+func (c *Collector) Report(totalNodes int, span sim.Duration) DomainReport {
+	r := c.r
+	r.Span = span
+	r.Wait = c.waits.Summary()
+	r.Slowdown = c.sds.Summary()
+	r.PairedSync = c.syncs.Summary()
+	r.LostNodeHours = float64(c.lostNodeSec) / 3600
+	if span > 0 && totalNodes > 0 {
+		capacity := float64(totalNodes) * float64(span)
+		r.LostUtilization = float64(c.lostNodeSec) / capacity
+		r.Utilization = float64(c.busyNodeSec) / capacity
+	}
+	return r
+}

@@ -1,0 +1,112 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// ValueDist is an exact streaming summary over a series whose values come
+// from a bounded domain (SWF fields: integral seconds, node counts, and
+// ratios of those). It keeps one counter per distinct value instead of one
+// sample per observation, so memory is O(distinct values) — independent of
+// series length — while Summary() reproduces Summarize's output BIT FOR
+// BIT: the reduction below replays the exact float operations Summarize
+// performs on the sorted sample slice (per-sample additions in ascending
+// value order, the same interpolated quantile arithmetic), so streaming a
+// multi-GB trace yields byte-identical reports to materializing it.
+//
+// Contrast with Accumulator (streaming.go): Accumulator is O(1) with
+// approximate quantiles, for per-job metrics inside million-job cells;
+// ValueDist is O(distinct) and exact, for trace statistics that must stay
+// byte-identical to the materialized path.
+type ValueDist struct {
+	counts map[float64]int64
+	n      int64
+}
+
+// Add records one observation.
+func (d *ValueDist) Add(x float64) {
+	if d.counts == nil {
+		d.counts = make(map[float64]int64)
+	}
+	d.counts[x]++
+	d.n++
+}
+
+// Count returns the number of observations.
+func (d *ValueDist) Count() int { return int(d.n) }
+
+// sortedValues returns the distinct values ascending. Ranging the map is
+// safe here: the slice is sorted before any ordered effect.
+func (d *ValueDist) sortedValues() []float64 {
+	vals := make([]float64, 0, len(d.counts))
+	for v := range d.counts {
+		vals = append(vals, v)
+	}
+	sort.Float64s(vals)
+	return vals
+}
+
+// at returns the i-th order statistic (0-based) of the expanded series.
+func at(vals []float64, cum []int64, i int64) float64 {
+	// cum[k] = count of observations <= vals[k]; find the first k with
+	// cum[k] > i.
+	k := sort.Search(len(cum), func(k int) bool { return cum[k] > i })
+	return vals[k]
+}
+
+// Summary reduces the distribution exactly as Summarize reduces the sorted
+// sample slice. Cost is O(n) float additions (replayed per observation to
+// keep bitwise identity) but O(distinct) memory.
+func (d *ValueDist) Summary() Summary {
+	if d.n == 0 {
+		return Summary{}
+	}
+	vals := d.sortedValues()
+	cum := make([]int64, len(vals))
+	var running int64
+	for k, v := range vals {
+		running += d.counts[v]
+		cum[k] = running
+	}
+	// Summarize sums over the sorted slice one sample at a time; replay
+	// the identical addition sequence.
+	var sum float64
+	for _, v := range vals {
+		for c := d.counts[v]; c > 0; c-- {
+			sum += v
+		}
+	}
+	mean := sum / float64(d.n)
+	var sq float64
+	for _, v := range vals {
+		dd := v - mean
+		dd = dd * dd
+		for c := d.counts[v]; c > 0; c-- {
+			sq += dd
+		}
+	}
+	q := func(p float64) float64 {
+		if d.n == 1 {
+			return vals[0]
+		}
+		pos := p * float64(d.n-1)
+		lo := int64(math.Floor(pos))
+		hi := int64(math.Ceil(pos))
+		if lo == hi {
+			return at(vals, cum, lo)
+		}
+		frac := pos - float64(lo)
+		return at(vals, cum, lo)*(1-frac) + at(vals, cum, hi)*frac
+	}
+	return Summary{
+		Count:  int(d.n),
+		Mean:   mean,
+		Min:    vals[0],
+		Max:    vals[len(vals)-1],
+		Median: q(0.5),
+		P90:    q(0.9),
+		P99:    q(0.99),
+		Stddev: math.Sqrt(sq / float64(d.n)),
+	}
+}

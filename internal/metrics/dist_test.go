@@ -1,0 +1,81 @@
+package metrics
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// TestValueDistBitIdenticalToSummarize is the contract test for the exact
+// streaming summary: for series drawn from bounded domains (the SWF case —
+// integral seconds, node counts, duplicated heavily), every Summary field
+// must be bit-for-bit equal to the batch Summarize, not merely close.
+func TestValueDistBitIdenticalToSummarize(t *testing.T) {
+	cases := []struct {
+		name string
+		gen  func(r *rand.Rand, n int) []float64
+	}{
+		{"integral-seconds", func(r *rand.Rand, n int) []float64 {
+			out := make([]float64, n)
+			for i := range out {
+				out[i] = float64(r.IntN(5000))
+			}
+			return out
+		}},
+		{"heavy-dupes", func(r *rand.Rand, n int) []float64 {
+			out := make([]float64, n)
+			for i := range out {
+				out[i] = float64(r.IntN(7)) * 0.5
+			}
+			return out
+		}},
+		{"ratios", func(r *rand.Rand, n int) []float64 {
+			out := make([]float64, n)
+			for i := range out {
+				out[i] = float64(1+r.IntN(900)) / float64(1+r.IntN(30))
+			}
+			return out
+		}},
+	}
+	sizes := []int{1, 2, 3, 10, 101, 4096}
+	for _, tc := range cases {
+		r := rand.New(rand.NewPCG(7, 11))
+		for _, n := range sizes {
+			vals := tc.gen(r, n)
+			var d ValueDist
+			for _, v := range vals {
+				d.Add(v)
+			}
+			got, want := d.Summary(), Summarize(vals)
+			if got != want {
+				t.Fatalf("%s n=%d: ValueDist.Summary() = %+v, Summarize = %+v", tc.name, n, got, want)
+			}
+			if d.Count() != n {
+				t.Fatalf("%s n=%d: Count = %d", tc.name, n, d.Count())
+			}
+		}
+	}
+}
+
+func TestValueDistEmpty(t *testing.T) {
+	var d ValueDist
+	if got := d.Summary(); got != (Summary{}) {
+		t.Fatalf("empty ValueDist summary = %+v", got)
+	}
+}
+
+// TestValueDistMemoryIsPerDistinctValue: absorbing the same values again
+// must not grow the counter map — that is the O(distinct) claim.
+func TestValueDistMemoryIsPerDistinctValue(t *testing.T) {
+	var d ValueDist
+	for round := 0; round < 1000; round++ {
+		for v := 0; v < 50; v++ {
+			d.Add(float64(v))
+		}
+	}
+	if len(d.counts) != 50 {
+		t.Fatalf("distinct counters = %d, want 50", len(d.counts))
+	}
+	if d.Count() != 50000 {
+		t.Fatalf("Count = %d, want 50000", d.Count())
+	}
+}

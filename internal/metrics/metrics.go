@@ -138,43 +138,15 @@ type DomainReport struct {
 // collecting a million-job domain costs no per-job memory. Values
 // accumulate in the order jobs are listed; Manager.Jobs() returns
 // registration order, which is deterministic, so reports are reproducible
-// at any worker count.
+// at any worker count. Collect is a fold over a Collector (collector.go) —
+// the incremental path used by streaming trace replay shares every float
+// operation with this one.
 func Collect(domain string, jobs []*job.Job, totalNodes int, span sim.Duration) DomainReport {
-	r := DomainReport{Domain: domain, TotalJobs: len(jobs), Span: span}
-	var waits, sds, syncs Accumulator
-	var lostNodeSec int64
-	var busyNodeSec int64
+	c := NewCollector(domain)
 	for _, j := range jobs {
-		r.Yields += j.YieldCount
-		r.Holds += j.HoldCount
-		lostNodeSec += j.HeldNodeSeconds
-		if j.State == job.Cancelled {
-			r.Cancelled++
-			continue
-		}
-		if j.State != job.Completed {
-			r.Stuck++
-			continue
-		}
-		r.Completed++
-		waits.Add(float64(j.WaitTime()) / 60)
-		sds.Add(j.Slowdown())
-		busyNodeSec += j.NodeSeconds()
-		if j.Paired() {
-			r.PairedCount++
-			syncs.Add(float64(j.SyncTime()) / 60)
-		}
+		c.Add(j)
 	}
-	r.Wait = waits.Summary()
-	r.Slowdown = sds.Summary()
-	r.PairedSync = syncs.Summary()
-	r.LostNodeHours = float64(lostNodeSec) / 3600
-	if span > 0 && totalNodes > 0 {
-		capacity := float64(totalNodes) * float64(span)
-		r.LostUtilization = float64(lostNodeSec) / capacity
-		r.Utilization = float64(busyNodeSec) / capacity
-	}
-	return r
+	return c.Report(totalNodes, span)
 }
 
 // AvgWaitMinutes is a convenience accessor for the figure tables.

@@ -12,15 +12,48 @@
 // Error handling mirrors the serial loop: the first failing index (lowest
 // index, not first in wall-clock time) determines the returned error, and
 // a failure cancels the context so in-flight cells can stop early and
-// queued cells never start.
+// queued cells never start. A panicking task does not kill the process: it
+// is recovered and surfaced as a *PanicError carrying the cell index and
+// stack, subject to the same lowest-index rule.
 package parallel
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 )
+
+// PanicError is the error a recovered task panic surfaces as: the cell
+// index that panicked, the panic value, and the goroutine stack at the
+// point of the panic. Before recovery was added, a panicking cell took the
+// whole process down with no indication of which cell died — unacceptable
+// once cells fan out across worker processes that must attribute failures
+// for re-dispatch.
+type PanicError struct {
+	Index int
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("parallel: task %d panicked: %v\n%s", e.Index, e.Value, e.Stack)
+}
+
+// runTask executes fn(ctx, i), converting a panic into a *PanicError so
+// one bad cell fails the sweep with attribution instead of killing the
+// process.
+func runTask(ctx context.Context, i int, fn func(ctx context.Context, i int) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			buf := make([]byte, 64<<10)
+			buf = buf[:runtime.Stack(buf, false)]
+			err = &PanicError{Index: i, Value: r, Stack: buf}
+		}
+	}()
+	return fn(ctx, i)
+}
 
 // Workers normalizes a parallelism setting: n <= 0 selects one worker per
 // core (GOMAXPROCS), anything else is returned unchanged. 1 reproduces
@@ -57,7 +90,7 @@ func ForEach(ctx context.Context, workers, n int, fn func(ctx context.Context, i
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := fn(ctx, i); err != nil {
+			if err := runTask(ctx, i, fn); err != nil {
 				return err
 			}
 		}
@@ -83,7 +116,7 @@ func ForEach(ctx context.Context, workers, n int, fn func(ctx context.Context, i
 				if ctx.Err() != nil {
 					return
 				}
-				if err := fn(ctx, i); err != nil {
+				if err := runTask(ctx, i, fn); err != nil {
 					errs[i] = err
 					failed.Store(true)
 					cancel()

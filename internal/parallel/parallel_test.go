@@ -109,6 +109,56 @@ func TestForEachHonorsParentCancellation(t *testing.T) {
 	}
 }
 
+// TestForEachRecoversPanickingCell checks the panic containment contract:
+// a panicking cell must not kill the process, and the surfaced error must
+// attribute the failure to the panicking index, both on the serial fast
+// path and on the fanned-out path.
+func TestForEachRecoversPanickingCell(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := ForEach(context.Background(), workers, 16, func(_ context.Context, i int) error {
+			if i == 6 {
+				panic("cell exploded")
+			}
+			return nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: panic was swallowed, want error", workers)
+		}
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %T %v, want *PanicError", workers, err, err)
+		}
+		if pe.Index != 6 {
+			t.Fatalf("workers=%d: panic attributed to index %d, want 6", workers, pe.Index)
+		}
+		if pe.Value != "cell exploded" {
+			t.Fatalf("workers=%d: panic value = %v", workers, pe.Value)
+		}
+		if len(pe.Stack) == 0 {
+			t.Fatalf("workers=%d: no stack captured", workers)
+		}
+	}
+}
+
+// TestForEachPanicLowestIndexWins: a panic competes with ordinary errors
+// under the same lowest-index rule.
+func TestForEachPanicLowestIndexWins(t *testing.T) {
+	boom := errors.New("boom")
+	err := ForEach(context.Background(), 1, 16, func(_ context.Context, i int) error {
+		switch i {
+		case 2:
+			panic("early panic")
+		case 9:
+			return boom
+		}
+		return nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Index != 2 {
+		t.Fatalf("err = %v, want PanicError at index 2", err)
+	}
+}
+
 func TestMapReturnsIndexOrderedResults(t *testing.T) {
 	for _, workers := range []int{1, 3, 16} {
 		got, err := Map(context.Background(), workers, 40, func(i int) (int, error) {

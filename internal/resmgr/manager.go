@@ -22,6 +22,7 @@ import (
 	"cosched/internal/cluster"
 	"cosched/internal/cosched"
 	"cosched/internal/job"
+	"cosched/internal/metrics"
 	"cosched/internal/policy"
 	"cosched/internal/predict"
 	"cosched/internal/sim"
@@ -249,6 +250,22 @@ type Manager struct {
 	replay    []*job.Job
 	replayIdx int
 	replayFn  sim.Handler
+
+	// Streaming trace replay (SubmitTraceStream): the pull source feeding
+	// the cursor window, the look-ahead size, and the fold state that lets
+	// terminal jobs leave the registry — see stream.go. allHead is the
+	// index of the first live registry entry; entries before it were folded
+	// into collector (registration order) and evicted.
+	streaming        bool
+	src              JobSource
+	streamWindow     int
+	srcDone          bool
+	streamErr        error
+	streamStarted    bool
+	lastStreamSubmit sim.Time
+	collector        *metrics.Collector
+	allHead          int
+	folded           int
 }
 
 // newRunEntry returns a zeroed runEntry, recycled when one is available.
@@ -476,7 +493,7 @@ func (m *Manager) SubmitAt(j *job.Job) error {
 // event per job in trace order (both fire in PrioritySubmit band, in
 // sequence order). Call once per manager, before the run starts.
 func (m *Manager) SubmitTrace(jobs []*job.Job) error {
-	if m.replay != nil {
+	if m.replay != nil || m.streaming {
 		return fmt.Errorf("resmgr %s: SubmitTrace called twice", m.name)
 	}
 	if len(m.jobs) == 0 && len(jobs) > 0 {
@@ -510,19 +527,40 @@ func (m *Manager) armReplay() {
 }
 
 // replayStep submits every trace job due at the current instant, then
-// re-arms the chain for the next arrival.
+// re-arms the chain for the next arrival. In streaming mode the window is
+// refilled between submission bursts: a refill may surface more jobs due
+// at this same instant, which must submit now to match what SubmitTrace
+// would have done with the materialized trace.
 func (m *Manager) replayStep(now sim.Time) {
-	for m.replayIdx < len(m.replay) {
-		j := m.replay[m.replayIdx]
-		if j.SubmitTime != now {
+	for {
+		for m.replayIdx < len(m.replay) {
+			j := m.replay[m.replayIdx]
+			if j.SubmitTime != now {
+				break
+			}
+			m.replayIdx++
+			if j.State == job.Cancelled {
+				continue // withdrawn before arrival; see Cancel
+			}
+			if err := m.Submit(j); err != nil {
+				panic(fmt.Sprintf("resmgr %s: replay submit job %d: %v", m.name, j.ID, err))
+			}
+		}
+		if !m.streaming || m.srcDone || m.streamErr != nil {
 			break
 		}
-		m.replayIdx++
-		if j.State == job.Cancelled {
-			continue // withdrawn before arrival; see Cancel
+		before := len(m.replay) - m.replayIdx
+		if err := m.refillStream(); err != nil {
+			// A bad source stops further arrivals; the jobs already in
+			// flight finish normally and StreamErr reports the cause.
+			m.streamErr = err
+			break
 		}
-		if err := m.Submit(j); err != nil {
-			panic(fmt.Sprintf("resmgr %s: replay submit job %d: %v", m.name, j.ID, err))
+		if len(m.replay)-m.replayIdx == before {
+			break // window already full (or drained): nothing new due now
+		}
+		if m.replayIdx >= len(m.replay) || m.replay[m.replayIdx].SubmitTime != now {
+			break
 		}
 	}
 	m.armReplay()
@@ -536,17 +574,20 @@ func (m *Manager) Job(id job.ID) (*job.Job, bool) {
 
 // Jobs returns all known jobs (any state) in registration order. The order
 // is deterministic — streaming metrics accumulate in it — and the slice is
-// freshly allocated; the pointed-to jobs are live.
+// freshly allocated; the pointed-to jobs are live. In streaming mode,
+// terminal jobs already folded out of the registry are absent (their
+// contribution lives in the manager's collector; see CollectReport).
 func (m *Manager) Jobs() []*job.Job {
-	out := make([]*job.Job, len(m.all))
-	copy(out, m.all)
+	live := m.all[m.allHead:]
+	out := make([]*job.Job, len(live))
+	copy(out, live)
 	return out
 }
 
 // JobsOrdered returns the internal registration-ordered job slice without
 // copying. Callers must not mutate it; it is meant for read-only metric
 // sweeps over very large job populations.
-func (m *Manager) JobsOrdered() []*job.Job { return m.all }
+func (m *Manager) JobsOrdered() []*job.Job { return m.all[m.allHead:] }
 
 // QueueLength returns the number of queued jobs.
 func (m *Manager) QueueLength() int { return len(m.queue) }
@@ -606,6 +647,7 @@ func (m *Manager) Cancel(id job.ID) error {
 	j.EndTime = now
 	m.cancelled++
 	m.obs.JobCancelled(now, j)
+	m.foldTerminalPrefix()
 	m.RequestIteration()
 	return nil
 }
@@ -1086,6 +1128,7 @@ func (m *Manager) completeJob(j *job.Job, now sim.Time) {
 	}
 	m.completed++
 	m.obs.JobCompleted(now, j)
+	m.foldTerminalPrefix()
 	m.RequestIteration()
 }
 

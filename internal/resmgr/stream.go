@@ -1,0 +1,172 @@
+package resmgr
+
+import (
+	"fmt"
+	"io"
+
+	"cosched/internal/job"
+	"cosched/internal/metrics"
+	"cosched/internal/sim"
+)
+
+// JobSource is a pull source of jobs in submit-time order, ending with
+// io.EOF — the same shape as trace.JobStream and workload's iterators, so
+// a parsed SWF stream or a synthetic repeater plugs in directly.
+type JobSource interface {
+	NextJob() (*job.Job, error)
+}
+
+// DefaultStreamWindow is the look-ahead used when SubmitTraceStream is
+// given a non-positive window.
+const DefaultStreamWindow = 4096
+
+// SubmitTraceStream is SubmitTrace fed from a cursor window over a job
+// stream instead of a materialized slice: at most `window` upcoming jobs
+// are registered ahead of the replay cursor, and terminal jobs are folded
+// into a streaming metrics collector and evicted from the registry, so a
+// simulation's memory tracks the window plus the live job population —
+// independent of trace length.
+//
+// Equivalence contract: on a trace that could be materialized, the
+// simulation is byte-identical to SubmitTrace provided every mate
+// reference resolves before its partner first attempts to run — i.e. the
+// window covers the maximum submit-index skew between paired jobs (an
+// unregistered mate is indistinguishable from an unknown one, which
+// changes hold/yield coordination). Evicting terminal jobs is always
+// behavior-neutral: peers treat completed and cancelled mates exactly like
+// unknown ones (start normally, no constraint).
+//
+// A mid-run source error (parse failure, ordering violation, oversized
+// job) stops further submissions and is reported by StreamErr; already
+// submitted jobs keep running.
+//
+// Call once per manager, before the run starts; mutually exclusive with
+// SubmitTrace.
+func (m *Manager) SubmitTraceStream(src JobSource, window int) error {
+	if m.replay != nil || m.streaming {
+		return fmt.Errorf("resmgr %s: trace already submitted", m.name)
+	}
+	if src == nil {
+		return fmt.Errorf("resmgr %s: nil job source", m.name)
+	}
+	if window <= 0 {
+		window = DefaultStreamWindow
+	}
+	m.streaming = true
+	m.src = src
+	m.streamWindow = window
+	m.collector = metrics.NewCollector(m.name)
+	if err := m.refillStream(); err != nil {
+		return err
+	}
+	m.armReplay()
+	return nil
+}
+
+// refillStream pulls jobs from the source until the look-ahead window is
+// full (or the source drains), registering each with Expect, and compacts
+// the replay slice once the cursor has consumed half of it.
+func (m *Manager) refillStream() error {
+	for !m.srcDone && len(m.replay)-m.replayIdx < m.streamWindow {
+		j, err := m.src.NextJob()
+		if err == io.EOF {
+			m.srcDone = true
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("resmgr %s: trace stream: %w", m.name, err)
+		}
+		if m.streamStarted && j.SubmitTime < m.lastStreamSubmit {
+			return fmt.Errorf("resmgr %s: trace stream not sorted by submit time: job %d at t=%d after t=%d",
+				m.name, j.ID, j.SubmitTime, m.lastStreamSubmit)
+		}
+		if j.Nodes > m.pool.Total() {
+			return fmt.Errorf("resmgr %s: job %d requests %d nodes but the pool has %d — it could never start",
+				m.name, j.ID, j.Nodes, m.pool.Total())
+		}
+		if err := m.Expect(j); err != nil {
+			return err
+		}
+		m.streamStarted = true
+		m.lastStreamSubmit = j.SubmitTime
+		m.replay = append(m.replay, j)
+	}
+	if m.replayIdx > 0 && m.replayIdx*2 >= len(m.replay) {
+		n := copy(m.replay, m.replay[m.replayIdx:])
+		for i := n; i < len(m.replay); i++ {
+			m.replay[i] = nil
+		}
+		m.replay = m.replay[:n]
+		m.replayIdx = 0
+	}
+	return nil
+}
+
+// foldTerminalPrefix folds the contiguous registration-order prefix of
+// terminal jobs into the streaming collector and evicts them from the
+// registry. Folding strictly in registration order replays the exact
+// accumulation sequence metrics.Collect would run over the full job list,
+// which is what keeps streamed reports byte-identical to materialized
+// ones. No-op outside streaming mode, where the registry must stay whole.
+func (m *Manager) foldTerminalPrefix() {
+	if !m.streaming {
+		return
+	}
+	for m.allHead < len(m.all) {
+		j := m.all[m.allHead]
+		if j.State != job.Completed && j.State != job.Cancelled {
+			break
+		}
+		m.collector.Add(j)
+		m.folded++
+		delete(m.jobs, j.ID)
+		m.all[m.allHead] = nil
+		m.allHead++
+	}
+	if m.allHead > 0 && m.allHead*2 >= len(m.all) {
+		n := copy(m.all, m.all[m.allHead:])
+		for i := n; i < len(m.all); i++ {
+			m.all[i] = nil
+		}
+		m.all = m.all[:n]
+		m.allHead = 0
+	}
+}
+
+// CollectReport renders the domain's metrics report: in streaming mode the
+// already-folded prefix plus the still-live suffix (in registration
+// order); otherwise a plain metrics.Collect over the registry. Both paths
+// run the identical accumulation sequence, so a streamed run reports the
+// same bytes as a materialized one.
+func (m *Manager) CollectReport(totalNodes int, span sim.Duration) metrics.DomainReport {
+	if !m.streaming {
+		return metrics.Collect(m.name, m.JobsOrdered(), totalNodes, span)
+	}
+	c := *m.collector // value copy: Report must not consume the fold state
+	for _, j := range m.all[m.allHead:] {
+		c.Add(j)
+	}
+	return c.Report(totalNodes, span)
+}
+
+// TraceDone reports whether every trace job has been submitted (and, in
+// streaming mode, the source is drained). Managers without a trace are
+// trivially done.
+func (m *Manager) TraceDone() bool {
+	if m.streaming {
+		return m.srcDone && m.replayIdx >= len(m.replay) && m.streamErr == nil
+	}
+	return m.replayIdx >= len(m.replay)
+}
+
+// RegisteredCount returns how many jobs have ever been registered,
+// including jobs already folded out of the streaming registry.
+func (m *Manager) RegisteredCount() int {
+	return m.folded + len(m.all) - m.allHead
+}
+
+// Streaming reports whether this manager replays from a stream.
+func (m *Manager) Streaming() bool { return m.streaming }
+
+// StreamErr returns the error that stopped a streaming replay, if any.
+func (m *Manager) StreamErr() error { return m.streamErr }

@@ -1,0 +1,205 @@
+package resmgr
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+
+	"cosched/internal/cosched"
+	"cosched/internal/job"
+	"cosched/internal/sim"
+)
+
+// sliceSource adapts a job slice to JobSource for differential tests.
+type sliceSource struct {
+	jobs []*job.Job
+	idx  int
+}
+
+func (s *sliceSource) NextJob() (*job.Job, error) {
+	if s.idx >= len(s.jobs) {
+		return nil, io.EOF
+	}
+	j := s.jobs[s.idx]
+	s.idx++
+	return j, nil
+}
+
+// genPairedTrace builds deterministic paired traces for domains A and B:
+// enough contention on small pools to exercise queueing, holds, yields,
+// and backfill, with mates at a bounded submit-index skew.
+func genPairedTrace(n int) (ta, tb []*job.Job) {
+	for i := 1; i <= n; i++ {
+		ja := job.New(job.ID(i), 1+(i*13)%40, sim.Time(i*40), sim.Duration(300+(i*97)%1200), sim.Duration(600+(i*97)%1200))
+		ja.User = i % 5
+		ta = append(ta, ja)
+		jb := job.New(job.ID(i), 1+(i*7)%8, sim.Time(i*40+(i%3)*15), sim.Duration(200+(i*53)%900), sim.Duration(500+(i*53)%900))
+		jb.User = i % 4
+		tb = append(tb, jb)
+		if i%3 == 0 {
+			pairJobs(ja, jb)
+		}
+	}
+	return ta, tb
+}
+
+// runPaired executes one coupled two-manager run over fresh traces and
+// renders both domain reports plus run-shape counters; stream selects
+// SubmitTraceStream at the given window vs materialized SubmitTrace.
+func runPaired(t *testing.T, n int, stream bool, window int) string {
+	t.Helper()
+	eng, a, b := pairDomains(t, 64, 16, cosched.DefaultConfig(cosched.Hold), cosched.DefaultConfig(cosched.Yield))
+	ta, tb := genPairedTrace(n)
+	if stream {
+		if err := a.SubmitTraceStream(&sliceSource{jobs: ta}, window); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.SubmitTraceStream(&sliceSource{jobs: tb}, window); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		if err := a.SubmitTrace(ta); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.SubmitTrace(tb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Run()
+	if err := a.StreamErr(); err != nil {
+		t.Fatalf("A stream error: %v", err)
+	}
+	if err := b.StreamErr(); err != nil {
+		t.Fatalf("B stream error: %v", err)
+	}
+	span := eng.Now()
+	ra := a.CollectReport(a.Pool().Total(), span)
+	rb := b.CollectReport(b.Pool().Total(), span)
+	return fmt.Sprintf("%+v\n%+v\nmakespan=%d itersA=%d itersB=%d doneA=%d doneB=%d",
+		ra, rb, span, a.Iterations(), b.Iterations(), a.CompletedCount(), b.CompletedCount())
+}
+
+// TestSubmitTraceStreamMatchesSubmitTrace is the streaming replay
+// acceptance test: with a window covering the pair skew, a streamed
+// coupled run must be byte-identical to the materialized run — reports,
+// makespan, iteration counts — at several window sizes.
+func TestSubmitTraceStreamMatchesSubmitTrace(t *testing.T) {
+	const n = 120
+	want := runPaired(t, n, false, 0)
+	for _, window := range []int{8, 64, n + 10} {
+		got := runPaired(t, n, true, window)
+		if got != want {
+			t.Fatalf("window=%d: streamed run differs:\n got: %s\nwant: %s", window, got, want)
+		}
+	}
+}
+
+// TestStreamFoldsTerminalJobs checks the bounded-registry claim: after a
+// streamed run drains, every job has been folded out of the registry and
+// only the collector retains its contribution.
+func TestStreamFoldsTerminalJobs(t *testing.T) {
+	eng, a, _ := pairDomains(t, 64, 16, cosched.Config{}, cosched.Config{})
+	ta, _ := genPairedTrace(80)
+	for _, j := range ta {
+		j.Mates = nil // unpaired: domain B idle
+	}
+	if err := a.SubmitTraceStream(&sliceSource{jobs: ta}, 16); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if !a.TraceDone() {
+		t.Fatal("trace not done after drain")
+	}
+	if a.CompletedCount() != 80 {
+		t.Fatalf("completed %d/80", a.CompletedCount())
+	}
+	if a.RegisteredCount() != 80 {
+		t.Fatalf("RegisteredCount = %d, want 80", a.RegisteredCount())
+	}
+	if live := len(a.JobsOrdered()); live != 0 {
+		t.Fatalf("%d jobs still in registry after fold", live)
+	}
+	rep := a.CollectReport(64, eng.Now())
+	if rep.Completed != 80 || rep.TotalJobs != 80 {
+		t.Fatalf("folded report lost jobs: %+v", rep)
+	}
+}
+
+// TestStreamWindowBoundsRegistry: mid-run, the registry never holds more
+// than window + live jobs (the O(window) memory contract).
+func TestStreamWindowBoundsRegistry(t *testing.T) {
+	eng, a, _ := pairDomains(t, 8, 8, cosched.Config{}, cosched.Config{})
+	var tr []*job.Job
+	for i := 1; i <= 200; i++ {
+		// One node each, serialized by the tiny pool: long queues form.
+		tr = append(tr, job.New(job.ID(i), 8, sim.Time(i), 50, 50))
+	}
+	const window = 10
+	if err := a.SubmitTraceStream(&sliceSource{jobs: tr}, window); err != nil {
+		t.Fatal(err)
+	}
+	maxLive := 0
+	for eng.Step() {
+		if n := len(a.JobsOrdered()); n > maxLive {
+			maxLive = n
+		}
+	}
+	if a.CompletedCount() != 200 {
+		t.Fatalf("completed %d/200", a.CompletedCount())
+	}
+	// Live = look-ahead window + queued/running population. The pool fits
+	// one job at a time and arrivals outpace service, so the queue is the
+	// dominant term; the registry must still never see the whole trace.
+	if maxLive >= 200 {
+		t.Fatalf("registry grew to %d — whole trace materialized", maxLive)
+	}
+}
+
+func TestSubmitTraceStreamErrors(t *testing.T) {
+	eng, a, b := pairDomains(t, 64, 16, cosched.Config{}, cosched.Config{})
+	_ = eng
+	if err := a.SubmitTraceStream(nil, 4); err == nil {
+		t.Fatal("nil source accepted")
+	}
+	if err := a.SubmitTraceStream(&sliceSource{}, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SubmitTraceStream(&sliceSource{}, 4); err == nil {
+		t.Fatal("second SubmitTraceStream accepted")
+	}
+	if err := a.SubmitTrace(nil); err == nil {
+		t.Fatal("SubmitTrace after SubmitTraceStream accepted")
+	}
+	// Oversized job rejected at the window, not mid-simulation.
+	big := &sliceSource{jobs: []*job.Job{job.New(1, 999, 0, 60, 60)}}
+	err := b.SubmitTraceStream(big, 4)
+	if err == nil || !strings.Contains(err.Error(), "could never start") {
+		t.Fatalf("err = %v, want oversized-job rejection", err)
+	}
+}
+
+// TestStreamMidRunOrderViolationStops: an ordering violation surfacing
+// after the run started must stop arrivals and be reported, not panic.
+func TestStreamMidRunOrderViolationStops(t *testing.T) {
+	eng, a, _ := pairDomains(t, 64, 16, cosched.Config{}, cosched.Config{})
+	jobs := []*job.Job{
+		job.New(1, 4, 0, 60, 60),
+		job.New(2, 4, 100, 60, 60),
+		job.New(3, 4, 50, 60, 60), // out of order, beyond the initial window
+	}
+	if err := a.SubmitTraceStream(&sliceSource{jobs: jobs}, 2); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if a.StreamErr() == nil {
+		t.Fatal("ordering violation not surfaced")
+	}
+	if a.TraceDone() {
+		t.Fatal("TraceDone true despite stream error")
+	}
+	if errors.Is(a.StreamErr(), io.EOF) {
+		t.Fatal("EOF leaked as stream error")
+	}
+}

@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Stream is a pull-based SWF iterator: it parses one record per Next call
+// and never materializes the trace, so a year-long (multi-GB) file can
+// drive statistics or a live simulation in memory independent of trace
+// length. It reuses the same hardened line parser as Read — Read is now a
+// collect-all loop over a Stream, so both paths accept and reject exactly
+// the same inputs.
+//
+// Header comments (`; key: value`) may appear anywhere in the file; they
+// are folded into Header() as they are encountered, so the header is only
+// guaranteed complete once Next has returned false. In practice SWF
+// headers precede all records and are complete after the first record.
+type Stream struct {
+	sc     *bufio.Scanner
+	hdr    *Header
+	rec    Record
+	lineNo int
+	err    error
+	done   bool
+}
+
+// NewStream starts streaming SWF records from r. The caller owns r and any
+// underlying file handle.
+func NewStream(r io.Reader) *Stream {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	return &Stream{sc: sc, hdr: NewHeader()}
+}
+
+// Next advances to the next record, skipping blanks and folding comment
+// lines into the header. It returns false at end of input or on error;
+// check Err to distinguish.
+func (s *Stream) Next() bool {
+	if s.done {
+		return false
+	}
+	for s.sc.Scan() {
+		s.lineNo++
+		line := strings.TrimSpace(s.sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, ";") {
+			if k, v, ok := strings.Cut(strings.TrimSpace(line[1:]), ":"); ok {
+				s.hdr.Set(strings.TrimSpace(k), strings.TrimSpace(v))
+			}
+			continue
+		}
+		rec, err := parseLine(line)
+		if err != nil {
+			s.err = fmt.Errorf("trace: line %d: %w", s.lineNo, err)
+			s.done = true
+			return false
+		}
+		s.rec = rec
+		return true
+	}
+	s.done = true
+	s.err = s.sc.Err()
+	return false
+}
+
+// Record returns the record produced by the last successful Next.
+func (s *Stream) Record() Record { return s.rec }
+
+// Header returns the header comments seen so far (complete once Next has
+// returned false).
+func (s *Stream) Header() *Header { return s.hdr }
+
+// Err returns the first parse or read error, nil on clean end of input.
+func (s *Stream) Err() error { return s.err }
+
+// FileStream couples a Stream to the file it reads; Close releases the
+// file handle.
+type FileStream struct {
+	*Stream
+	f *os.File
+}
+
+// OpenStream opens path for streaming. Close the returned stream when
+// done.
+func OpenStream(path string) (*FileStream, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &FileStream{Stream: NewStream(f), f: f}, nil
+}
+
+// Close releases the underlying file.
+func (s *FileStream) Close() error { return s.f.Close() }

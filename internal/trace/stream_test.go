@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const streamSample = `; Version: 2.2
+; Computer: Intrepid
+
+1 0 -1 600 64 -1 -1 64 900 -1 1 7 -1 -1 -1 -1 -1 -1 eureka:1
+; MidStream: comment
+2 30 -1 120 8 -1 -1 8 120 -1 1 9 -1 -1 -1 -1 -1 -1 -1
+`
+
+// TestStreamMatchesRead: pulling records one at a time must yield exactly
+// what Read materializes — same records, same header — since Read is a
+// collect loop over Stream.
+func TestStreamMatchesRead(t *testing.T) {
+	hdr, recs, err := Read(strings.NewReader(streamSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStream(strings.NewReader(streamSample))
+	var got []Record
+	for s.Next() {
+		got = append(got, s.Record())
+	}
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("stream yielded %d records, Read %d", len(got), len(recs))
+	}
+	for i := range got {
+		if got[i].JobID != recs[i].JobID || got[i].Submit != recs[i].Submit {
+			t.Fatalf("record %d: stream %+v vs read %+v", i, got[i], recs[i])
+		}
+	}
+	if len(s.Header().Order) != len(hdr.Order) {
+		t.Fatalf("header keys: stream %v vs read %v", s.Header().Order, hdr.Order)
+	}
+	if s.Header().Fields["MidStream"] != "comment" {
+		t.Fatal("mid-stream comment not folded into header")
+	}
+}
+
+func TestStreamErrorCarriesLineNumber(t *testing.T) {
+	in := "1 0 -1 600 64 -1 -1 64 900 -1 1 7 -1 -1 -1 -1 -1 -1\nnot a record\n"
+	s := NewStream(strings.NewReader(in))
+	if !s.Next() {
+		t.Fatalf("first record rejected: %v", s.Err())
+	}
+	if s.Next() {
+		t.Fatal("malformed line accepted")
+	}
+	if err := s.Err(); err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("err = %v, want line 2 attribution", err)
+	}
+	// Next stays false after an error.
+	if s.Next() {
+		t.Fatal("Next returned true after error")
+	}
+}
+
+func TestOpenStream(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.swf")
+	if err := os.WriteFile(path, []byte(streamSample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := OpenStream(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for fs.Next() {
+		n++
+	}
+	if err := fs.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("streamed %d records, want 2", n)
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenStream(filepath.Join(t.TempDir(), "missing.swf")); err == nil {
+		t.Fatal("OpenStream on missing file succeeded")
+	}
+}

@@ -1,0 +1,190 @@
+package workload
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"cosched/internal/job"
+	"cosched/internal/metrics"
+	"cosched/internal/sim"
+)
+
+// JobIter is a pull source of jobs in (SubmitTime, ID) order, ending with
+// io.EOF. It is the streaming counterpart of a materialized []*job.Job from
+// trace.ToJobs: consumers (AnalyzeStream, resmgr's streaming replay) hold
+// only a bounded window of jobs at a time, so trace length stops being a
+// memory term. trace.JobStream and resmgr.JobSource share this shape;
+// any of them satisfies the others structurally.
+type JobIter interface {
+	// NextJob returns the next job, or io.EOF when the source is drained.
+	NextJob() (*job.Job, error)
+}
+
+// RepeatStream yields reps offset copies of a base trace — e.g. a year of
+// load from a one-month base — without ever materializing the repetition.
+// Copy k shifts submit times by k×period and job IDs by k×idStride, and
+// remaps mate references by the same ID stride so cross-domain pairs stay
+// aligned when both domains repeat with a common stride.
+//
+// Each yielded job is a fresh allocation: jobs carry mutable simulation
+// state, so copies must not alias the base.
+type RepeatStream struct {
+	base     []*job.Job
+	reps     int
+	period   sim.Duration
+	idStride job.ID
+	rep, idx int
+}
+
+// NewRepeatStream sorts base into (SubmitTime, ID) order and prepares reps
+// copies. period must exceed the largest base submit time so the output
+// stays submit-sorted across copy boundaries. idStride 0 derives
+// max(base ID)+1; pass an explicit common stride when two paired domains
+// must stay consistent.
+func NewRepeatStream(base []*job.Job, reps int, period sim.Duration, idStride job.ID) (*RepeatStream, error) {
+	if reps <= 0 {
+		return nil, fmt.Errorf("workload: reps %d must be positive", reps)
+	}
+	sorted := bySubmit(base)
+	var maxSubmit sim.Time
+	var maxID job.ID
+	for _, j := range sorted {
+		if j.SubmitTime > maxSubmit {
+			maxSubmit = j.SubmitTime
+		}
+		if j.ID > maxID {
+			maxID = j.ID
+		}
+	}
+	if len(sorted) > 0 && reps > 1 && period <= sim.Duration(maxSubmit) {
+		return nil, fmt.Errorf("workload: repeat period %d must exceed max base submit %d to keep the stream sorted", period, maxSubmit)
+	}
+	if idStride == 0 {
+		idStride = maxID + 1
+	}
+	return &RepeatStream{base: sorted, reps: reps, period: period, idStride: idStride}, nil
+}
+
+// Jobs returns the total number of jobs the stream will yield.
+func (r *RepeatStream) Jobs() int { return len(r.base) * r.reps }
+
+// IDStride returns the per-copy ID offset in use (after derivation).
+func (r *RepeatStream) IDStride() job.ID { return r.idStride }
+
+// NextJob yields the next copy, io.EOF after the last repetition.
+func (r *RepeatStream) NextJob() (*job.Job, error) {
+	if r.idx >= len(r.base) {
+		r.rep++
+		r.idx = 0
+	}
+	if r.rep >= r.reps || len(r.base) == 0 {
+		return nil, io.EOF
+	}
+	b := r.base[r.idx]
+	r.idx++
+	idOff := job.ID(r.rep) * r.idStride
+	j := job.New(b.ID+idOff, b.Nodes, b.SubmitTime+sim.Time(r.rep)*sim.Time(r.period), b.Runtime, b.Walltime)
+	j.User = b.User
+	if len(b.Mates) > 0 {
+		j.Mates = make([]job.MateRef, len(b.Mates))
+		for i, m := range b.Mates {
+			j.Mates[i] = job.MateRef{Domain: m.Domain, Job: m.Job + idOff}
+		}
+	}
+	return j, nil
+}
+
+// AnalyzeStream computes TraceStats from a job stream in one pass and
+// bounded memory: exact ValueDists (one counter per distinct value) replace
+// the per-job []float64 buffers, so the result — and hence Render — is
+// byte-identical to Analyze on the materialized slice, while peak memory is
+// independent of trace length. The source must be submit-sorted (JobIter's
+// contract); a violation is an error.
+func AnalyzeStream(src JobIter, totalNodes int) (TraceStats, error) {
+	var st TraceStats
+	var runtimes, walls, overs, nodes, gaps metrics.ValueDist
+	users := map[int]bool{}
+	sizes := map[int]int{}
+	var first, last, prev sim.Time
+	var demand int64
+	for {
+		j, err := src.NextJob()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return TraceStats{}, err
+		}
+		if st.Jobs > 0 && j.SubmitTime < prev {
+			return TraceStats{}, fmt.Errorf("workload: AnalyzeStream source not sorted: t=%d after t=%d", j.SubmitTime, prev)
+		}
+		if st.Jobs == 0 {
+			first = j.SubmitTime
+		} else {
+			gaps.Add(float64(j.SubmitTime - prev))
+		}
+		prev = j.SubmitTime
+		st.Jobs++
+		runtimes.Add(float64(j.Runtime))
+		walls.Add(float64(j.Walltime))
+		if j.Runtime > 0 {
+			overs.Add(float64(j.Walltime) / float64(j.Runtime))
+		}
+		nodes.Add(float64(j.Nodes))
+		users[j.User] = true
+		sizes[j.Nodes]++
+		st.TotalNodeSeconds += j.NodeSeconds()
+		demand += j.NodeSeconds()
+		if j.Paired() {
+			st.Paired++
+		}
+		if e := j.SubmitTime + j.Runtime; e > last {
+			last = e
+		}
+	}
+	if st.Jobs == 0 {
+		return st, nil
+	}
+	st.Users = len(users)
+	st.Span = last - first
+	// OfferedLoad over the same ints Analyze feeds it: demand / (nodes × span).
+	if totalNodes > 0 {
+		if span := last - first; span > 0 {
+			st.OfferedLoad = float64(demand) / (float64(totalNodes) * float64(span))
+		}
+	}
+	st.Runtime = runtimes.Summary()
+	st.Walltime = walls.Summary()
+	st.WallOverReq = overs.Summary()
+	st.Nodes = nodes.Summary()
+	st.Interarrival = gaps.Summary()
+	for n, c := range sizes {
+		st.SizeHistogram = append(st.SizeHistogram, SizeBucket{Nodes: n, Count: c})
+	}
+	sort.Slice(st.SizeHistogram, func(a, b int) bool {
+		return st.SizeHistogram[a].Nodes < st.SizeHistogram[b].Nodes
+	})
+	return st, nil
+}
+
+// SliceIter adapts a materialized, submit-sorted job slice to JobIter — the
+// bridge the differential tests use to compare streaming and materialized
+// paths over identical jobs.
+type SliceIter struct {
+	jobs []*job.Job
+	idx  int
+}
+
+// NewSliceIter wraps jobs (must already be in (SubmitTime, ID) order).
+func NewSliceIter(jobs []*job.Job) *SliceIter { return &SliceIter{jobs: jobs} }
+
+// NextJob implements JobIter.
+func (s *SliceIter) NextJob() (*job.Job, error) {
+	if s.idx >= len(s.jobs) {
+		return nil, io.EOF
+	}
+	j := s.jobs[s.idx]
+	s.idx++
+	return j, nil
+}
