@@ -9,13 +9,25 @@ set -eux
 
 # Formatting and static analysis: gofmt must be clean, vet runs under both
 # tag sets (the debug-only assert files are code too), and simlint
-# enforces the repo's determinism and scheduling contracts (R1–R6; see
-# ARCHITECTURE.md §6) before anything slower runs.
+# enforces the repo's determinism and scheduling contracts (R1–R9; see
+# ARCHITECTURE.md §6) before anything slower runs — under both tag sets
+# too, since the interprocedural rules (R7–R9) cover the protocol and
+# journal code that the debug-only files exercise. The -json run gates
+# that the machine-readable output stays parseable (the CLI re-decodes
+# its own output before printing) and leaves the findings inventory
+# behind as a build artifact for run-to-run diffing.
 test -z "$(gofmt -l .)"
 go vet ./...
 go vet -tags debug ./...
 go build ./...
 go run ./cmd/simlint ./...
+go run ./cmd/simlint -tags debug ./...
+go run ./cmd/simlint -json ./... > /tmp/ci_simlint.json
+
+# The lint package's own suite (golden rule fixtures, interprocedural
+# summaries, repo self-check, JSON round-trip) under -race: the engine
+# type-checks and runs rules across GOMAXPROCS workers.
+go test -race -count=1 ./internal/lint
 
 go test -race ./...
 go test -run=NONE -bench=Fig -benchtime=1x .

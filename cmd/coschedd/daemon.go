@@ -80,6 +80,7 @@ func runDaemon(cfg *daemonConfig) error {
 		if err != nil {
 			return err
 		}
+		//simlint:allow R7 crash backstop only: the graceful drain path closes the store with error logging first, and a second Close returns nil
 		defer store.Close()
 		rec := journal.NewRecorder(store,
 			func() journal.Snapshot { return journal.ManagerSnapshot(mgr) },

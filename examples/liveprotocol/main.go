@@ -148,7 +148,10 @@ func main() {
 			if hs.StartTime == vs.StartTime {
 				fmt.Println("  start instants identical — the protocol held the pair together")
 			}
-			hj, _ := hpcAdmin.Status(pairID)
+			hj, err := hpcAdmin.Status(pairID)
+			if err != nil {
+				hj = hs // the poll above just succeeded; fall back to it
+			}
 			fmt.Printf("  states now: hpc=%s viz=%s\n", hj.State, vs.State)
 			ls := hpcToViz.Snapshot()
 			fmt.Printf("  hpc->viz link: %s, %d calls (%d ok), %d dials, %d breaker trips\n",

@@ -211,6 +211,7 @@ func (c *Coordinator) runWorker(d *dispatch, id int, conn Conn, kind experiments
 		if done {
 			// Best-effort farewell: the worker exits on it, or on the
 			// close that follows either way.
+			//simlint:allow R7 best-effort farewell: the worker also exits on the conn close that follows whether or not this frame lands
 			_ = proto.WriteFrame(conn, &frame{Type: frameDone})
 			return nil
 		}

@@ -47,6 +47,7 @@ func Serve(conn Conn, opt WorkerOptions) error {
 		return fmt.Errorf("distsweep: hello: %w", err)
 	}
 	var sweep frame
+	//simlint:allow R9 worker reads block by design: liveness is the coordinator's job — it tears down the conn on heartbeat loss, which unblocks this read
 	if err := proto.ReadFrame(conn, &sweep); err != nil {
 		return fmt.Errorf("distsweep: sweep frame: %w", err)
 	}
@@ -61,6 +62,7 @@ func Serve(conn Conn, opt WorkerOptions) error {
 	write := func(f *frame) error {
 		wmu.Lock()
 		defer wmu.Unlock()
+		//simlint:allow R8 wmu exists solely to keep rows and heartbeats whole on the wire: both writers park together on a stalled coordinator, which then tears down the conn and unblocks them
 		return proto.WriteFrame(conn, f)
 	}
 
@@ -91,6 +93,7 @@ func Serve(conn Conn, opt WorkerOptions) error {
 	run := opt.run()
 	for {
 		var f frame
+		//simlint:allow R9 worker reads block by design: between assignments the coordinator is legitimately silent, and it closes the conn on failure, which unblocks this read
 		if err := proto.ReadFrame(conn, &f); err != nil {
 			return fmt.Errorf("distsweep: read: %w", err)
 		}
@@ -104,6 +107,7 @@ func Serve(conn Conn, opt WorkerOptions) error {
 				if err != nil {
 					// Deterministic failure: report it and exit; the
 					// coordinator aborts the sweep.
+					//simlint:allow R7 best-effort failure report: the worker exits with the group error regardless, and a lost frame still aborts the sweep via heartbeat loss
 					_ = write(&frame{Type: frameError, Err: err.Error()})
 					return fmt.Errorf("distsweep: group %d: %w", g, err)
 				}

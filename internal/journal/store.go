@@ -218,11 +218,11 @@ func (s *Store) Compact(snap Snapshot) error {
 		return fmt.Errorf("journal: snapshot tmp: %w", err)
 	}
 	if _, err := f.Write(data); err != nil {
-		f.Close()
+		f.Close() //simlint:allow R7 error-path cleanup: the snapshot write already failed and the tmp file is discarded, so this close's error adds nothing
 		return fmt.Errorf("journal: snapshot write: %w", err)
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
+		f.Close() //simlint:allow R7 error-path cleanup: the snapshot fsync already failed and the tmp file is discarded, so this close's error adds nothing
 		return fmt.Errorf("journal: snapshot fsync: %w", err)
 	}
 	if err := f.Close(); err != nil {

@@ -1,0 +1,539 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file is the interprocedural layer: a module-wide call graph built
+// from types.Info plus bottom-up per-function summaries. Rules stay
+// syntactic at the report site but consult summaries to see through
+// helpers — a one-line wrapper in a cmd/ package can no longer launder
+// time.Now into sim-pure code (R2), a closure that arms a read deadline
+// satisfies R9 at its call sites, and a helper that swallows a journal
+// write is itself durability-critical for R7.
+
+// FuncSummary is the bottom-up summary of one function (or function
+// literal). The boolean facts are monotone — propagation only turns them
+// on — so the fixpoint terminates.
+type FuncSummary struct {
+	// WallClock: the function transitively reaches a wall-clock read
+	// (time.Now/Sleep/...). WallVia is the call chain that proves it,
+	// outermost callee first, for the finding message.
+	WallClock bool
+	WallVia   []string
+	// GlobalRNG: transitively draws from the implicitly seeded global
+	// math/rand source.
+	GlobalRNG bool
+	RNGVia    []string
+	// Blocks: may block on network/channel I/O, process waits, or
+	// time.Sleep (R8's notion of blocking; file I/O is excluded).
+	Blocks bool
+	// SetsDeadline: calls SetReadDeadline/SetDeadline on some value —
+	// a call to this function arms a read deadline for R9.
+	SetsDeadline bool
+	// Durable: transitively performs a durability-critical operation
+	// whose error the caller must not discard (journal.Store mutations,
+	// proto frame writes).
+	Durable bool
+	// ReturnsErr: the signature has at least one error result.
+	ReturnsErr bool
+	// CapturesManager: the function body references a variable defined
+	// outside the function whose type contains a *resmgr.Manager (free
+	// variable or package global) — running it on a goroutine escapes
+	// the Manager.
+	CapturesManager bool
+
+	callees []string
+}
+
+// pkgFacts is the per-package output of fact collection: local summaries
+// keyed by funcKey/litKey, plus the maps rules need to resolve calls
+// through function-typed local variables and literals.
+type pkgFacts struct {
+	sums map[string]*FuncSummary
+	// funcVars maps a local variable object assigned exactly one
+	// function literal to that literal's key; variables assigned more
+	// than once map to "" (unresolvable).
+	funcVars map[types.Object]string
+	litKeys  map[*ast.FuncLit]string
+}
+
+// Summaries is the merged, propagated module-wide summary table.
+type Summaries struct {
+	m map[string]*FuncSummary
+}
+
+// of returns the summary for a resolved function, or nil when the
+// function is outside the analyzed module (export-data imports carry no
+// bodies).
+func (s *Summaries) of(fn *types.Func) *FuncSummary {
+	if s == nil || fn == nil {
+		return nil
+	}
+	return s.m[funcKey(fn)]
+}
+
+func (s *Summaries) byKey(key string) *FuncSummary {
+	if s == nil {
+		return nil
+	}
+	return s.m[key]
+}
+
+// funcKey is the stable identity of a function across packages: pointer
+// identity of *types.Func differs between the source-checked view and
+// export-data imports, but Origin().FullName() does not.
+func funcKey(fn *types.Func) string {
+	return fn.Origin().FullName()
+}
+
+// litKey names a function literal by position; it is computable at both
+// the definition and any call site without registration order mattering.
+func litKey(fset *token.FileSet, path string, lit *ast.FuncLit) string {
+	pos := fset.Position(lit.Pos())
+	return fmt.Sprintf("%s.func@%d:%d", path, pos.Line, pos.Column)
+}
+
+// displayStrip shortens module paths in finding messages.
+var displayStrip = strings.NewReplacer(
+	"cosched/internal/", "", "cosched/cmd/", "", "cosched/", "")
+
+func displayName(key string) string { return displayStrip.Replace(key) }
+
+// collectFacts computes the local (non-propagated) facts for one
+// type-checked package.
+func collectFacts(fset *token.FileSet, files []*ast.File, info *types.Info, path string) *pkgFacts {
+	fc := &factCollector{
+		fset: fset, info: info, path: path,
+		facts: &pkgFacts{
+			sums:     make(map[string]*FuncSummary),
+			funcVars: make(map[types.Object]string),
+			litKeys:  make(map[*ast.FuncLit]string),
+		},
+	}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := info.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			fc.walkFunc(funcKey(fn), fd, fd.Body, fn.Type().(*types.Signature))
+		}
+	}
+	return fc.facts
+}
+
+type factCollector struct {
+	fset  *token.FileSet
+	info  *types.Info
+	path  string
+	facts *pkgFacts
+}
+
+func (fc *factCollector) summary(key string) *FuncSummary {
+	s := fc.facts.sums[key]
+	if s == nil {
+		s = &FuncSummary{}
+		fc.facts.sums[key] = s
+	}
+	return s
+}
+
+// walkFunc collects facts for one function body. Nested literals get
+// their own summaries (and a call edge only when actually invoked);
+// their bodies do not contribute events to the enclosing function.
+func (fc *factCollector) walkFunc(key string, node ast.Node, body *ast.BlockStmt, sig *types.Signature) {
+	s := fc.summary(key)
+	s.ReturnsErr = signatureReturnsErr(sig)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			lk := litKey(fc.fset, fc.path, n)
+			fc.facts.litKeys[n] = lk
+			if lsig, ok := fc.info.Types[n].Type.(*types.Signature); ok {
+				fc.walkFunc(lk, n, n.Body, lsig)
+			}
+			return false
+		case *ast.AssignStmt:
+			fc.recordFuncVars(n)
+			return true
+		case *ast.CallExpr:
+			fc.recordCall(s, n)
+			return true
+		case *ast.SendStmt:
+			s.Blocks = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				s.Blocks = true
+			}
+		case *ast.SelectStmt:
+			if !selectHasDefault(n) {
+				s.Blocks = true
+			}
+		case *ast.RangeStmt:
+			if t, ok := fc.info.Types[n.X]; ok {
+				if _, isChan := t.Type.Underlying().(*types.Chan); isChan {
+					s.Blocks = true
+				}
+			}
+		case *ast.Ident:
+			fc.recordCapture(s, node, n)
+		}
+		return true
+	})
+}
+
+// recordFuncVars tracks single-assignment `v := func(...) {...}` so call
+// sites through v resolve to the literal's summary. A second assignment
+// to the same variable poisons the entry.
+func (fc *factCollector) recordFuncVars(a *ast.AssignStmt) {
+	if len(a.Lhs) != len(a.Rhs) {
+		return
+	}
+	for i, rhs := range a.Rhs {
+		id, ok := a.Lhs[i].(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := fc.info.Defs[id]
+		if obj == nil {
+			obj = fc.info.Uses[id]
+		}
+		if obj == nil {
+			continue
+		}
+		lit, isLit := ast.Unparen(rhs).(*ast.FuncLit)
+		if _, seen := fc.facts.funcVars[obj]; seen || !isLit {
+			// Reassigned, or assigned a non-literal: unresolvable.
+			if _, isFunc := obj.Type().Underlying().(*types.Signature); isFunc {
+				fc.facts.funcVars[obj] = ""
+			}
+			continue
+		}
+		fc.facts.funcVars[obj] = litKey(fc.fset, fc.path, lit)
+	}
+}
+
+// recordCall classifies one call: intrinsic facts (wall clock, RNG,
+// blocking, deadlines, durability) plus a call-graph edge for later
+// propagation.
+func (fc *factCollector) recordCall(s *FuncSummary, call *ast.CallExpr) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		s.addCallee(litKey(fc.fset, fc.path, fun))
+	case *ast.Ident:
+		if obj := fc.info.Uses[fun]; obj != nil {
+			if lk, ok := fc.facts.funcVars[obj]; ok && lk != "" {
+				s.addCallee(lk)
+			}
+		}
+	}
+	fn := calleeFunc(fc.info, call)
+	if fn == nil {
+		return
+	}
+	name := fn.Name()
+	if pkg := fn.Pkg(); pkg != nil {
+		switch pkg.Path() {
+		case "time":
+			if wallClockFuncs[name] && isPackageLevel(fn) {
+				s.markWall("time." + name)
+				if name == "Sleep" {
+					s.Blocks = true
+				}
+			}
+		case "math/rand", "math/rand/v2":
+			if isPackageLevel(fn) && !rngConstructors[name] {
+				s.markRNG(pkg.Path() + "." + name)
+			}
+		case "io":
+			switch name {
+			case "ReadFull", "ReadAll", "Copy", "CopyN", "CopyBuffer":
+				s.Blocks = true
+			}
+		case "net":
+			if strings.HasPrefix(name, "Dial") && isPackageLevel(fn) {
+				s.Blocks = true
+			}
+		}
+	}
+	if recv := recvType(fc.info, call); recv != nil {
+		switch {
+		case name == "SetReadDeadline" || name == "SetDeadline":
+			s.SetsDeadline = true
+		case (name == "Read" || name == "Write") && blockingIOReceiver(recv):
+			s.Blocks = true
+		case name == "Wait" && namedAs(recv, "sync", "WaitGroup"):
+			// sync.Cond.Wait is deliberately NOT here: it releases its
+			// mutex while parked, so it is not a held-lock stall.
+			s.Blocks = true
+		case namedAs(recv, "os/exec", "Cmd") &&
+			(name == "Wait" || name == "Run" || name == "Output" || name == "CombinedOutput"):
+			s.Blocks = true
+		case namedAs(recv, "cosched/internal/journal", "Store") && durableStoreMethods[name]:
+			s.Durable = true
+		}
+	}
+	if isPkgFunc(fn, "cosched/internal/proto", "WriteFrame") {
+		s.Durable = true
+		s.Blocks = true
+	}
+	s.addCallee(funcKey(fn))
+}
+
+// durableStoreMethods are the journal.Store mutations on the crash-safe
+// ordering path; their errors decide whether state survives a crash.
+var durableStoreMethods = map[string]bool{
+	"Append": true, "Compact": true, "Close": true, "Sync": true,
+}
+
+// blockingIOReceiver: a Read/Write on an interface value (io.Reader,
+// net.Conn, ...) or on a concrete connection type (has SetReadDeadline)
+// may block on the network. *os.File also has deadline methods but file
+// I/O is outside R8's contract, so it is excluded.
+func blockingIOReceiver(recv types.Type) bool {
+	if t := recv; t != nil {
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if _, ok := t.Underlying().(*types.Interface); ok {
+			return true
+		}
+	}
+	return connLikeType(recv)
+}
+
+// connLikeType reports whether t statically carries SetReadDeadline —
+// the shape of every net.Conn implementation — excluding *os.File.
+func connLikeType(t types.Type) bool {
+	if t == nil || namedAs(t, "os", "File") {
+		return false
+	}
+	obj, _, _ := types.LookupFieldOrMethod(t, true, nil, "SetReadDeadline")
+	_, ok := obj.(*types.Func)
+	return ok
+}
+
+// recordCapture flags references to Manager-carrying variables defined
+// outside the function: the defining object's position falling outside
+// the whole FuncDecl/FuncLit node range means receiver, parameters, and
+// locals stay internal while free variables and globals do not.
+func (fc *factCollector) recordCapture(s *FuncSummary, fnNode ast.Node, id *ast.Ident) {
+	if s.CapturesManager {
+		return
+	}
+	v, ok := fc.info.Uses[id].(*types.Var)
+	if !ok || v.Pos() == token.NoPos {
+		return
+	}
+	if v.Pos() >= fnNode.Pos() && v.Pos() <= fnNode.End() {
+		return
+	}
+	if typeContainsManager(v.Type()) {
+		s.CapturesManager = true
+	}
+}
+
+func (s *FuncSummary) addCallee(key string) {
+	for _, c := range s.callees {
+		if c == key {
+			return
+		}
+	}
+	s.callees = append(s.callees, key)
+}
+
+func (s *FuncSummary) markWall(via string) {
+	if !s.WallClock {
+		s.WallClock = true
+		s.WallVia = []string{via}
+	}
+}
+
+func (s *FuncSummary) markRNG(via string) {
+	if !s.GlobalRNG {
+		s.GlobalRNG = true
+		s.RNGVia = []string{via}
+	}
+}
+
+func signatureReturnsErr(sig *types.Signature) bool {
+	if sig == nil {
+		return false
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if types.Identical(res.At(i).Type(), types.Universe.Lookup("error").Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func selectHasDefault(sel *ast.SelectStmt) bool {
+	for _, s := range sel.Body.List {
+		if cc, ok := s.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// buildSummaries merges per-package facts and runs the bottom-up
+// fixpoint. Iteration is over sorted keys so the via-chains — and
+// therefore finding messages — are deterministic regardless of map
+// order or which package was collected first.
+func buildSummaries(facts []*pkgFacts) *Summaries {
+	merged := make(map[string]*FuncSummary)
+	for _, pf := range facts {
+		if pf == nil {
+			continue
+		}
+		for key, s := range pf.sums {
+			if prev, ok := merged[key]; ok {
+				prev.merge(s)
+			} else {
+				merged[key] = s
+			}
+		}
+	}
+	keys := make([]string, 0, len(merged))
+	for k := range merged {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for changed := true; changed; {
+		changed = false
+		for _, k := range keys {
+			s := merged[k]
+			for _, ck := range s.callees {
+				c := merged[ck]
+				if c == nil || c == s {
+					continue
+				}
+				if c.WallClock && !s.WallClock {
+					s.WallClock = true
+					s.WallVia = chainVia(ck, c.WallVia)
+					changed = true
+				}
+				if c.GlobalRNG && !s.GlobalRNG {
+					s.GlobalRNG = true
+					s.RNGVia = chainVia(ck, c.RNGVia)
+					changed = true
+				}
+				if c.Blocks && !s.Blocks {
+					s.Blocks = true
+					changed = true
+				}
+				if c.SetsDeadline && !s.SetsDeadline {
+					s.SetsDeadline = true
+					changed = true
+				}
+				if c.Durable && !s.Durable {
+					s.Durable = true
+					changed = true
+				}
+				if c.CapturesManager && !s.CapturesManager {
+					s.CapturesManager = true
+					changed = true
+				}
+			}
+		}
+	}
+	return &Summaries{m: merged}
+}
+
+func (s *FuncSummary) merge(o *FuncSummary) {
+	if o.WallClock && !s.WallClock {
+		s.WallClock, s.WallVia = true, o.WallVia
+	}
+	if o.GlobalRNG && !s.GlobalRNG {
+		s.GlobalRNG, s.RNGVia = true, o.RNGVia
+	}
+	s.Blocks = s.Blocks || o.Blocks
+	s.SetsDeadline = s.SetsDeadline || o.SetsDeadline
+	s.Durable = s.Durable || o.Durable
+	s.ReturnsErr = s.ReturnsErr || o.ReturnsErr
+	s.CapturesManager = s.CapturesManager || o.CapturesManager
+	for _, c := range o.callees {
+		s.addCallee(c)
+	}
+}
+
+// chainVia prepends the callee to its own evidence chain, bounded so a
+// deep stack stays readable.
+func chainVia(calleeKey string, via []string) []string {
+	out := append([]string{displayName(calleeKey)}, via...)
+	if len(out) > 4 {
+		out = out[:4]
+	}
+	return out
+}
+
+// calleeSummary resolves a call to the summary of what it invokes:
+// named functions and methods by stable key, immediately invoked
+// literals by position, and calls through single-assignment local
+// function variables via the funcVars map.
+func (p *Pass) calleeSummary(call *ast.CallExpr) *FuncSummary {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		return p.Sums.byKey(litKey(p.Fset, p.Path, fun))
+	case *ast.Ident:
+		if f, ok := p.Info.Uses[fun].(*types.Func); ok {
+			return p.Sums.of(f)
+		}
+		if obj := p.Info.Uses[fun]; obj != nil && p.facts != nil {
+			if lk, ok := p.facts.funcVars[obj]; ok && lk != "" {
+				return p.Sums.byKey(lk)
+			}
+		}
+	case *ast.SelectorExpr:
+		if f, ok := p.Info.Uses[fun.Sel].(*types.Func); ok {
+			return p.Sums.of(f)
+		}
+	}
+	return nil
+}
+
+// calleeDisplay names the called function for finding messages.
+func (p *Pass) calleeDisplay(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		return "function literal"
+	case *ast.Ident:
+		if f, ok := p.Info.Uses[fun].(*types.Func); ok {
+			return displayName(funcKey(f))
+		}
+		return fun.Name
+	case *ast.SelectorExpr:
+		if f, ok := p.Info.Uses[fun.Sel].(*types.Func); ok {
+			return displayName(funcKey(f))
+		}
+		return exprPath(fun)
+	}
+	return "call"
+}
+
+// exprPath renders a selector chain ("c.conn", "w.mu") for matching the
+// same lexical object across statements; "" when the expression is not a
+// plain ident/selector chain.
+func exprPath(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		if base := exprPath(e.X); base != "" {
+			return base + "." + e.Sel.Name
+		}
+	}
+	return ""
+}

@@ -1,0 +1,54 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// jsonFinding is the machine-readable finding schema `simlint -json`
+// emits: one object per finding, in the engine's stable position sort,
+// so CI and dashboards can diff runs byte-for-byte.
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Msg     string `json:"msg"`
+	Allowed bool   `json:"allowed"`
+	Reason  string `json:"reason,omitempty"`
+}
+
+// WriteJSON encodes findings (already sorted by the engine) as a JSON
+// array, one indented object per finding.
+func WriteJSON(w io.Writer, findings []Finding) error {
+	out := make([]jsonFinding, len(findings))
+	for i, f := range findings {
+		out[i] = jsonFinding{
+			File: f.Pos.Filename, Line: f.Pos.Line, Col: f.Pos.Column,
+			Rule: f.Rule, Msg: f.Msg,
+			Allowed: f.Allowed, Reason: f.Reason,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadJSON decodes WriteJSON output back into findings — the round-trip
+// the CLI self-validates with before printing.
+func ReadJSON(r io.Reader) ([]Finding, error) {
+	var in []jsonFinding
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, err
+	}
+	out := make([]Finding, len(in))
+	for i, f := range in {
+		out[i] = Finding{
+			Rule: f.Rule, Msg: f.Msg, Allowed: f.Allowed, Reason: f.Reason,
+		}
+		out[i].Pos.Filename = f.File
+		out[i].Pos.Line = f.Line
+		out[i].Pos.Column = f.Col
+	}
+	return out, nil
+}

@@ -1,18 +1,23 @@
 package lint
 
 import (
+	"bytes"
 	"fmt"
 	"os"
+	"reflect"
 	"regexp"
 	"strings"
 	"sync"
 	"testing"
 
 	"go/token"
+	"go/types"
 )
 
 // fixturePath is the synthetic import path fixtures are checked under: it
-// must look sim-pure so R2 is active.
+// must look sim-pure so R2 is active, and the rules scoped to protocol/
+// durability packages treat internal/fixture as in-scope so R7–R9
+// fixtures exercise them.
 const fixturePath = "cosched/internal/fixture"
 
 var (
@@ -34,21 +39,62 @@ func repoTable(t *testing.T) map[string]*Package {
 	return tableVal
 }
 
-// checkFixture type-checks one testdata file as its own package under the
-// sim-pure fixture path and runs every rule plus allow filtering over it.
-func checkFixture(t *testing.T, name string) []Finding {
+// fixtureHelpers maps fixtures to support files type-checked first as
+// their own packages (under cosched/cmd/<name>) and preloaded into the
+// fixture's importer — the interprocedural R2 fixture needs an impure
+// helper package to call into.
+var fixtureHelpers = map[string][]string{
+	"r2interproc.go": {"helperpkg.go"},
+}
+
+// checkFixtureAll type-checks one testdata file as its own package under
+// the sim-pure fixture path, collects facts for it (and its helper
+// packages), builds summaries, and runs every rule plus allow marking.
+// Allowed findings stay in the result.
+func checkFixtureAll(t *testing.T, name string) []Finding {
 	t.Helper()
 	fset := token.NewFileSet()
+	table := repoTable(t)
+	extra := make(map[string]*types.Package)
+	var facts []*pkgFacts
+	for _, h := range fixtureHelpers[name] {
+		path := "cosched/cmd/" + strings.TrimSuffix(h, ".go")
+		target := &Package{ImportPath: path, Path: path, Files: []string{"testdata/" + h}}
+		files, pkg, info, err := typecheck(fset, target, table, extra)
+		if err != nil {
+			t.Fatalf("typechecking helper %s: %v", h, err)
+		}
+		extra[path] = pkg
+		facts = append(facts, collectFacts(fset, files, info, path))
+	}
 	target := &Package{
 		ImportPath: fixturePath,
 		Path:       fixturePath,
 		Files:      []string{"testdata/" + name},
 	}
-	files, pkg, info, err := typecheck(fset, target, repoTable(t))
+	files, pkg, info, err := typecheck(fset, target, table, extra)
 	if err != nil {
 		t.Fatalf("typechecking %s: %v", name, err)
 	}
-	return Check(fset, files, pkg, info, fixturePath)
+	fxFacts := collectFacts(fset, files, info, fixturePath)
+	sums := buildSummaries(append(facts, fxFacts))
+	u := &unit{target: target, files: files, pkg: pkg, info: info}
+	out := checkUnit(fset, u, fxFacts, sums)
+	sortFindings(out)
+	return out
+}
+
+// checkFixture is checkFixtureAll minus allow-suppressed findings — the
+// view Run gives the CLI.
+func checkFixture(t *testing.T, name string) []Finding {
+	t.Helper()
+	var active []Finding
+	for _, f := range checkFixtureAll(t, name) {
+		if !f.Allowed {
+			active = append(active, f)
+		}
+	}
+	return active
 }
 
 var wantRe = regexp.MustCompile(`// want "([^"]+)"`)
@@ -74,7 +120,10 @@ func parseWants(t *testing.T, path string) map[int]string {
 // produce a matching finding, and no finding may appear on a line
 // without one. Deleting or de-fanging a rule fails its fixture.
 func TestRuleFixtures(t *testing.T) {
-	for _, name := range []string{"r1.go", "r2.go", "r3.go", "r4.go", "r4dist.go", "r5.go", "r6.go"} {
+	for _, name := range []string{
+		"r1.go", "r2.go", "r2interproc.go", "r3.go", "r4.go", "r4dist.go",
+		"r4interproc.go", "r5.go", "r6.go", "r7.go", "r8.go", "r9.go",
+	} {
 		t.Run(name, func(t *testing.T) {
 			findings := checkFixture(t, name)
 			wants := parseWants(t, "testdata/"+name)
@@ -122,6 +171,25 @@ func TestAllowHygieneFixture(t *testing.T) {
 	}
 }
 
+// TestAllowedFindingsMarked pins the RunAll contract -json relies on:
+// a suppressed finding survives with Allowed set and the directive's
+// reason attached.
+func TestAllowedFindingsMarked(t *testing.T) {
+	all := checkFixtureAll(t, "allow.go")
+	var marked int
+	for _, f := range all {
+		if f.Allowed {
+			marked++
+			if f.Rule == "allow" {
+				t.Errorf("hygiene finding marked allowed: %s", f)
+			}
+		}
+	}
+	if marked == 0 {
+		t.Fatalf("no allowed findings retained:\n%s", findingList(all))
+	}
+}
+
 // TestCleanFixture guards against over-reporting: the sanctioned shapes
 // must produce nothing.
 func TestCleanFixture(t *testing.T) {
@@ -132,7 +200,10 @@ func TestCleanFixture(t *testing.T) {
 
 // TestRepoSelfCheck is the dogfood gate inside the test suite: the tree
 // that ships this analyzer must itself be clean, under both the default
-// and the debug build tags.
+// and the debug build tags. RunAll on the same tree must agree with Run
+// on the active subset — allows only mark, never drop silently — and a
+// second run must be byte-identical to the first (the parallel
+// typecheck/rule fan-out may not perturb finding order).
 func TestRepoSelfCheck(t *testing.T) {
 	for _, tags := range [][]string{nil, {"debug"}} {
 		findings, err := Run("../..", tags, "./...")
@@ -142,6 +213,76 @@ func TestRepoSelfCheck(t *testing.T) {
 		if len(findings) > 0 {
 			t.Errorf("repository is not simlint-clean (tags=%v):\n%s", tags, findingList(findings))
 		}
+	}
+	all, err := RunAll("../..", nil, "./...")
+	if err != nil {
+		t.Fatalf("simlint RunAll: %v", err)
+	}
+	var active int
+	for _, f := range all {
+		if !f.Allowed {
+			active++
+		}
+		if f.Allowed && f.Reason == "" {
+			t.Errorf("allowed finding with empty reason: %s", f)
+		}
+	}
+	if active > 0 {
+		t.Errorf("RunAll reports %d active findings on a clean tree", active)
+	}
+	if len(all) == 0 {
+		t.Error("RunAll retained no allowed findings — the tree carries //simlint:allow directives")
+	}
+	again, err := RunAll("../..", nil, "./...")
+	if err != nil {
+		t.Fatalf("simlint RunAll (second run): %v", err)
+	}
+	if !reflect.DeepEqual(all, again) {
+		t.Error("two identical RunAll invocations disagree — parallel pipeline is nondeterministic")
+	}
+}
+
+// TestJSONRoundTrip pins the -json schema: encode → decode is lossless
+// and the encoder preserves the engine's stable order.
+func TestJSONRoundTrip(t *testing.T) {
+	in := []Finding{
+		{Rule: "R7", Msg: "discarded error", Allowed: false},
+		{Rule: "R9", Msg: "no deadline", Allowed: true, Reason: "client owns liveness"},
+	}
+	in[0].Pos.Filename, in[0].Pos.Line, in[0].Pos.Column = "a/b.go", 10, 2
+	in[1].Pos.Filename, in[1].Pos.Line, in[1].Pos.Column = "a/c.go", 3, 1
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, in); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	out, err := ReadJSON(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip mismatch:\n in: %#v\nout: %#v", in, out)
+	}
+}
+
+// TestSortFindingsStable pins the global order -json diffs rely on:
+// filename, then line, column, rule, message.
+func TestSortFindingsStable(t *testing.T) {
+	mk := func(file string, line, col int, rule string) Finding {
+		f := Finding{Rule: rule}
+		f.Pos.Filename, f.Pos.Line, f.Pos.Column = file, line, col
+		return f
+	}
+	got := []Finding{
+		mk("b.go", 1, 1, "R2"), mk("a.go", 9, 1, "R1"),
+		mk("a.go", 2, 5, "R9"), mk("a.go", 2, 5, "R7"), mk("a.go", 2, 1, "R3"),
+	}
+	sortFindings(got)
+	want := []Finding{
+		mk("a.go", 2, 1, "R3"), mk("a.go", 2, 5, "R7"),
+		mk("a.go", 2, 5, "R9"), mk("a.go", 9, 1, "R1"), mk("b.go", 1, 1, "R2"),
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("sort order wrong:\n%s", findingList(got))
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"go/token"
 	"io"
 	"os/exec"
 	"strings"
@@ -108,11 +109,13 @@ func Load(dir string, tags []string, patterns ...string) (table map[string]*Pack
 	}
 
 	// A plain package with an in-package test variant is a strict subset
-	// of that variant's files: lint only the variant.
+	// of that variant's files: lint only the variant. This includes main
+	// packages — linting both the plain package and its variant would
+	// check every non-test file twice and report findings twice.
 	superseded := make(map[string]bool)
 	for _, key := range order {
 		p := table[key]
-		if p.ForTest != "" && p.Name != "main" && !strings.HasSuffix(p.Name, "_test") {
+		if p.ForTest != "" && !strings.HasSuffix(p.Name, "_test") {
 			superseded[p.ForTest] = true
 		}
 	}
@@ -127,6 +130,32 @@ func Load(dir string, tags []string, patterns ...string) (table map[string]*Pack
 		targets = append(targets, p)
 	}
 	return table, targets, nil
+}
+
+// typecheckAll type-checks every lint target, fanning out across
+// GOMAXPROCS: the module is 30+ packages and each target typechecks
+// independently against export data (token.FileSet is documented
+// concurrency-safe, and each target builds its own importer). Results
+// land in target order and the first failure by target index is
+// returned, so both success and error paths are deterministic.
+func typecheckAll(fset *token.FileSet, targets []*Package, table map[string]*Package) ([]*unit, error) {
+	units := make([]*unit, len(targets))
+	errs := make([]error, len(targets))
+	parallelEach(len(targets), func(i int) {
+		t := targets[i]
+		files, pkg, info, err := typecheck(fset, t, table, nil)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		units[i] = &unit{target: t, files: files, pkg: pkg, info: info}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return units, nil
 }
 
 // strippedPath removes the " [pkg.test]" variant suffix and the "_test"

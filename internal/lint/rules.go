@@ -36,7 +36,11 @@ var Rules = []Rule{
 			"from explicitly seeded sources; time.Now/time.Sleep or the global " +
 			"math/rand functions make results machine- and run-dependent. " +
 			"Applies to every cosched/internal package except internal/live " +
-			"(the real-time driver); cmd/ and examples/ are exempt.",
+			"(the real-time driver); cmd/ and examples/ are exempt. The rule " +
+			"is interprocedural: a call into a non-sim-pure module helper " +
+			"whose summary transitively reaches the wall clock or global RNG " +
+			"is flagged with the proving call chain, so a one-line wrapper " +
+			"around time.Now cannot launder impurity into sim code.",
 		Check: checkPurity,
 	},
 	{
@@ -59,7 +63,12 @@ var Rules = []Rule{
 			"belongs in internal/parallel's deterministic cell pool, where each " +
 			"worker owns a private engine, or across process boundaries in " +
 			"internal/distsweep, whose coordinator goroutines hold only " +
-			"connections and serialized rows — never a Manager.",
+			"connections and serialized rows — never a Manager. Escape is " +
+			"tracked through values: arguments and captured free variables " +
+			"whose types *contain* a Manager (struct fields, slices, maps) " +
+			"are flagged, as are calls to helpers whose summaries reach a " +
+			"Manager through free variables or globals. Named internal/live " +
+			"types are exempt — the Driver serializes its Manager by design.",
 		Check: checkConcurrency,
 	},
 	{
@@ -87,6 +96,55 @@ var Rules = []Rule{
 			"annotate the site with //simlint:allow R6 and the amortization " +
 			"argument.",
 		Check: checkHotpath,
+	},
+	{
+		ID:    "R7",
+		Title: "no discarded errors on durability-critical calls",
+		Doc: "The journal's crash-safety proof (PR 5) is an ordering argument " +
+			"— append, fsync, rename, truncate — and it only holds if every " +
+			"step's error stops the sequence; a frame write whose failure is " +
+			"swallowed lets a sweep keep feeding a dead worker. Discarding " +
+			"the error from journal.Store.Append/Compact/Close/Sync, " +
+			"proto.WriteFrame, or (inside internal/journal) a raw file " +
+			"Sync/Close/Write or os.Rename — via `_ =`, a bare statement, " +
+			"defer, or go — is a finding. Helpers are summarized: wrapping a " +
+			"frame write in a closure does not launder its error. Genuinely " +
+			"best-effort sends (a farewell frame on an already-failed " +
+			"connection) carry a //simlint:allow R7 stating why losing the " +
+			"write is safe.",
+		Check: checkDurability,
+	},
+	{
+		ID:    "R8",
+		Title: "no mutex held across a blocking call",
+		Doc: "The heartbeat-stall shape: a goroutine holds a link mutex while " +
+			"writing to a peer that stopped reading, the TCP window fills, " +
+			"the write parks, and every goroutine that needs the mutex — " +
+			"including the heartbeat that would have detected the dead peer " +
+			"— parks behind it. In peerlink/distsweep/journal, no " +
+			"sync.Mutex/RWMutex may be held (lexically, including " +
+			"defer-Unlock) across network reads/writes, channel operations, " +
+			"selects without default, exec waits, or time.Sleep, directly or " +
+			"through a callee's summary. sync.Cond.Wait is exempt (it " +
+			"releases its mutex while parked), as is file I/O; internal/" +
+			"proto's sequential request/response client is out of scope by " +
+			"design.",
+		Check: checkLockBlock,
+	},
+	{
+		ID:    "R9",
+		Title: "network reads must be preceded by a read deadline",
+		Doc: "A conn read with no deadline turns a silent peer into a " +
+			"permanently parked goroutine; PR 7's liveness contract is that " +
+			"every read is bounded by 4 heartbeat intervals. In protocol " +
+			"packages (proto/peerlink/distsweep), every proto.ReadFrame on a " +
+			"conn-like value and every raw conn.Read must be lexically " +
+			"preceded, in the same function, by SetReadDeadline/SetDeadline " +
+			"on that conn or by a call to a helper/closure whose summary " +
+			"arms one. Reads that legitimately wait forever (an idle server " +
+			"between requests whose liveness the client owns) carry a " +
+			"//simlint:allow R9 saying who bounds the wait.",
+		Check: checkDeadline,
 	},
 }
 

@@ -1,0 +1,24 @@
+// helperpkg is the impure helper package for the interprocedural R2
+// fixture: it lives under a cmd/ path (where wall-clock reads are
+// legal), and launders time.Now behind two layers of wrappers. The
+// fixture harness type-checks it first and preloads it into the
+// r2interproc.go importer.
+package helperpkg
+
+import "time"
+
+// Stamp is the laundering entry point: two calls deep, it reaches the
+// wall clock.
+func Stamp() int64 {
+	return now().UnixNano()
+}
+
+func now() time.Time {
+	return time.Now()
+}
+
+// Span is pure time arithmetic — no clock read — so calling it from
+// sim-pure code is fine.
+func Span(d time.Duration) time.Duration {
+	return 2 * d
+}

@@ -1,0 +1,16 @@
+// Interprocedural R2 fixtures: a sim-pure package calling into a cmd/
+// helper that wraps time.Now two calls deep. The direct rule cannot see
+// through the wrappers; the summary layer can, and names the chain.
+package fixture
+
+import "cosched/cmd/helperpkg"
+
+func launderedStamp() int64 {
+	return helperpkg.Stamp() // want "transitively reaches the wall clock"
+}
+
+// pureHelper calls a helper in the same impure package whose summary is
+// clean — only actual clock reach is flagged, not package membership.
+func pureHelper() int64 {
+	return int64(helperpkg.Span(3))
+}

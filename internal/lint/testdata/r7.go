@@ -1,0 +1,56 @@
+// R7 fixtures: durability-critical calls — journal mutations, frame
+// writes, and (inside the journal's own package scope, which the fixture
+// path shares) raw fsync/rename/close — must not have their errors
+// discarded. The crash-safe ordering of PR 5 is only a proof if every
+// step's failure stops the sequence.
+package fixture
+
+import (
+	"io"
+	"os"
+
+	"cosched/internal/journal"
+	"cosched/internal/proto"
+)
+
+func discardAppend(s *journal.Store, e *journal.Entry) {
+	_ = s.Append(e) // want "R7"
+}
+
+func discardFrame(w io.Writer, v any) {
+	_ = proto.WriteFrame(w, v) // want "R7"
+}
+
+func bareSync(f *os.File) {
+	f.Sync() // want "R7"
+}
+
+func deferredClose(s *journal.Store) {
+	defer s.Close() // want "R7"
+}
+
+func renameDropped() {
+	_ = os.Rename("wal.tmp", "wal") // want "R7"
+}
+
+// launderedWrite wraps the frame write in a closure: the closure's
+// summary is durable, so discarding *its* error is the same bug.
+func launderedWrite(w io.Writer, v any) {
+	send := func() error { return proto.WriteFrame(w, v) }
+	_ = send() // want "R7"
+}
+
+// propagated is the sanctioned shape: every durability error reaches the
+// caller.
+func propagated(s *journal.Store, e *journal.Entry, f *os.File, w io.Writer, v any) error {
+	if err := s.Append(e); err != nil {
+		return err
+	}
+	if err := proto.WriteFrame(w, v); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,57 @@
+// R8 fixtures: no mutex held across a blocking call — the
+// heartbeat-stall shape. A blocked frame write under the link mutex
+// parks every goroutine contending for it, including the heartbeat that
+// would have detected the dead peer.
+package fixture
+
+import (
+	"net"
+	"sync"
+
+	"cosched/internal/proto"
+)
+
+type wire struct {
+	mu   sync.Mutex
+	seq  int
+	conn net.Conn
+}
+
+// heldAcrossWrite holds the mutex (via defer-Unlock, so to function end)
+// across a frame write that can park on a full TCP window.
+func heldAcrossWrite(w *wire, v any) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return proto.WriteFrame(w.conn, v) // want "R8"
+}
+
+// heldAcrossChannel blocks on a channel send while holding the lock.
+func heldAcrossChannel(mu *sync.Mutex, ch chan int) {
+	mu.Lock()
+	ch <- 1 // want "R8"
+	mu.Unlock()
+}
+
+// heldAcrossHelper blocks through a callee: the helper's summary says it
+// may block on the conn, so calling it under the lock is the same stall.
+func heldAcrossHelper(w *wire, buf []byte) {
+	w.mu.Lock()
+	pushRaw(w.conn, buf) // want "R8"
+	w.mu.Unlock()
+}
+
+func pushRaw(conn net.Conn, buf []byte) {
+	if _, err := conn.Write(buf); err != nil {
+		return
+	}
+}
+
+// snapshotThenSend is the sanctioned shape: copy state under the lock,
+// release, then touch the network.
+func snapshotThenSend(w *wire, v any) error {
+	w.mu.Lock()
+	seq := w.seq
+	w.seq = seq + 1
+	w.mu.Unlock()
+	return proto.WriteFrame(w.conn, v)
+}

@@ -88,6 +88,7 @@ func (s *Server) ServeConn(conn net.Conn) {
 	}()
 	for {
 		var req Request
+		//simlint:allow R9 a peer connection idles between requests by design; request liveness is bounded by the client's own per-call deadlines, and shutdown closes the conn to unblock this read
 		if err := ReadFrame(conn, &req); err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && s.logger != nil {
 				s.logger.Printf("proto server: read: %v", err)
