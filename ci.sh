@@ -94,3 +94,18 @@ go run ./cmd/experiments -pprof /tmp/ci_pprof -megabench /tmp/ci_mega.json -mega
 go test -run 'ZeroAlloc|WithoutAllocating' -count=1 \
     . ./internal/sim ./internal/arena ./internal/backfill ./internal/workload
 go test -run=NONE -bench 'EngineEventThroughput' -benchtime=100x -count=1 .
+
+# Benchmark-methodology gate. A fresh -quick suite run proves the
+# harness end to end (all five families execute, the written record
+# self-validates its schema); its wall-clock numbers are NOT compared to
+# the committed baseline — shared CI machines make that flaky, the same
+# policy as the megabench smoke above. The gate logic itself is then
+# exercised deterministically: the committed baseline vs itself must
+# pass, and vs a synthetic 1.5x slowdown (-benchinject scales the
+# samples, no timing involved) must fail with a regression verdict —
+# proving the effect-size gate actually trips before we trust it to
+# guard real runs. (`! cmd` negates the exit status without tripping
+# set -e.)
+go run ./cmd/experiments -benchsuite /tmp/ci_benchsuite.json -quick
+go run ./cmd/experiments -benchcompare BENCH_suite.json,BENCH_suite.json
+! go run ./cmd/experiments -benchcompare BENCH_suite.json,BENCH_suite.json -benchinject 1.5

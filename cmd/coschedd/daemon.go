@@ -21,6 +21,7 @@ import (
 	"cosched/internal/invariant"
 	"cosched/internal/journal"
 	"cosched/internal/live"
+	"cosched/internal/obs"
 	"cosched/internal/peerlink"
 	"cosched/internal/policy"
 	"cosched/internal/proto"
@@ -176,17 +177,32 @@ func runDaemon(cfg *daemonConfig) error {
 
 	var statusSrv *live.StatusServer
 	if cfg.statusAddr != "" {
-		statusSrv = live.NewStatusServer(mgr, driver)
+		statusSrv = live.NewStatusServer(mgr, driver, logger)
 		statusSrv.WatchPeers(links...)
 		if recInfo != nil {
 			statusSrv.SetRecovery(*recInfo)
+		}
+		if store != nil {
+			// Journal durability counters ride the same /metrics scrape as
+			// the manager and peer-link series. Store.Stats takes only the
+			// store's own lock, so a stalled disk can slow a scrape but
+			// never deadlock it against the driver.
+			name := cfg.name
+			statusSrv.Metrics().Collect(func(e *obs.Emitter) {
+				st := store.Stats()
+				e.Counter("cosched_journal_appends_total", "WAL entries appended since boot", float64(st.Appends), "domain", name)
+				e.Counter("cosched_journal_fsyncs_total", "WAL fsyncs issued since boot", float64(st.Fsyncs), "domain", name)
+				e.Counter("cosched_journal_compactions_total", "compacting snapshots taken since boot", float64(st.Compacts), "domain", name)
+				e.Gauge("cosched_journal_entries_pending_compact", "WAL entries appended since the last compact", float64(st.Pending), "domain", name)
+				e.Gauge("cosched_journal_seq", "last assigned journal sequence number", float64(st.Seq), "domain", name)
+			})
 		}
 		sa, err := statusSrv.Listen(cfg.statusAddr)
 		if err != nil {
 			return fmt.Errorf("status listen: %w", err)
 		}
 		defer statusSrv.Close()
-		logger.Printf("status page on http://%s/", sa)
+		logger.Printf("status page on http://%s/ (metrics on /metrics)", sa)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -320,6 +336,7 @@ func reconcilePeers(ctx context.Context, driver *live.Driver, mgr *resmgr.Manage
 				if statusSrv != nil {
 					info := base
 					info.Reconcile = strings.Join(done, "; ")
+					info.Reconciled = len(done)
 					statusSrv.SetRecovery(info)
 				}
 				break

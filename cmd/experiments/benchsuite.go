@@ -1,0 +1,235 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"cosched/internal/benchsuite"
+	"cosched/internal/experiments"
+	"cosched/internal/journal"
+	"cosched/internal/resmgr"
+	"cosched/internal/schedbench"
+)
+
+// suiteFactors are the workload sizes behind the five suite families.
+// Two protocols: the full protocol is the committed-baseline recording
+// configuration; quick is the CI smoke that proves the machinery works
+// (schema, self-validation, gate plumbing) in seconds. Quick records are
+// marked and must never be committed as baselines.
+type suiteFactors struct {
+	warmup, runs int
+	sweepFactor  float64 // load-sweep job factor (parallel + dist families)
+	sweepReps    int
+	schedIters   int // Iterate calls per measured run
+	journalJobs  int // 8 WAL records per job
+	megaJobs     int // Intrepid jobs in the single mega cell
+}
+
+var (
+	fullFactors  = suiteFactors{warmup: 2, runs: 5, sweepFactor: 0.25, sweepReps: 2, schedIters: 2000, journalJobs: 1250, megaJobs: 20000}
+	quickFactors = suiteFactors{warmup: 1, runs: 3, sweepFactor: 0.02, sweepReps: 1, schedIters: 200, journalJobs: 250, megaJobs: 2000}
+)
+
+// suiteBenchmarks builds the five benchmark families over the existing
+// experiment bodies. Each family reuses the exact code path its
+// dedicated -*bench flag measures, so a suite regression points at the
+// same subsystem the deep benchmark would.
+func suiteBenchmarks(f suiteFactors) []benchsuite.Benchmark {
+	// One deterministic config per family, derived here rather than from
+	// the -factor/-reps flags so records stay comparable across runs.
+	sweepCfg := experiments.DefaultConfig(1, f.sweepFactor)
+	sweepCfg.Reps = f.sweepReps
+	sweepCfg.Parallelism = 1
+
+	distCfg := sweepCfg
+	distCfg.Dist = &procDistributor{Workers: 2, Quiet: true}
+
+	megaCfg := experiments.DefaultConfig(1, 1.0)
+
+	var benches []benchsuite.Benchmark
+
+	benches = append(benches, benchsuite.Benchmark{
+		Name: "parallel_sweep",
+		Run: func() error {
+			_, err := experiments.RunLoadSweep(sweepCfg)
+			return err
+		},
+	})
+
+	// Scheduler inner loop: steady-state Iterate on the incremental core
+	// with a 4k-job queue — the -schedbench hot path. The scenario is
+	// built once; steady-state iterations do not perturb it.
+	var schedIterate func() error
+	benches = append(benches, benchsuite.Benchmark{
+		Name: "sched_iterate",
+		Setup: func() error {
+			eng, m, _, _ := schedbench.Steady(resmgr.CoreIncremental, 4000)
+			now := eng.Now()
+			schedIterate = func() error {
+				for i := 0; i < f.schedIters; i++ {
+					m.Iterate(now)
+				}
+				return nil
+			}
+			return nil
+		},
+		Run: func() error { return schedIterate() },
+	})
+
+	// Journal decode + replay on the synthetic full-lifecycle history the
+	// -journalbench flag uses (8 records per job, every state edge).
+	var entries []journal.Entry
+	var wal []byte
+	benches = append(benches, benchsuite.Benchmark{
+		Name: "journal_decode",
+		Setup: func() error {
+			entries = journalHistory(f.journalJobs)
+			wal = nil
+			for i := range entries {
+				var err error
+				wal, err = journal.AppendRecord(wal, &entries[i])
+				if err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		Run: func() error {
+			decoded, n, torn := journal.DecodeEntries(wal)
+			if torn != nil || n != int64(len(wal)) || len(decoded) != len(entries) {
+				return fmt.Errorf("decode lost records: %d/%d, torn=%v", len(decoded), len(entries), torn)
+			}
+			return nil
+		},
+	})
+	benches = append(benches, benchsuite.Benchmark{
+		Name: "journal_replay",
+		// No Setup: runs after journal_decode's, which built entries.
+		Run: func() error {
+			st, err := journal.Replay(nil, entries)
+			if err != nil {
+				return err
+			}
+			if len(st.Jobs) != f.journalJobs || st.Entries != len(entries) {
+				return fmt.Errorf("replay folded %d jobs / %d entries, want %d / %d",
+					len(st.Jobs), st.Entries, f.journalJobs, len(entries))
+			}
+			return nil
+		},
+	})
+
+	// One large cell through the snapshot/arena memory architecture —
+	// the -megabench single-cell path at suite-sized job counts.
+	var mega *experiments.MegaTraces
+	benches = append(benches, benchsuite.Benchmark{
+		Name: "mega_cell",
+		Setup: func() error {
+			var err error
+			mega, err = experiments.BuildMegaTraces(megaCfg, f.megaJobs, 0.75)
+			return err
+		},
+		Run: func() error {
+			cell, err := mega.Run(megaCfg, experiments.Combos[0])
+			if err != nil {
+				return err
+			}
+			if cell.Stuck > 0 {
+				return fmt.Errorf("mega cell left %d jobs stuck", cell.Stuck)
+			}
+			return nil
+		},
+	})
+
+	benches = append(benches, benchsuite.Benchmark{
+		Name: "dist_sweep",
+		Run: func() error {
+			_, err := experiments.RunLoadSweep(distCfg)
+			return err
+		},
+	})
+	return benches
+}
+
+// runBenchSuite runs the scientific suite and writes BENCH_suite.json
+// (stable schema) plus the markdown report alongside, then re-reads the
+// written file so every run self-validates its own schema.
+func runBenchSuite(path string, quick bool, baseline string) error {
+	f := fullFactors
+	mode := "full"
+	if quick {
+		f = quickFactors
+		mode = "quick"
+	}
+	fmt.Printf("=== benchmark suite (%s: %d warmup + %d runs per family) ===\n",
+		mode, f.warmup, f.runs)
+	rec, err := benchsuite.Run(benchsuite.Config{
+		Warmup: f.warmup, Runs: f.runs, Quick: quick,
+		Logf: func(format string, args ...any) { fmt.Printf(format+"\n", args...) },
+	}, suiteBenchmarks(f))
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteFile(path); err != nil {
+		return err
+	}
+	back, err := benchsuite.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("written record does not self-validate: %w", err)
+	}
+	mdPath := suiteReportPath(path)
+	if err := os.WriteFile(mdPath, []byte(back.Report()), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (schema %s, self-validated) and %s\n", path, back.Schema, mdPath)
+	if baseline != "" {
+		return gateRecords(baseline, path, 0)
+	}
+	return nil
+}
+
+// suiteReportPath derives the markdown report path from the JSON path.
+func suiteReportPath(jsonPath string) string {
+	return strings.TrimSuffix(jsonPath, ".json") + ".md"
+}
+
+// runBenchCompare is the -benchcompare entry: gate current against
+// baseline. spec is "baseline.json,current.json"; inject > 1 multiplies
+// the current record's samples first, the deterministic CI self-test
+// that the gate actually trips.
+func runBenchCompare(spec string, inject float64) error {
+	parts := strings.Split(spec, ",")
+	if len(parts) != 2 {
+		return fmt.Errorf("-benchcompare wants 'baseline.json,current.json', got %q", spec)
+	}
+	return gateRecords(strings.TrimSpace(parts[0]), strings.TrimSpace(parts[1]), inject)
+}
+
+// gateRecords loads both records, applies any synthetic slowdown, and
+// runs the effect-size regression gate, failing the process on a
+// statistically significant slowdown or lost coverage.
+func gateRecords(basePath, curPath string, inject float64) error {
+	base, err := benchsuite.ReadFile(basePath)
+	if err != nil {
+		return err
+	}
+	cur, err := benchsuite.ReadFile(curPath)
+	if err != nil {
+		return err
+	}
+	label := ""
+	if inject > 0 {
+		cur = cur.InjectSlowdown(inject)
+		label = fmt.Sprintf(" [current x%g synthetic slowdown]", inject)
+	}
+	fmt.Printf("=== benchmark regression gate: %s vs %s%s ===\n", curPath, basePath, label)
+	if base.Quick || cur.Quick {
+		fmt.Println("note: quick-mode record in comparison — protocol differences make this a plumbing check, not a perf result")
+	}
+	verdicts, failed := benchsuite.Compare(base, cur, benchsuite.DefaultThresholds())
+	fmt.Print(benchsuite.FormatVerdicts(verdicts, failed))
+	if failed {
+		return fmt.Errorf("benchmark gate failed vs %s", basePath)
+	}
+	return nil
+}

@@ -52,6 +52,11 @@ func main() {
 		journalBench  = flag.String("journalbench", "", "benchmark write-ahead journal decode+replay on a synthetic 10k-transition history and write a JSON perf record to this path")
 		profDir       = flag.String("pprof", "", "write cpu.pprof and allocs.pprof profiles of the run into this directory")
 		megaBench     = flag.String("megabench", "", "benchmark the memory architecture (load-sweep cells/sec + one huge single cell) and write a JSON perf record to this path")
+		benchSuite    = flag.String("benchsuite", "", "run the scientific benchmark suite (warmup + multi-run stats over all five bench families) and write a stable-schema JSON record to this path plus a markdown report alongside")
+		benchQuick    = flag.Bool("quick", false, "benchsuite: smoke protocol (1 warmup, 3 runs, tiny workloads); the record is marked quick and must not be committed as a baseline")
+		benchBaseline = flag.String("benchbaseline", "", "benchsuite: after the run, gate the fresh record against this committed baseline")
+		benchCompare  = flag.String("benchcompare", "", "gate 'baseline.json,current.json' benchsuite records on effect size + CV and exit nonzero on significant slowdown")
+		benchInject   = flag.Float64("benchinject", 0, "benchcompare: multiply the current record's samples by this factor first — CI's deterministic proof that the gate trips")
 		megaJobs      = flag.Int("megajobs", 1_000_000, "Intrepid job count for the -megabench huge cell")
 		gcPercent     = flag.Int("gcpercent", 1000, "GC target percentage (runtime/debug.SetGCPercent); negative leaves the GOGC default")
 		memLimitMiB   = flag.Int64("memlimit", 1536, "soft heap memory limit in MiB (runtime/debug.SetMemoryLimit); 0 or negative leaves it unlimited")
@@ -124,6 +129,20 @@ func main() {
 			os.Exit(1)
 		}
 		defer stop()
+	}
+	if *benchCompare != "" {
+		if err := runBenchCompare(*benchCompare, *benchInject); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: benchcompare: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *benchSuite != "" {
+		if err := runBenchSuite(*benchSuite, *benchQuick, *benchBaseline); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: benchsuite: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if *megaBench != "" {
 		if err := runMegaBench(cfg, *megaBench, *megaJobs); err != nil {

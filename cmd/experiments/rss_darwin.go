@@ -1,0 +1,16 @@
+//go:build darwin
+
+package main
+
+import "syscall"
+
+// peakRSSBytes returns the process's peak resident set size. Darwin's
+// getrusage(2) reports ru_maxrss already in bytes — no scaling, unlike
+// Linux's kilobytes.
+func peakRSSBytes() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return ru.Maxrss
+}

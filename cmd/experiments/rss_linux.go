@@ -1,11 +1,14 @@
-//go:build unix
+//go:build linux
 
 package main
 
 import "syscall"
 
 // peakRSSBytes returns the process's peak resident set size. Linux
-// reports ru_maxrss in kilobytes.
+// reports ru_maxrss in kilobytes (getrusage(2)); scale to bytes. The
+// unit is per-OS — darwin reports bytes — which is why this file is
+// linux-only rather than `unix`: a unix-wide *1024 overcounts RSS
+// 1024x on macOS.
 func peakRSSBytes() int64 {
 	var ru syscall.Rusage
 	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {

@@ -1,6 +1,8 @@
-//go:build !unix
+//go:build !linux && !darwin
 
 package main
 
-// peakRSSBytes is unavailable off unix; the perf record carries 0.
+// peakRSSBytes is unavailable on platforms whose ru_maxrss units we have
+// not audited (they differ per OS: Linux KB, darwin bytes); the perf
+// record carries 0.
 func peakRSSBytes() int64 { return 0 }

@@ -1,0 +1,14 @@
+//go:build darwin
+
+package main
+
+import "syscall"
+
+// totalSystemRAM reports physical memory via the hw.memsize sysctl.
+func totalSystemRAM() (int64, error) {
+	v, err := syscall.SysctlUint64("hw.memsize")
+	if err != nil {
+		return 0, err
+	}
+	return int64(v), nil
+}

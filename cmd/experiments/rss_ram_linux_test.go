@@ -1,0 +1,15 @@
+//go:build linux
+
+package main
+
+import "syscall"
+
+// totalSystemRAM reports physical memory via sysinfo(2). Totalram is in
+// units of mem_unit bytes.
+func totalSystemRAM() (int64, error) {
+	var si syscall.Sysinfo_t
+	if err := syscall.Sysinfo(&si); err != nil {
+		return 0, err
+	}
+	return int64(si.Totalram) * int64(si.Unit), nil
+}

@@ -1,0 +1,33 @@
+//go:build linux || darwin
+
+package main
+
+import "testing"
+
+// TestPeakRSSBytesSane pins the ru_maxrss unit handling: the scaled
+// value must land in [1 MiB, total system RAM]. This is the bound that
+// catches unit bugs on both sides — interpreting Linux's kilobytes as
+// bytes reads a multi-MiB process as a few KiB (below the floor), and
+// scaling darwin's bytes by another 1024 claims more RSS than the
+// machine has RAM (above the ceiling). The latter was a real bug: a
+// single unix-wide build file applied Linux's *1024 to darwin.
+func TestPeakRSSBytesSane(t *testing.T) {
+	// Touch some memory so the high-water mark is comfortably over 1 MiB
+	// even under a minimal test runtime.
+	ballast := make([]byte, 4<<20)
+	for i := range ballast {
+		ballast[i] = byte(i)
+	}
+	rss := peakRSSBytes()
+	if rss < 1<<20 {
+		t.Fatalf("peak RSS %d bytes < 1 MiB: ru_maxrss units interpreted too small", rss)
+	}
+	ram, err := totalSystemRAM()
+	if err != nil {
+		t.Fatalf("totalSystemRAM: %v", err)
+	}
+	if rss > ram {
+		t.Fatalf("peak RSS %d bytes exceeds total system RAM %d: ru_maxrss units interpreted too large", rss, ram)
+	}
+	_ = ballast
+}

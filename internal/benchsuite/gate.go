@@ -1,0 +1,153 @@
+package benchsuite
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Thresholds parameterizes the regression gate. The gate never compares
+// raw deltas: a regression must be both *large* as a standardized effect
+// (Cohen's d over the pooled run-to-run noise) and *outside* the noise
+// envelope implied by the measurements' own CV. This is the only way to
+// gate wall-clock numbers on shared machines without flaking — a 10%
+// slowdown on a 2%-CV benchmark is a finding; on a 40%-CV benchmark it
+// is weather.
+type Thresholds struct {
+	// EffectSize is the minimum Cohen's d to call a slowdown real.
+	// 0.8 is Cohen's "large" boundary.
+	EffectSize float64
+	// MinRelSlowdown is the floor on the required mean shift, so tiny
+	// absolute deltas on ultra-stable benchmarks never gate.
+	MinRelSlowdown float64
+	// CVSlack scales the worse of the two CVs into the required mean
+	// shift: cur must exceed base by CVSlack × max(CV) before the gate
+	// even considers it.
+	CVSlack float64
+	// MaxCV marks a measurement too noisy to gate at all; such pairs
+	// report StatusNoisy and never fail the build.
+	MaxCV float64
+}
+
+// DefaultThresholds are the CI settings: large effect size, 2% floor,
+// 2 CVs of headroom, and a 35% noise ceiling.
+func DefaultThresholds() Thresholds {
+	return Thresholds{EffectSize: 0.8, MinRelSlowdown: 0.02, CVSlack: 2.0, MaxCV: 0.35}
+}
+
+// Verdict statuses, ordered from benign to fatal.
+const (
+	StatusOK         = "ok"         // within noise
+	StatusFaster     = "faster"     // current is significantly faster
+	StatusNoisy      = "noisy"      // CV too high to judge; not gated
+	StatusNew        = "new"        // benchmark only in current; not gated
+	StatusMissing    = "missing"    // benchmark vanished from current: fails
+	StatusRegression = "regression" // statistically significant slowdown: fails
+)
+
+// Verdict is the gate's judgement for one benchmark pair.
+type Verdict struct {
+	Name       string  `json:"name"`
+	Status     string  `json:"status"`
+	BaseMean   float64 `json:"base_mean_seconds,omitempty"`
+	CurMean    float64 `json:"cur_mean_seconds,omitempty"`
+	Ratio      float64 `json:"ratio,omitempty"` // cur/base mean
+	EffectSize float64 `json:"effect_size,omitempty"`
+	BaseCV     float64 `json:"base_cv,omitempty"`
+	CurCV      float64 `json:"cur_cv,omitempty"`
+	Detail     string  `json:"detail,omitempty"`
+}
+
+// Failed reports whether this verdict alone should fail the gate.
+func (v Verdict) Failed() bool {
+	return v.Status == StatusRegression || v.Status == StatusMissing
+}
+
+// Compare judges current against baseline under th. The returned bool is
+// true when any verdict fails the gate. Records must share the schema
+// version (ReadFile already guarantees validity).
+func Compare(base, cur *Record, th Thresholds) ([]Verdict, bool) {
+	verdicts := make([]Verdict, 0, len(base.Benchmarks))
+	failed := false
+	for _, name := range sortedNames(base, cur) {
+		bm, cm := base.find(name), cur.find(name)
+		v := judge(name, bm, cm, th)
+		if v.Failed() {
+			failed = true
+		}
+		verdicts = append(verdicts, v)
+	}
+	return verdicts, failed
+}
+
+func judge(name string, bm, cm *Measurement, th Thresholds) Verdict {
+	switch {
+	case bm == nil:
+		return Verdict{Name: name, Status: StatusNew,
+			CurMean: cm.Stats.Mean, CurCV: cm.Stats.CV,
+			Detail: "not in baseline; re-record the baseline to start gating it"}
+	case cm == nil:
+		return Verdict{Name: name, Status: StatusMissing,
+			BaseMean: bm.Stats.Mean, BaseCV: bm.Stats.CV,
+			Detail: "in baseline but absent from current run — coverage lost"}
+	}
+	v := Verdict{
+		Name:     name,
+		BaseMean: bm.Stats.Mean, CurMean: cm.Stats.Mean,
+		BaseCV: bm.Stats.CV, CurCV: cm.Stats.CV,
+		EffectSize: CohenD(bm.Stats, cm.Stats),
+	}
+	if bm.Stats.Mean > 0 {
+		v.Ratio = cm.Stats.Mean / bm.Stats.Mean
+	}
+	maxCV := math.Max(bm.Stats.CV, cm.Stats.CV)
+	if maxCV > th.MaxCV {
+		v.Status = StatusNoisy
+		v.Detail = fmt.Sprintf("CV %.0f%% exceeds the %.0f%% gating ceiling; measurement too noisy to judge",
+			maxCV*100, th.MaxCV*100)
+		return v
+	}
+	required := 1 + math.Max(th.MinRelSlowdown, th.CVSlack*maxCV)
+	switch {
+	case v.Ratio >= required && v.EffectSize >= th.EffectSize:
+		v.Status = StatusRegression
+		v.Detail = fmt.Sprintf("%.1f%% slower (d=%.1f ≥ %.1f, needed ≥ %.1f%% over noise)",
+			(v.Ratio-1)*100, v.EffectSize, th.EffectSize, (required-1)*100)
+	case v.Ratio > 0 && 1/v.Ratio >= required && -v.EffectSize >= th.EffectSize:
+		v.Status = StatusFaster
+		v.Detail = fmt.Sprintf("%.1f%% faster (d=%.1f)", (1-v.Ratio)*100, v.EffectSize)
+	default:
+		v.Status = StatusOK
+	}
+	return v
+}
+
+// FormatVerdicts renders the gate outcome as an aligned text block for
+// CI logs, one line per benchmark plus a summary line.
+func FormatVerdicts(verdicts []Verdict, failed bool) string {
+	var b strings.Builder
+	for _, v := range verdicts {
+		switch v.Status {
+		case StatusNew:
+			fmt.Fprintf(&b, "  %-16s %-10s cur %s — %s\n",
+				v.Name, v.Status, fmtSeconds(v.CurMean), v.Detail)
+		case StatusMissing:
+			fmt.Fprintf(&b, "  %-16s %-10s base %s — %s\n",
+				v.Name, v.Status, fmtSeconds(v.BaseMean), v.Detail)
+		default:
+			fmt.Fprintf(&b, "  %-16s %-10s base %s  cur %s  ratio %.3f  d %+.2f",
+				v.Name, v.Status, fmtSeconds(v.BaseMean), fmtSeconds(v.CurMean),
+				v.Ratio, v.EffectSize)
+			if v.Detail != "" {
+				fmt.Fprintf(&b, " — %s", v.Detail)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	if failed {
+		b.WriteString("RESULT: FAIL — statistically significant regression\n")
+	} else {
+		b.WriteString("RESULT: PASS — no significant slowdown vs baseline\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,39 @@
+package benchsuite
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Report renders the record as a markdown document — the human companion
+// to BENCH_suite.json. Output is fully determined by the record
+// (rendering twice is byte-identical), so committing it produces clean
+// diffs when the baseline is re-recorded.
+func (r *Record) Report() string {
+	var b strings.Builder
+	b.WriteString("# Benchmark suite\n\n")
+	mode := "full"
+	if r.Quick {
+		mode = "quick (smoke only — not a comparable baseline)"
+	}
+	fmt.Fprintf(&b, "Protocol: %d warmup + %d measured runs per benchmark, %s mode.\n",
+		r.Warmup, r.Runs, mode)
+	fmt.Fprintf(&b, "Machine: %s/%s, %d CPUs, %s, GOMAXPROCS=%d, GOGC=%d.\n\n",
+		r.Machine.GOOS, r.Machine.GOARCH, r.Machine.NumCPU,
+		r.Machine.GoVersion, r.Machine.GOMAXPROCS, r.Machine.GCPercent)
+	b.WriteString("| benchmark | min | p50 | p95 | p99 | max | mean | stddev | CV |\n")
+	b.WriteString("|---|---|---|---|---|---|---|---|---|\n")
+	for _, m := range r.Benchmarks {
+		s := m.Stats
+		fmt.Fprintf(&b, "| %s | %s | %s | %s | %s | %s | %s | %s | %.1f%% |\n",
+			m.Name, fmtSeconds(s.MinSeconds), fmtSeconds(s.P50Seconds),
+			fmtSeconds(s.P95Seconds), fmtSeconds(s.P99Seconds),
+			fmtSeconds(s.MaxSeconds), fmtSeconds(s.Mean),
+			fmtSeconds(s.Stddev), s.CV*100)
+	}
+	b.WriteString("\nQuantiles are interpolated over the measured runs; stddev is the\n")
+	b.WriteString("sample form (÷ n−1) and CV = stddev/mean. The regression gate\n")
+	b.WriteString("compares records by Cohen's d effect size with a CV-scaled noise\n")
+	b.WriteString("envelope — see ARCHITECTURE.md, Observability & benchmark methodology.\n")
+	return b.String()
+}

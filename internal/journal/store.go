@@ -56,6 +56,11 @@ type Store struct {
 	dirty    bool   // unsynced bytes in the WAL
 	lastSync time.Time
 	closed   bool
+
+	// Lifetime counters for /metrics: unlike appended, these never reset.
+	appends  uint64 // entries written to the WAL since Open
+	fsyncs   uint64 // actual fsync(2) calls issued (batching skips count 0)
+	compacts uint64 // snapshots taken
 }
 
 // Open opens (creating if needed) the journal directory and recovers its
@@ -154,6 +159,7 @@ func (s *Store) Append(e *Entry) error {
 	}
 	s.seq++
 	s.appended++
+	s.appends++
 	s.dirty = true
 	if now := s.now(); s.opt.FsyncInterval == 0 || now.Sub(s.lastSync) >= s.opt.FsyncInterval {
 		return s.syncLocked(now)
@@ -168,6 +174,7 @@ func (s *Store) syncLocked(now time.Time) error {
 	if err := s.f.Sync(); err != nil {
 		return fmt.Errorf("journal: fsync: %w", err)
 	}
+	s.fsyncs++
 	s.dirty = false
 	s.lastSync = now
 	return nil
@@ -235,7 +242,32 @@ func (s *Store) Compact(snap Snapshot) error {
 		return fmt.Errorf("journal: wal truncate: %w", err)
 	}
 	s.appended = 0
+	s.compacts++
 	return nil
+}
+
+// Stats is a point-in-time view of the store's lifetime counters, exposed
+// on the daemon's /metrics endpoint. All fields are monotonically
+// non-decreasing for the life of the Store.
+type Stats struct {
+	Appends  uint64 // WAL entries appended since Open
+	Fsyncs   uint64 // fsync(2) calls actually issued
+	Compacts uint64 // compacting snapshots taken
+	Pending  uint64 // entries appended since the last compact (resets)
+	Seq      uint64 // last assigned sequence number
+}
+
+// Stats captures the store's counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Appends:  s.appends,
+		Fsyncs:   s.fsyncs,
+		Compacts: s.compacts,
+		Pending:  s.appended,
+		Seq:      s.seq,
+	}
 }
 
 // Close syncs and closes the WAL handle.

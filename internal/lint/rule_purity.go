@@ -7,13 +7,16 @@ import (
 )
 
 // simImpureAllowed lists the repo subtrees exempt from R2: command-line
-// tools and examples measure real elapsed time, and internal/live is the
-// real-time driver whose whole job is mapping virtual to wall-clock time.
+// tools and examples measure real elapsed time, internal/live is the
+// real-time driver whose whole job is mapping virtual to wall-clock time,
+// and internal/benchsuite is the scientific benchmark harness — its whole
+// job is timing real executions, so wall-clock reads are its subject
+// matter, not a determinism leak.
 func simPurePackage(path string) bool {
 	if !strings.HasPrefix(path, "cosched/internal/") {
 		return false
 	}
-	return !inRepoPackage(path, "live")
+	return !inRepoPackage(path, "live") && !inRepoPackage(path, "benchsuite")
 }
 
 // rngConstructors are the math/rand{,/v2} package-level functions that

@@ -3,12 +3,14 @@ package live
 import (
 	"context"
 	"encoding/json"
+	"io"
 	"net/http"
 	"testing"
 	"time"
 
 	"cosched/internal/cosched"
 	"cosched/internal/job"
+	"cosched/internal/obs"
 	"cosched/internal/peerlink"
 	"cosched/internal/proto"
 )
@@ -44,7 +46,7 @@ func TestLiveChaosCoStartOverTCP(t *testing.T) {
 	a.driver.Do(func() { a.mgr.AddPeer("b", ia) })
 	b.driver.Do(func() { b.mgr.AddPeer("a", ib) })
 
-	ss := NewStatusServer(a.mgr, a.driver)
+	ss := NewStatusServer(a.mgr, a.driver, nil)
 	ss.WatchPeers(la)
 	ssAddr, err := ss.Listen("127.0.0.1:0")
 	if err != nil {
@@ -163,6 +165,54 @@ func TestLiveChaosCoStartOverTCP(t *testing.T) {
 	}
 	if snap.Peers[0].Calls == 0 || snap.Peers[0].Dials == 0 {
 		t.Fatalf("peer counters empty in status: %+v", snap.Peers[0])
+	}
+
+	// /metrics must export the same link counters the Snapshot API
+	// reports. The drivers are still running, so counters may advance
+	// between reads; a scrape → snapshot → scrape sandwich pins each
+	// exported counter between two authoritative Snapshot values without
+	// racing the scheduler.
+	scrape := func() *obs.Scrape {
+		t.Helper()
+		resp, err := http.Get("http://" + ssAddr.String() + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := obs.Parse(body)
+		if err != nil {
+			t.Fatalf("metrics exposition does not parse after chaos: %v\n%s", err, body)
+		}
+		return s
+	}
+	before := la.Snapshot()
+	mid := scrape()
+	after := la.Snapshot()
+	for _, c := range []struct {
+		metric string
+		lo, hi int
+	}{
+		{"cosched_peer_calls_total", before.Calls, after.Calls},
+		{"cosched_peer_successes_total", before.Successes, after.Successes},
+		{"cosched_peer_dials_total", before.Dials, after.Dials},
+		{"cosched_peer_transport_errors_total", before.TransportErrors, after.TransportErrors},
+		{"cosched_peer_retries_total", before.Retries, after.Retries},
+		{"cosched_peer_breaker_trips_total", before.Trips, after.Trips},
+	} {
+		v, ok := mid.Value(c.metric, "domain", "a", "peer", "b")
+		if !ok {
+			t.Fatalf("%s missing from /metrics after chaos", c.metric)
+		}
+		if v < float64(c.lo) || v > float64(c.hi) {
+			t.Fatalf("%s = %g outside Snapshot sandwich [%d, %d]", c.metric, v, c.lo, c.hi)
+		}
+	}
+	if v, _ := mid.Value("cosched_peer_calls_total", "domain", "a", "peer", "b"); v == 0 {
+		t.Fatal("peer call counter still zero after a chaos run")
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"cosched/internal/cluster"
 	"cosched/internal/cosched"
 	"cosched/internal/job"
+	"cosched/internal/obs"
 	"cosched/internal/proto"
 	"cosched/internal/resmgr"
 	"cosched/internal/sim"
@@ -259,7 +260,7 @@ func TestStatusServer(t *testing.T) {
 	defer cancel()
 	go dom.driver.Run(ctx)
 
-	ss := NewStatusServer(dom.mgr, dom.driver)
+	ss := NewStatusServer(dom.mgr, dom.driver, nil)
 	addr, err := ss.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -325,6 +326,64 @@ func TestStatusServer(t *testing.T) {
 	resp3.Body.Close()
 	if resp3.StatusCode != http.StatusNotFound {
 		t.Fatalf("status for /nope = %d", resp3.StatusCode)
+	}
+
+	// /metrics: the exposition must parse and its gauges must be
+	// consistent with a JSON snapshot taken in the same quiet moment.
+	// Node counts only move when a job starts or completes, and the one
+	// submitted job runs for a virtual hour, so scrape and snapshot see
+	// the same allocation state.
+	resp4, err := http.Get("http://" + addr.String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp4.Body.Close()
+	if ct := resp4.Header.Get("Content-Type"); ct != obs.ContentType {
+		t.Fatalf("metrics content type = %q", ct)
+	}
+	expo, err := io.ReadAll(resp4.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scr, err := obs.Parse(expo)
+	if err != nil {
+		t.Fatalf("metrics exposition does not parse: %v\n%s", err, expo)
+	}
+	mustGauge := func(name string, want float64) {
+		t.Helper()
+		v, ok := scr.Value(name, "domain", "stat")
+		if !ok {
+			t.Fatalf("metric %s missing from exposition:\n%s", name, expo)
+		}
+		if v != want {
+			t.Fatalf("%s = %g, want %g", name, v, want)
+		}
+	}
+	mustGauge("cosched_nodes_total", 32)
+	mustGauge("cosched_nodes_running", float64(snap.Running))
+	mustGauge("cosched_nodes_free", float64(snap.Free))
+	mustGauge("cosched_jobs_queued", float64(snap.Queued))
+	if typ, ok := scr.Types["cosched_jobs_completed_total"]; !ok || typ != obs.KindCounter {
+		t.Fatalf("cosched_jobs_completed_total type = %v, %v", typ, ok)
+	}
+	// Scraping twice must stay parseable and keep virtual time monotone.
+	v1, _ := scr.Value("cosched_virtual_time_seconds", "domain", "stat")
+	resp5, err := http.Get("http://" + addr.String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	expo2, err := io.ReadAll(resp5.Body)
+	resp5.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scr2, err := obs.Parse(expo2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, ok := scr2.Value("cosched_virtual_time_seconds", "domain", "stat")
+	if !ok || v2 < v1 {
+		t.Fatalf("virtual time went backwards across scrapes: %g -> %g (ok=%v)", v1, v2, ok)
 	}
 }
 

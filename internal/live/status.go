@@ -2,18 +2,26 @@ package live
 
 import (
 	"encoding/json"
-	"fmt"
 	"html/template"
+	"log"
 	"net"
 	"net/http"
 	"sort"
 	"sync"
+	"time"
 
 	"cosched/internal/job"
+	"cosched/internal/obs"
 	"cosched/internal/peerlink"
 	"cosched/internal/resmgr"
 	"cosched/internal/sim"
 )
+
+// statusReadHeaderTimeout bounds how long a status connection may dawdle
+// over its request headers. Without it a slow-loris client (or a wedged
+// monitoring agent) pins a goroutine + connection per request forever —
+// the same class of hang simlint R9 forbids on raw protocol conns.
+const statusReadHeaderTimeout = 10 * time.Second
 
 // StatusSnapshot is the daemon state served by the status endpoint.
 type StatusSnapshot struct {
@@ -44,6 +52,10 @@ type RecoveryInfo struct {
 	Restored  int      `json:"restored_jobs"`       // jobs re-installed
 	Torn      string   `json:"torn,omitempty"`      // truncated-tail description, if any
 	Reconcile string   `json:"reconcile,omitempty"` // latest per-peer reconciliation summary
+	// Reconciled counts peers whose post-restart mate reconciliation
+	// completed; /metrics exports it as a gauge so a fleet dashboard can
+	// alert on a daemon stuck mid-reconciliation.
+	Reconciled int `json:"reconciled_peers,omitempty"`
 }
 
 // StatusJobRow is one non-terminal job in the snapshot.
@@ -57,13 +69,16 @@ type StatusJobRow struct {
 	Yields int      `json:"yields"`
 }
 
-// StatusServer serves a human-readable status page ("/") and a JSON
-// snapshot ("/status.json") for one live daemon.
+// StatusServer serves a human-readable status page ("/"), a JSON
+// snapshot ("/status.json"), and a Prometheus text exposition
+// ("/metrics") for one live daemon.
 type StatusServer struct {
 	mgr    *resmgr.Manager
 	driver *Driver
+	logger *log.Logger
 	links  []*peerlink.Link
 	srv    *http.Server
+	reg    *obs.Registry
 
 	recMu    sync.Mutex
 	recovery *RecoveryInfo
@@ -77,10 +92,17 @@ func (s *StatusServer) SetRecovery(info RecoveryInfo) {
 	s.recMu.Unlock()
 }
 
-// NewStatusServer wraps a manager and its driver.
-func NewStatusServer(mgr *resmgr.Manager, driver *Driver) *StatusServer {
-	return &StatusServer{mgr: mgr, driver: driver}
+// NewStatusServer wraps a manager and its driver. logger receives serve
+// errors; nil discards them.
+func NewStatusServer(mgr *resmgr.Manager, driver *Driver, logger *log.Logger) *StatusServer {
+	s := &StatusServer{mgr: mgr, driver: driver, logger: logger, reg: obs.New()}
+	s.reg.Collect(s.collectMetrics)
+	return s
 }
+
+// Metrics returns the server's registry so the daemon can register extra
+// collectors (journal counters, custom gauges) before Listen.
+func (s *StatusServer) Metrics() *obs.Registry { return s.reg }
 
 // WatchPeers registers peer links whose health snapshots are included in
 // every status snapshot. Call before Listen.
@@ -128,6 +150,62 @@ func (s *StatusServer) snapshot() StatusSnapshot {
 	}
 	s.recMu.Unlock()
 	return snap
+}
+
+// collectMetrics emits the daemon's operational state as Prometheus
+// samples on every /metrics scrape. It reuses snapshot(), so the manager
+// reads happen under the driver lock and peer counters come from each
+// link's own lock — the same consistency the status page gets. Metric
+// names and label sets are part of the repo's observability contract; the
+// table lives in ARCHITECTURE.md.
+func (s *StatusServer) collectMetrics(e *obs.Emitter) {
+	snap := s.snapshot()
+	d := snap.Domain
+	e.Gauge("cosched_virtual_time_seconds", "virtual simulation time", float64(snap.VirtualNow), "domain", d)
+	e.Gauge("cosched_nodes_total", "pool capacity in nodes", float64(snap.Nodes), "domain", d)
+	e.Gauge("cosched_nodes_free", "free nodes", float64(snap.Free), "domain", d)
+	e.Gauge("cosched_nodes_held", "nodes held for coscheduling mates", float64(snap.Held), "domain", d)
+	e.Gauge("cosched_nodes_running", "nodes running jobs", float64(snap.Running), "domain", d)
+	e.Gauge("cosched_jobs_queued", "jobs waiting in the queue", float64(snap.Queued), "domain", d)
+	e.Gauge("cosched_jobs_holding", "jobs holding nodes for a mate", float64(snap.Holding), "domain", d)
+	e.Counter("cosched_jobs_completed_total", "jobs completed since boot", float64(snap.Completed), "domain", d)
+
+	// Counters the snapshot does not carry: cheap manager reads, taken
+	// under the driver lock like everything else.
+	var cancelled, iterations float64
+	s.driver.Do(func() {
+		cancelled = float64(s.mgr.CancelledCount())
+		iterations = float64(s.mgr.Iterations())
+	})
+	e.Counter("cosched_jobs_cancelled_total", "jobs cancelled since boot", cancelled, "domain", d)
+	e.Counter("cosched_scheduler_iterations_total", "scheduler Iterate passes since boot", iterations, "domain", d)
+
+	for _, p := range snap.Peers {
+		connected := 0.0
+		if p.Connected {
+			connected = 1
+		}
+		e.Gauge("cosched_peer_connected", "1 when the peer link has an established connection", connected, "domain", d, "peer", p.Name)
+		e.Gauge("cosched_peer_consecutive_failures", "consecutive transport failures feeding the breaker", float64(p.ConsecutiveFailures), "domain", d, "peer", p.Name)
+		e.Counter("cosched_peer_calls_total", "peer calls attempted", float64(p.Calls), "domain", d, "peer", p.Name)
+		e.Counter("cosched_peer_successes_total", "peer calls that succeeded", float64(p.Successes), "domain", d, "peer", p.Name)
+		e.Counter("cosched_peer_remote_errors_total", "peer calls rejected by the remote daemon", float64(p.RemoteErrors), "domain", d, "peer", p.Name)
+		e.Counter("cosched_peer_transport_errors_total", "peer calls lost to transport failures", float64(p.TransportErrors), "domain", d, "peer", p.Name)
+		e.Counter("cosched_peer_fast_fails_total", "peer calls rejected by an open breaker", float64(p.FastFails), "domain", d, "peer", p.Name)
+		e.Counter("cosched_peer_retries_total", "peer calls retried after a provably-unsent failure", float64(p.Retries), "domain", d, "peer", p.Name)
+		e.Counter("cosched_peer_dials_total", "connection dials", float64(p.Dials), "domain", d, "peer", p.Name)
+		e.Counter("cosched_peer_dial_errors_total", "failed connection dials", float64(p.DialErrors), "domain", d, "peer", p.Name)
+		e.Counter("cosched_peer_breaker_trips_total", "circuit-breaker open transitions", float64(p.Trips), "domain", d, "peer", p.Name)
+	}
+
+	if snap.Recovery != nil {
+		r := snap.Recovery
+		e.Gauge("cosched_recovery_completed_at_seconds", "virtual time the last journal recovery completed", float64(r.At), "domain", d)
+		e.Gauge("cosched_recovery_snapshot_seq", "journal snapshot sequence recovery loaded", float64(r.Snapshot), "domain", d)
+		e.Gauge("cosched_recovery_entries_replayed", "WAL entries replayed on top of the snapshot", float64(r.Entries), "domain", d)
+		e.Gauge("cosched_recovery_jobs_restored", "jobs re-installed by recovery", float64(r.Restored), "domain", d)
+		e.Gauge("cosched_recovery_peers_reconciled", "peers whose mate state was reconciled after restart", float64(r.Reconciled), "domain", d)
+	}
 }
 
 var statusTemplate = template.Must(template.New("status").Parse(`<!doctype html>
@@ -187,14 +265,15 @@ func (s *StatusServer) Listen(addr string) (net.Addr, error) {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
+	mux.Handle("/metrics", s.reg.Handler())
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	s.srv = &http.Server{Handler: mux}
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: statusReadHeaderTimeout}
 	go func() {
-		if err := s.srv.Serve(ln); err != nil && err != http.ErrServerClosed {
-			fmt.Printf("live status server: %v\n", err)
+		if err := s.srv.Serve(ln); err != nil && err != http.ErrServerClosed && s.logger != nil {
+			s.logger.Printf("status server: %v", err)
 		}
 	}()
 	return ln.Addr(), nil

@@ -22,6 +22,15 @@ import (
 )
 
 // Summary holds order statistics for one series.
+//
+// Stddev is the POPULATION standard deviation (÷ n): a summary describes
+// every job the simulation produced, not a sample drawn from a larger
+// population, so no Bessel correction applies. The streaming
+// Accumulator.Summary (streaming.go) follows the same convention — the
+// two paths must agree bit-for-bit on mean/stddev for the
+// batch-vs-streaming differential tests. Contrast benchsuite.Stats,
+// which uses the sample form (÷ n−1) because benchmark runs ARE a
+// sample; and Stderr below, which needs the sample form by definition.
 type Summary struct {
 	Count  int
 	Mean   float64
@@ -34,6 +43,7 @@ type Summary struct {
 }
 
 // Summarize computes a Summary; the input is not modified.
+// Stddev uses the population form (÷ n) — see the Summary contract.
 func Summarize(values []float64) Summary {
 	if len(values) == 0 {
 		return Summary{}

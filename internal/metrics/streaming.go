@@ -131,6 +131,13 @@ func (a *Accumulator) quantileAt(q float64) float64 {
 // Summary renders the accumulated statistics. Count, Mean, Min, Max, and
 // Stddev match the batch Summarize (up to float summation order); the
 // quantiles are histogram approximations.
+//
+// Stddev is the POPULATION standard deviation (÷ n, √(M2/n)), matching
+// the Summary contract in metrics.go: both the batch and streaming paths
+// describe the complete set of simulated outcomes, so neither applies
+// Bessel's correction. If one side ever switched to the sample form
+// (÷ n−1) the batch-vs-streaming differential tests would diverge on
+// every series with n > 1.
 func (a *Accumulator) Summary() Summary {
 	if a.count == 0 {
 		return Summary{}

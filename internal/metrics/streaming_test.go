@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"encoding/json"
 	"math"
 	"testing"
 )
@@ -102,6 +103,89 @@ func TestAccumulatorMatchesSummarize(t *testing.T) {
 	cases["uniform"] = uniform
 	for name, values := range cases {
 		checkAgainstBatch(t, name, values)
+	}
+}
+
+// An empty accumulator must summarize to the all-zero Summary — never
+// NaN (0/0 means, √ of negative M2 drift, …) — so downstream JSON
+// encoding of a report with an empty series (e.g. no paired jobs in a
+// cell) can never fail: encoding/json rejects NaN with an
+// UnsupportedValueError.
+func TestAccumulatorEmptySummaryIsZeroAndJSONSafe(t *testing.T) {
+	var a Accumulator
+	s := a.Summary()
+	if s != (Summary{}) {
+		t.Fatalf("empty Summary = %+v, want zero value", s)
+	}
+	for _, v := range []float64{s.Mean, s.Min, s.Max, s.Median, s.P90, s.P99, s.Stddev} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("empty Summary has non-finite field: %+v", s)
+		}
+	}
+	if _, err := json.Marshal(s); err != nil {
+		t.Fatalf("empty Summary does not JSON-encode: %v", err)
+	}
+}
+
+// A single value is every order statistic at once.
+func TestAccumulatorSingleValue(t *testing.T) {
+	var a Accumulator
+	a.Add(42.5)
+	s := a.Summary()
+	if s.Count != 1 || s.Min != 42.5 || s.Max != 42.5 || s.Mean != 42.5 {
+		t.Fatalf("single value: %+v", s)
+	}
+	if s.Median != 42.5 || s.P90 != 42.5 || s.P99 != 42.5 {
+		t.Fatalf("single-value quantiles: %+v", s)
+	}
+	if s.Stddev != 0 {
+		t.Fatalf("single-value stddev = %g", s.Stddev)
+	}
+}
+
+// Values ≤ 0 never enter the histogram (they land in the underflow
+// bucket); when EVERY value underflows, the rank walk must still
+// terminate and the quantiles must stay finite inside [Min, Max] — the
+// regime a series of all-zero sync times (nothing ever paired) puts the
+// accumulator in.
+func TestAccumulatorAllUnderflowQuantiles(t *testing.T) {
+	var a Accumulator
+	for _, v := range []float64{0, -1, -2.5, 0, -0.25} {
+		a.Add(v)
+	}
+	s := a.Summary()
+	if s.Count != 5 || s.Min != -2.5 || s.Max != 0 {
+		t.Fatalf("all-underflow: %+v", s)
+	}
+	for _, q := range []float64{s.Median, s.P90, s.P99} {
+		if math.IsNaN(q) || q < s.Min || q > s.Max {
+			t.Fatalf("all-underflow quantile %g escapes [%g, %g]", q, s.Min, s.Max)
+		}
+	}
+	if _, err := json.Marshal(s); err != nil {
+		t.Fatalf("all-underflow Summary does not JSON-encode: %v", err)
+	}
+}
+
+// Pin the documented population-stddev (÷ n) contract on BOTH paths with
+// a hand-computed vector: for {1,2,3,4}, the population form gives
+// √1.25 and the sample form (÷ n−1) √(5/3). A silent switch to the
+// sample convention on either side would trip this before the larger
+// differential tests could attribute it.
+func TestStddevPopulationContractBothPaths(t *testing.T) {
+	values := []float64{1, 2, 3, 4}
+	pop := math.Sqrt(1.25)
+	sample := math.Sqrt(5.0 / 3.0)
+	batch := Summarize(values).Stddev
+	stream := accumulate(values).Stddev
+	if !almost(batch, pop, 1e-12) {
+		t.Fatalf("Summarize stddev = %g, want population %g", batch, pop)
+	}
+	if !almost(stream, pop, 1e-9) {
+		t.Fatalf("Accumulator stddev = %g, want population %g", stream, pop)
+	}
+	if almost(batch, sample, 1e-3) || almost(stream, sample, 1e-3) {
+		t.Fatalf("stddev matches the sample form %g — population contract broken", sample)
 	}
 }
 

@@ -1,0 +1,417 @@
+// Package obs is a dependency-free Prometheus-text-format metrics
+// registry for the live daemons: counters and gauges, registered once and
+// rendered as the standard text exposition (version 0.0.4) on a /metrics
+// endpoint. It exists so a coschedd fleet is scrapable by any Prometheus-
+// compatible collector without pulling a client library into the module.
+//
+// Two kinds of series feed a render:
+//
+//   - owned metrics (Counter, Gauge): long-lived handles the caller
+//     mutates directly (Inc/Add/Set);
+//   - collected samples: callbacks registered with Collect run at render
+//     time and emit point-in-time values — the natural shape for state
+//     that already has an authoritative owner (peerlink.Link counters,
+//     the manager's queue depth under the driver lock).
+//
+// Rendering is deterministic: families sort by metric name and series
+// sort by label signature, so two renders of unchanged state are
+// byte-identical (regression-tested). That determinism is what lets CI
+// diff scrapes and what keeps dashboards stable across daemon restarts.
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Kind is a metric family's exposition type.
+type Kind uint8
+
+const (
+	// KindCounter is a cumulative, monotonically non-decreasing value.
+	KindCounter Kind = iota
+	// KindGauge is a value that can go up and down.
+	KindGauge
+)
+
+// String returns the TYPE-line spelling.
+func (k Kind) String() string {
+	if k == KindCounter {
+		return "counter"
+	}
+	return "gauge"
+}
+
+// Registry holds metric families and collector callbacks. The zero value
+// is not usable; call New.
+type Registry struct {
+	mu         sync.Mutex
+	families   map[string]*family
+	names      []string // sorted family names, maintained on registration
+	collectors []func(*Emitter)
+}
+
+// family is one metric name: its metadata and its owned series.
+type family struct {
+	name, help string
+	kind       Kind
+	series     map[string]*value // label signature -> owned series
+}
+
+// value is one owned series. Mutations take the registry lock: scrape
+// frequency is human-scale, so a single lock is simpler and cheaper than
+// per-series atomics plus a registration lock.
+type value struct {
+	reg *Registry
+	fam *family
+	sig string
+	val float64
+}
+
+// Counter is an owned cumulative series.
+type Counter struct{ v *value }
+
+// Gauge is an owned settable series.
+type Gauge struct{ v *value }
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// Counter registers (or fetches) the counter series name{labels...}.
+// labels alternate key, value. Invalid or inconsistently-typed
+// registrations panic: metric identity is a programming decision, not
+// runtime input.
+func (r *Registry) Counter(name, help string, labels ...string) Counter {
+	return Counter{r.series(name, help, KindCounter, labels)}
+}
+
+// Gauge registers (or fetches) the gauge series name{labels...}.
+func (r *Registry) Gauge(name, help string, labels ...string) Gauge {
+	return Gauge{r.series(name, help, KindGauge, labels)}
+}
+
+// Collect registers a callback that runs on every render and emits
+// point-in-time samples. Callbacks run in registration order; the samples
+// they emit are merged with owned series and sorted, so emission order
+// never affects output order.
+func (r *Registry) Collect(fn func(*Emitter)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.collectors = append(r.collectors, fn)
+}
+
+// series registers a family (first use) and returns the owned series for
+// the given label signature.
+func (r *Registry) series(name, help string, kind Kind, labels []string) *value {
+	sig := labelSignature(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.registerLocked(name, help, kind)
+	if v, ok := f.series[sig]; ok {
+		return v
+	}
+	v := &value{reg: r, fam: f, sig: sig}
+	f.series[sig] = v
+	return v
+}
+
+// registerLocked finds or creates the family, enforcing one (kind, help)
+// per name.
+func (r *Registry) registerLocked(name, help string, kind Kind) *family {
+	mustValidName(name)
+	if f, ok := r.families[name]; ok {
+		if f.kind != kind {
+			panic(fmt.Sprintf("obs: metric %s re-registered as %s (was %s)", name, kind, f.kind))
+		}
+		return f
+	}
+	f := &family{name: name, help: help, kind: kind, series: map[string]*value{}}
+	r.families[name] = f
+	i := sort.SearchStrings(r.names, name)
+	r.names = append(r.names, "")
+	copy(r.names[i+1:], r.names[i:])
+	r.names[i] = name
+	return f
+}
+
+// Inc adds 1.
+func (c Counter) Inc() { c.Add(1) }
+
+// Add adds delta, which must be non-negative for a counter.
+func (c Counter) Add(delta float64) {
+	if delta < 0 {
+		panic(fmt.Sprintf("obs: counter %s decreased by %g", c.v.fam.name, -delta))
+	}
+	c.v.reg.mu.Lock()
+	c.v.val += delta
+	c.v.reg.mu.Unlock()
+}
+
+// Value returns the current count.
+func (c Counter) Value() float64 {
+	c.v.reg.mu.Lock()
+	defer c.v.reg.mu.Unlock()
+	return c.v.val
+}
+
+// Set replaces the gauge's value.
+func (g Gauge) Set(v float64) {
+	g.v.reg.mu.Lock()
+	g.v.val = v
+	g.v.reg.mu.Unlock()
+}
+
+// Add adjusts the gauge by delta (either sign).
+func (g Gauge) Add(delta float64) {
+	g.v.reg.mu.Lock()
+	g.v.val += delta
+	g.v.reg.mu.Unlock()
+}
+
+// Value returns the current gauge value.
+func (g Gauge) Value() float64 {
+	g.v.reg.mu.Lock()
+	defer g.v.reg.mu.Unlock()
+	return g.v.val
+}
+
+// Emitter receives samples from Collect callbacks during one render.
+type Emitter struct {
+	samples map[string]map[string]float64 // name -> signature -> value
+	meta    map[string]struct {
+		help string
+		kind Kind
+	}
+}
+
+// Counter emits one cumulative sample. The value is the collector's
+// authoritative running total (e.g. a peerlink call count); the emitter
+// does not accumulate across renders.
+func (e *Emitter) Counter(name, help string, v float64, labels ...string) {
+	e.emit(name, help, KindCounter, v, labels)
+}
+
+// Gauge emits one point-in-time sample.
+func (e *Emitter) Gauge(name, help string, v float64, labels ...string) {
+	e.emit(name, help, KindGauge, v, labels)
+}
+
+func (e *Emitter) emit(name, help string, kind Kind, v float64, labels []string) {
+	mustValidName(name)
+	if m, ok := e.meta[name]; ok {
+		if m.kind != kind {
+			panic(fmt.Sprintf("obs: collected metric %s emitted as %s (was %s)", name, kind, m.kind))
+		}
+	} else {
+		e.meta[name] = struct {
+			help string
+			kind Kind
+		}{help, kind}
+	}
+	sigs, ok := e.samples[name]
+	if !ok {
+		sigs = map[string]float64{}
+		e.samples[name] = sigs
+	}
+	sigs[labelSignature(labels)] = v
+}
+
+// Render produces the full text exposition. Output is stable: families in
+// name order, series in label-signature order, values formatted with the
+// shortest round-trippable representation.
+func (r *Registry) Render() []byte {
+	r.mu.Lock()
+	collectors := make([]func(*Emitter), len(r.collectors))
+	copy(collectors, r.collectors)
+	r.mu.Unlock()
+
+	// Collectors run without the registry lock: they take their own locks
+	// (driver, link) and may themselves touch owned metrics.
+	em := &Emitter{
+		samples: map[string]map[string]float64{},
+		meta: map[string]struct {
+			help string
+			kind Kind
+		}{},
+	}
+	for _, fn := range collectors {
+		fn(em)
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	type renderFam struct {
+		name, help string
+		kind       Kind
+		sigs       []string
+		vals       map[string]float64
+	}
+	fams := map[string]*renderFam{}
+	add := func(name, help string, kind Kind) *renderFam {
+		f, ok := fams[name]
+		if !ok {
+			f = &renderFam{name: name, help: help, kind: kind, vals: map[string]float64{}}
+			fams[name] = f
+		}
+		return f
+	}
+	for _, name := range r.names {
+		of := r.families[name]
+		f := add(name, of.help, of.kind)
+		for sig, v := range of.series {
+			if _, dup := f.vals[sig]; !dup {
+				f.sigs = append(f.sigs, sig)
+			}
+			f.vals[sig] = v.val
+		}
+	}
+	for name, sigs := range em.samples {
+		m := em.meta[name]
+		f := add(name, m.help, m.kind)
+		for sig, v := range sigs {
+			if _, dup := f.vals[sig]; !dup {
+				f.sigs = append(f.sigs, sig)
+			}
+			f.vals[sig] = v // collected samples win over a same-name owned series
+		}
+	}
+
+	names := make([]string, 0, len(fams))
+	for name := range fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var b strings.Builder
+	for _, name := range names {
+		f := fams[name]
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", name, f.kind)
+		sort.Strings(f.sigs)
+		for _, sig := range f.sigs {
+			b.WriteString(name)
+			b.WriteString(sig)
+			b.WriteByte(' ')
+			b.WriteString(formatValue(f.vals[sig]))
+			b.WriteByte('\n')
+		}
+	}
+	return []byte(b.String())
+}
+
+// Handler serves the exposition over HTTP.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		w.Write(r.Render())
+	})
+}
+
+// ContentType is the exposition format version served by Handler.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// formatValue renders a sample value. %g with -1 precision is the
+// shortest string that parses back to the same float64, so integers stay
+// integers ("42", not "42.000000") and renders are reproducible.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// labelSignature renders alternating key,value pairs as a canonical
+// `{k1="v1",k2="v2"}` signature with keys sorted, or "" for no labels.
+func labelSignature(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("obs: odd label list %q", labels))
+	}
+	type kv struct{ k, v string }
+	kvs := make([]kv, 0, len(labels)/2)
+	for i := 0; i < len(labels); i += 2 {
+		mustValidLabel(labels[i])
+		kvs = append(kvs, kv{labels[i], labels[i+1]})
+	}
+	sort.Slice(kvs, func(a, b int) bool { return kvs[a].k < kvs[b].k })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range kvs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(p.v))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabelValue escapes backslash, double quote, and newline per the
+// exposition format.
+func escapeLabelValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, c := range s {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes backslash and newline in HELP text.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// mustValidName panics unless name is a legal metric/label identifier:
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func mustValidName(name string) {
+	if !validIdent(name, true) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+}
+
+// mustValidLabel panics unless name is a legal label name (no colons).
+func mustValidLabel(name string) {
+	if !validIdent(name, false) {
+		panic(fmt.Sprintf("obs: invalid label name %q", name))
+	}
+}
+
+func validIdent(s string, colons bool) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_':
+		case c == ':' && colons:
+		case c >= '0' && c <= '9' && i > 0:
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,253 @@
+package obs
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRenderStableOrderAndTwiceIdentical(t *testing.T) {
+	r := New()
+	// Register deliberately out of name order, and series out of label
+	// order, to prove sorting is the registry's job.
+	r.Gauge("zeta_depth", "queue depth", "domain", "b").Set(4)
+	r.Counter("alpha_total", "a counter", "peer", "z").Add(2)
+	r.Counter("alpha_total", "a counter", "peer", "a").Add(7)
+	r.Gauge("zeta_depth", "queue depth", "domain", "a").Set(1)
+	r.Collect(func(e *Emitter) {
+		e.Gauge("middle_gauge", "collected", 3.5)
+	})
+
+	one := r.Render()
+	two := r.Render()
+	if !bytes.Equal(one, two) {
+		t.Fatalf("render not byte-identical:\n%s\nvs\n%s", one, two)
+	}
+	want := `# HELP alpha_total a counter
+# TYPE alpha_total counter
+alpha_total{peer="a"} 7
+alpha_total{peer="z"} 2
+# HELP middle_gauge collected
+# TYPE middle_gauge gauge
+middle_gauge 3.5
+# HELP zeta_depth queue depth
+# TYPE zeta_depth gauge
+zeta_depth{domain="a"} 1
+zeta_depth{domain="b"} 4
+`
+	if string(one) != want {
+		t.Fatalf("render:\n%s\nwant:\n%s", one, want)
+	}
+}
+
+func TestCounterAndGaugeSemantics(t *testing.T) {
+	r := New()
+	c := r.Counter("ops_total", "")
+	c.Inc()
+	c.Add(2)
+	if got := c.Value(); got != 3 {
+		t.Fatalf("counter = %g, want 3", got)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("negative counter add did not panic")
+			}
+		}()
+		c.Add(-1)
+	}()
+
+	g := r.Gauge("depth", "")
+	g.Set(10)
+	g.Add(-4)
+	if got := g.Value(); got != 6 {
+		t.Fatalf("gauge = %g, want 6", got)
+	}
+
+	// Same (name, labels) registration returns the same series.
+	if r.Counter("ops_total", "").Value() != 3 {
+		t.Fatal("re-registration did not return the existing series")
+	}
+	// Re-registering a counter name as a gauge is a programming error.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("kind mismatch did not panic")
+			}
+		}()
+		r.Gauge("ops_total", "")
+	}()
+}
+
+func TestInvalidNamesPanic(t *testing.T) {
+	r := New()
+	for _, bad := range []string{"", "2bad", "has-dash", "has space"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("metric name %q accepted", bad)
+				}
+			}()
+			r.Counter(bad, "")
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("label name with colon accepted")
+			}
+		}()
+		r.Counter("ok_total", "", "bad:label", "v")
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("odd label list accepted")
+			}
+		}()
+		r.Counter("ok_total", "", "only_key")
+	}()
+}
+
+func TestLabelEscapingRoundTrips(t *testing.T) {
+	r := New()
+	hostile := "a\"b\\c\nd"
+	r.Gauge("esc", "help with \\ and\nnewline", "k", hostile).Set(1)
+	out := r.Render()
+	if strings.Contains(string(out), "\nd\"") {
+		t.Fatalf("unescaped newline in output:\n%s", out)
+	}
+	scr, err := Parse(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := scr.Value("esc", "k", hostile); !ok || v != 1 {
+		t.Fatalf("escaped label did not round-trip: %+v", scr.Values)
+	}
+}
+
+func TestCollectedSamplesAndParse(t *testing.T) {
+	r := New()
+	calls := 0
+	r.Collect(func(e *Emitter) {
+		calls++
+		e.Counter("peer_calls_total", "calls", 42, "peer", "b")
+		e.Gauge("jobs_queued", "depth", 17)
+	})
+	out := r.Render()
+	if calls != 1 {
+		t.Fatalf("collector ran %d times, want 1", calls)
+	}
+	scr, err := Parse(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := scr.Value("peer_calls_total", "peer", "b"); !ok || v != 42 {
+		t.Fatalf("peer_calls_total = %v, %v", v, ok)
+	}
+	if v, ok := scr.Value("jobs_queued"); !ok || v != 17 {
+		t.Fatalf("jobs_queued = %v, %v", v, ok)
+	}
+	if scr.Types["peer_calls_total"] != KindCounter || scr.Types["jobs_queued"] != KindGauge {
+		t.Fatalf("types = %+v", scr.Types)
+	}
+	// Label order is canonicalized, so a reordered query still hits.
+	r2 := New()
+	r2.Gauge("multi", "", "b", "2", "a", "1").Set(5)
+	scr2, err := Parse(r2.Render())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := scr2.Value("multi", "a", "1", "b", "2"); !ok || v != 5 {
+		t.Fatalf("canonicalized label lookup failed: %+v", scr2.Values)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"metric",                        // no value
+		"metric{a=\"1\" 2",              // unterminated label block
+		"metric nope",                   // unparsable value
+		"# TYPE metric histogram",       // unsupported type
+		"metric{a=\"1\"} 1 extra trail", // trailing junk
+	} {
+		if _, err := Parse([]byte(bad)); err == nil {
+			t.Fatalf("Parse accepted %q", bad)
+		}
+	}
+	// HELP lines and blank lines are skipped.
+	scr, err := Parse([]byte("# HELP m h\n\nm 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := scr.Value("m"); !ok || v != 1 {
+		t.Fatalf("simple sample lost: %+v", scr.Values)
+	}
+}
+
+func TestHandlerServesExposition(t *testing.T) {
+	r := New()
+	r.Counter("served_total", "requests").Add(5)
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != ContentType {
+		t.Fatalf("content type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scr, err := Parse(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := scr.Value("served_total"); !ok || v != 5 {
+		t.Fatalf("served_total = %v, %v", v, ok)
+	}
+}
+
+func TestConcurrentMutationIsSafe(t *testing.T) {
+	r := New()
+	c := r.Counter("races_total", "")
+	g := r.Gauge("level", "")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				c.Inc()
+				g.Set(float64(n))
+				_ = r.Render()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8*500 {
+		t.Fatalf("counter = %g, want %d", got, 8*500)
+	}
+}
+
+// Collected samples shadow an owned series of the same identity: the
+// collector's value is authoritative for that scrape.
+func TestCollectedShadowsOwned(t *testing.T) {
+	r := New()
+	r.Gauge("depth", "").Set(1)
+	r.Collect(func(e *Emitter) { e.Gauge("depth", "", 9) })
+	scr, err := Parse(r.Render())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := scr.Value("depth"); v != 9 {
+		t.Fatalf("depth = %g, want collected 9", v)
+	}
+}

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Scrape is a parsed text exposition: sample values keyed by the full
+// series identity (`name` or `name{k="v",...}` exactly as rendered) plus
+// each family's declared type. It exists so tests and CI checks can
+// assert on scraped values without a Prometheus dependency.
+type Scrape struct {
+	Values map[string]float64
+	Types  map[string]Kind
+}
+
+// Value returns the sample for the series with the given name and label
+// pairs (alternating key, value — order-insensitive, canonicalized the
+// same way Render does).
+func (s *Scrape) Value(name string, labels ...string) (float64, bool) {
+	v, ok := s.Values[name+labelSignature(labels)]
+	return v, ok
+}
+
+// Series returns the full series keys in sorted order.
+func (s *Scrape) Series() []string {
+	keys := make([]string, 0, len(s.Values))
+	for k := range s.Values {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Parse decodes a text exposition produced by Render (or any conforming
+// exporter). It validates the line grammar strictly enough that a test
+// scraping /metrics fails loudly on malformed output: unknown line
+// shapes, unparsable values, and TYPE declarations other than
+// counter/gauge are errors.
+func Parse(data []byte) (*Scrape, error) {
+	s := &Scrape{Values: map[string]float64{}, Types: map[string]Kind{}}
+	for ln, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("obs: line %d: malformed TYPE line %q", ln+1, line)
+			}
+			switch fields[3] {
+			case "counter":
+				s.Types[fields[2]] = KindCounter
+			case "gauge":
+				s.Types[fields[2]] = KindGauge
+			default:
+				return nil, fmt.Errorf("obs: line %d: unsupported metric type %q", ln+1, fields[3])
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // HELP or comment
+		}
+		key, val, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", ln+1, err)
+		}
+		s.Values[key] = val
+	}
+	return s, nil
+}
+
+// parseSample splits `name{labels} value` (labels optional). The label
+// block may contain spaces inside quoted values, so the value is the
+// field after the last closing brace — or the second whitespace field
+// when there are no labels.
+func parseSample(line string) (key string, val float64, err error) {
+	rest := line
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		j := lastUnquotedBrace(line)
+		if j < 0 {
+			return "", 0, fmt.Errorf("unterminated label block in %q", line)
+		}
+		key, rest = line[:j+1], line[j+1:]
+	} else {
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return "", 0, fmt.Errorf("malformed sample line %q", line)
+		}
+		key, rest = fields[0], fields[1]
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if err != nil {
+		return "", 0, fmt.Errorf("bad sample value in %q: %w", line, err)
+	}
+	return key, v, nil
+}
+
+// lastUnquotedBrace finds the closing '}' of the label block, skipping
+// braces inside quoted label values.
+func lastUnquotedBrace(line string) int {
+	inQuote := false
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '\\':
+			if inQuote {
+				i++ // skip the escaped byte
+			}
+		case '"':
+			inQuote = !inQuote
+		case '}':
+			if !inQuote {
+				return i
+			}
+		}
+	}
+	return -1
+}
