@@ -109,3 +109,14 @@ go test -run=NONE -bench 'EngineEventThroughput' -benchtime=100x -count=1 .
 go run ./cmd/experiments -benchsuite /tmp/ci_benchsuite.json -quick
 go run ./cmd/experiments -benchcompare BENCH_suite.json,BENCH_suite.json
 ! go run ./cmd/experiments -benchcompare BENCH_suite.json,BENCH_suite.json -benchinject 1.5
+
+# Chaos-campaign gate: 25 deterministic fault-injection campaigns from a
+# fixed seed, under -race, across all three seams (journal VFS faults,
+# asymmetric peer-link faults, coordinator SIGKILL/resume). Every campaign
+# must pass its invariant gates — no stuck jobs, co-start accounting
+# consistent with dropped calls, every surviving journal replayable, sweep
+# tables byte-identical to the serial oracle — and any failure prints a
+# one-line seeded repro. The -chaosinject leg corrupts one resumed table
+# cell on purpose and must FAIL, proving the byte-identity gate can trip.
+go run -race ./cmd/experiments -chaoscampaign 25 -chaosseed 1
+! go run ./cmd/experiments -chaoscampaign 1 -chaosseed 1 -chaosinject

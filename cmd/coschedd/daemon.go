@@ -12,6 +12,7 @@ import (
 	"os/signal"
 	"sort"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -21,7 +22,6 @@ import (
 	"cosched/internal/invariant"
 	"cosched/internal/journal"
 	"cosched/internal/live"
-	"cosched/internal/obs"
 	"cosched/internal/peerlink"
 	"cosched/internal/policy"
 	"cosched/internal/proto"
@@ -73,6 +73,32 @@ func runDaemon(cfg *daemonConfig) error {
 	// fire from the manager itself, so mgr is always set by then.
 	var mgr *resmgr.Manager
 	var store *journal.Store
+	var rec *journal.Recorder
+	var statusSrv *live.StatusServer // assigned below when -status is set
+
+	// degradeJournal is the storage-fault degradation controller: the first
+	// time the store poisons (failed fsync, disk full, write error) the
+	// daemon abandons the journal — loudly — instead of crashing or silently
+	// pretending transitions are durable. Scheduling continues journal-less
+	// under the -degraded-max-holds budget, and the status page + /metrics
+	// flip to degraded so operators see it immediately.
+	var degradeOnce sync.Once
+	degradeJournal := func(cause error) {
+		degradeOnce.Do(func() {
+			budget := "unlimited concurrent holds"
+			if cfg.degradedMaxHolds >= 0 {
+				budget = fmt.Sprintf("at most %d concurrent hold(s)", cfg.degradedMaxHolds)
+			}
+			reason := fmt.Sprintf("journal abandoned after storage fault: %v — running journal-less (transitions NOT durable), %s", cause, budget)
+			logger.Printf("DEGRADED: %s", reason)
+			rec.Detach()
+			mgr.SetHoldBudget(cfg.degradedMaxHolds)
+			if statusSrv != nil {
+				statusSrv.SetDegraded(reason)
+			}
+		})
+	}
+
 	if cfg.journalDir != "" {
 		store, err = journal.Open(cfg.journalDir, journal.Options{
 			FsyncInterval: cfg.journalFS,
@@ -83,9 +109,17 @@ func runDaemon(cfg *daemonConfig) error {
 		}
 		//simlint:allow R7 crash backstop only: the graceful drain path closes the store with error logging first, and a second Close returns nil
 		defer store.Close()
-		rec := journal.NewRecorder(store,
+		rec = journal.NewRecorder(store,
 			func() journal.Snapshot { return journal.ManagerSnapshot(mgr) },
-			func(err error) { logger.Printf("journal: %v", err) })
+			func(err error) {
+				logger.Printf("journal: %v", err)
+				// Poisoning is permanent (a failed fsync may have dropped
+				// dirty pages — fsyncgate), so degrade on the first sign
+				// rather than logging the same dead store forever.
+				if perr := store.Poisoned(); perr != nil {
+					degradeJournal(perr)
+				}
+			})
 		obsList = append(obsList, rec)
 	}
 
@@ -175,7 +209,6 @@ func runDaemon(cfg *daemonConfig) error {
 	logger.Printf("domain %s: %d nodes, scheme=%s, policy=%s, speedup=%.0fx",
 		cfg.name, cfg.nodes, sch, pol.Name(), cfg.speedup)
 
-	var statusSrv *live.StatusServer
 	if cfg.statusAddr != "" {
 		statusSrv = live.NewStatusServer(mgr, driver, logger)
 		statusSrv.WatchPeers(links...)
@@ -184,18 +217,8 @@ func runDaemon(cfg *daemonConfig) error {
 		}
 		if store != nil {
 			// Journal durability counters ride the same /metrics scrape as
-			// the manager and peer-link series. Store.Stats takes only the
-			// store's own lock, so a stalled disk can slow a scrape but
-			// never deadlock it against the driver.
-			name := cfg.name
-			statusSrv.Metrics().Collect(func(e *obs.Emitter) {
-				st := store.Stats()
-				e.Counter("cosched_journal_appends_total", "WAL entries appended since boot", float64(st.Appends), "domain", name)
-				e.Counter("cosched_journal_fsyncs_total", "WAL fsyncs issued since boot", float64(st.Fsyncs), "domain", name)
-				e.Counter("cosched_journal_compactions_total", "compacting snapshots taken since boot", float64(st.Compacts), "domain", name)
-				e.Gauge("cosched_journal_entries_pending_compact", "WAL entries appended since the last compact", float64(st.Pending), "domain", name)
-				e.Gauge("cosched_journal_seq", "last assigned journal sequence number", float64(st.Seq), "domain", name)
-			})
+			// the manager and peer-link series.
+			statusSrv.WatchJournal(store.Stats)
 		}
 		sa, err := statusSrv.Listen(cfg.statusAddr)
 		if err != nil {

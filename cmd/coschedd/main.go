@@ -51,30 +51,31 @@ func (p peerFlags) Set(v string) error {
 
 // daemonConfig is the validated flag set of one coschedd process.
 type daemonConfig struct {
-	name       string
-	nodes      int
-	minPart    int
-	listen     string
-	admin      string
-	scheme     string
-	releaseMin int64
-	maxHeld    float64
-	maxYields  int
-	polName    string
-	backfill   bool
-	speedup    float64
-	timeout    time.Duration
-	dialTO     time.Duration
-	brkFails   int
-	brkCool    time.Duration
-	backoffLo  time.Duration
-	backoffHi  time.Duration
-	logPath    string
-	statusAddr string
-	journalDir string
-	journalFS  time.Duration
-	snapEvery  int
-	peers      peerFlags
+	name             string
+	nodes            int
+	minPart          int
+	listen           string
+	admin            string
+	scheme           string
+	releaseMin       int64
+	maxHeld          float64
+	maxYields        int
+	polName          string
+	backfill         bool
+	speedup          float64
+	timeout          time.Duration
+	dialTO           time.Duration
+	brkFails         int
+	brkCool          time.Duration
+	backoffLo        time.Duration
+	backoffHi        time.Duration
+	logPath          string
+	statusAddr       string
+	journalDir       string
+	journalFS        time.Duration
+	snapEvery        int
+	degradedMaxHolds int
+	peers            peerFlags
 }
 
 // parseFlags parses and validates a coschedd command line. Usage and error
@@ -106,6 +107,7 @@ func parseFlags(args []string, usageOut io.Writer) (*daemonConfig, error) {
 	fs.StringVar(&cfg.journalDir, "journal-dir", "", "write-ahead journal directory; enables crash recovery (empty = no journal)")
 	fs.DurationVar(&cfg.journalFS, "journal-fsync", 0, "fsync batching interval for the journal (0 = sync every transition)")
 	fs.IntVar(&cfg.snapEvery, "snapshot-every", 1024, "journal entries between compacting snapshots")
+	fs.IntVar(&cfg.degradedMaxHolds, "degraded-max-holds", 0, "max concurrent holds while running journal-less after a storage fault (-1 = unlimited)")
 	fs.Var(cfg.peers, "peer", "remote domain as name=addr (repeatable)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -169,6 +171,9 @@ func (c *daemonConfig) validate() error {
 	}
 	if c.snapEvery <= 0 {
 		return fmt.Errorf("-snapshot-every must be positive, got %d", c.snapEvery)
+	}
+	if c.degradedMaxHolds < -1 {
+		return fmt.Errorf("-degraded-max-holds must be -1 (unlimited) or non-negative, got %d", c.degradedMaxHolds)
 	}
 	return nil
 }

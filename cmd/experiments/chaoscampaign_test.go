@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+// TestChaosCampaignSmoke runs two full campaigns end to end and checks the
+// deterministic must-fail path: an injected table corruption has to trip
+// the byte-identity gate, proving the campaign can actually fail.
+func TestChaosCampaignSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign smoke is a multi-leg integration run")
+	}
+	if err := runChaosCampaign(2, 1, false); err != nil {
+		t.Fatalf("clean campaigns failed: %v", err)
+	}
+	if err := runChaosCampaign(1, 1, true); err == nil {
+		t.Fatal("injected sweep corruption was not caught by the campaign gate")
+	}
+}

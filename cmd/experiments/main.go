@@ -68,6 +68,9 @@ func main() {
 		distSmoke     = flag.Bool("distsmoke", false, "run a tiny load sweep in-process and across 2 worker processes and fail unless the rendered tables are byte-identical")
 		streamRSS     = flag.Int("streamrss", 0, "internal: run the streaming-RSS child with this many trace repetitions and print a JSON report")
 		streamJobs    = flag.Int("streamjobs", 3000, "internal: base month size (jobs) for the -streamrss child")
+		chaosN        = flag.Int("chaoscampaign", 0, "run N seeded deterministic fault-injection campaigns across the journal, peerlink, and distsweep seams, gating robustness invariants")
+		chaosSeed     = flag.Uint64("chaosseed", 1, "chaoscampaign: first campaign seed (seeds are consecutive; a failing seed's printed repro replays it alone)")
+		chaosInject   = flag.Bool("chaosinject", false, "chaoscampaign: corrupt one distsweep row before the byte-identity gate — CI's deterministic proof the campaign fails loudly")
 	)
 	flag.Parse()
 
@@ -155,6 +158,13 @@ func main() {
 	if *distBench != "" {
 		if err := runDistBench(cfg, *distBench, *distWorkers); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: distbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *chaosN > 0 {
+		if err := runChaosCampaign(*chaosN, *chaosSeed, *chaosInject); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: chaoscampaign: %v\n", err)
 			os.Exit(1)
 		}
 		return

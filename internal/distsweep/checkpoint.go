@@ -1,0 +1,127 @@
+package distsweep
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"cosched/internal/experiments"
+	"cosched/internal/journal"
+)
+
+// ErrKilled is the error RunGroups returns when Coordinator.KillAfter
+// fires — the campaign's deterministic stand-in for a SIGKILL'd
+// coordinator process. Everything delivered before the kill is in the
+// checkpoint file; a fresh coordinator pointed at the same path resumes
+// from it and re-converges to byte-identical tables.
+var ErrKilled = errors.New("distsweep: coordinator killed (injected)")
+
+// checkpointVersion gates resume: a checkpoint written by a different
+// revision of the row layout is refused, not misread.
+const checkpointVersion = 1
+
+// Checkpoint is the coordinator's periodically-fsynced recovery file: the
+// sweep's identity plus every group delivered so far. Groups are pure
+// functions of (kind, cfg, index), so resuming from a checkpoint and
+// recomputing the missing groups yields tables byte-identical to an
+// uninterrupted run.
+type Checkpoint struct {
+	Version   int               `json:"version"`
+	CfgSum    string            `json:"cfgsum"` // binds the file to one (kind, cfg, numGroups)
+	NumGroups int               `json:"numgroups"`
+	Groups    []CheckpointGroup `json:"groups"`
+}
+
+// CheckpointGroup is one delivered group's rows.
+type CheckpointGroup struct {
+	Group int                   `json:"group"`
+	Rows  []experiments.CellRow `json:"rows"`
+}
+
+// sweepSum fingerprints the sweep a checkpoint belongs to. Resuming under
+// a different kind, config, or group count silently merges rows from two
+// different experiments, so the sum must cover all three.
+func sweepSum(kind experiments.SweepKind, cfg experiments.Config, numGroups int) string {
+	b, err := json.Marshal(struct {
+		Kind      experiments.SweepKind `json:"kind"`
+		Cfg       experiments.Config    `json:"cfg"`
+		NumGroups int                   `json:"numgroups"`
+	}{kind, cfg, numGroups})
+	if err != nil {
+		panic(fmt.Sprintf("distsweep: sweep sum: %v", err)) // Config is plain data
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:8])
+}
+
+// loadCheckpoint reads and validates a checkpoint file. A missing file is
+// a clean cold start (nil, nil); a file for a different sweep or version
+// is an error — resuming it would corrupt the merge.
+func loadCheckpoint(vfs journal.FS, path, cfgSum string, numGroups int) (*Checkpoint, error) {
+	data, err := vfs.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("distsweep: read checkpoint: %w", err)
+	}
+	var cp Checkpoint
+	if err := json.Unmarshal(data, &cp); err != nil {
+		return nil, fmt.Errorf("distsweep: corrupt checkpoint %s: %w", path, err)
+	}
+	if cp.Version != checkpointVersion {
+		return nil, fmt.Errorf("distsweep: checkpoint %s is version %d, want %d", path, cp.Version, checkpointVersion)
+	}
+	if cp.CfgSum != cfgSum || cp.NumGroups != numGroups {
+		return nil, fmt.Errorf("distsweep: checkpoint %s belongs to a different sweep (sum %s/%d, want %s/%d)",
+			path, cp.CfgSum, cp.NumGroups, cfgSum, numGroups)
+	}
+	for _, g := range cp.Groups {
+		if g.Group < 0 || g.Group >= numGroups {
+			return nil, fmt.Errorf("distsweep: checkpoint %s: group %d out of range", path, g.Group)
+		}
+		if len(g.Rows) != experiments.RowsPerGroup() {
+			return nil, fmt.Errorf("distsweep: checkpoint %s: group %d carries %d rows, want %d",
+				path, g.Group, len(g.Rows), experiments.RowsPerGroup())
+		}
+	}
+	return &cp, nil
+}
+
+// writeCheckpoint persists cp atomically: temp file, fsync, rename over
+// the target, directory fsync — the same crash-ordering argument as the
+// journal's Compact. A crash at any point leaves either the old complete
+// checkpoint or the new complete one, never a torn mix.
+func writeCheckpoint(vfs journal.FS, path string, cp *Checkpoint) error {
+	data, err := json.Marshal(cp)
+	if err != nil {
+		return fmt.Errorf("distsweep: marshal checkpoint: %w", err)
+	}
+	tmp := path + ".tmp"
+	f, err := vfs.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("distsweep: checkpoint tmp: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close() //simlint:allow R7 error-path cleanup: the checkpoint write already failed and the tmp file is discarded, so this close's error adds nothing
+		return fmt.Errorf("distsweep: checkpoint write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close() //simlint:allow R7 error-path cleanup: the checkpoint fsync already failed and the tmp file is discarded, so this close's error adds nothing
+		return fmt.Errorf("distsweep: checkpoint fsync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("distsweep: checkpoint close: %w", err)
+	}
+	if err := vfs.Rename(tmp, path); err != nil {
+		return fmt.Errorf("distsweep: checkpoint rename: %w", err)
+	}
+	if err := vfs.SyncDir(filepath.Dir(path)); err != nil {
+		return fmt.Errorf("distsweep: checkpoint dir fsync: %w", err)
+	}
+	return nil
+}

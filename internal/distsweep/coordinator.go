@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"cosched/internal/experiments"
+	"cosched/internal/journal"
 	"cosched/internal/proto"
 )
 
@@ -31,6 +32,26 @@ type Coordinator struct {
 	// notes (re-dispatch events are operationally interesting but not
 	// errors).
 	Logf func(format string, args ...any)
+
+	// CheckpointPath, when set, persists every delivered group to this
+	// file (atomic write + fsync + rename + directory fsync) on a
+	// CheckpointEvery cadence and at completion. An existing checkpoint
+	// for the same sweep pre-fills the results, so a coordinator killed
+	// mid-sweep restarts from its last checkpoint and re-converges to
+	// byte-identical tables; a checkpoint from a *different* sweep is
+	// refused, never merged.
+	CheckpointPath string
+	// CheckpointEvery is how many fresh deliveries trigger a checkpoint
+	// write. 0 checkpoints after every delivery.
+	CheckpointEvery int
+	// FS overrides the checkpoint filesystem (fault-injection harnesses).
+	// nil uses the real disk.
+	FS journal.FS
+	// KillAfter, when > 0, aborts the sweep with ErrKilled after that
+	// many fresh deliveries — the fault campaign's deterministic
+	// coordinator-SIGKILL point. Deliveries up to the kill are in the
+	// checkpoint (CheckpointEvery permitting); nothing after it is.
+	KillAfter int
 }
 
 // dispatch is the shared sweep state all worker goroutines drain. The
@@ -43,8 +64,17 @@ type dispatch struct {
 	cond    *sync.Cond
 	pending []int // ascending group indices awaiting assignment
 	results [][]experiments.CellRow
-	left    int   // undelivered groups
-	fatal   error // deterministic group failure: abort everyone
+	left    int    // undelivered groups
+	fatal   error  // deterministic group failure: abort everyone
+	cfgSum  string // sweep fingerprint stamped into checkpoints
+
+	delivered int // fresh deliveries this run (resumed groups excluded)
+
+	// cpMu serializes checkpoint writes; cpWritten is the delivered count
+	// of the newest checkpoint on disk, so a slow older write can never
+	// rename over a newer one.
+	cpMu      sync.Mutex
+	cpWritten int
 }
 
 func newDispatch(numGroups int) *dispatch {
@@ -88,19 +118,67 @@ func (d *dispatch) next(batch int) (groups []int, done bool, err error) {
 	}
 }
 
-// deliver records one group's rows; the first delivery wins (a worker
-// presumed dead may still get its result through after a re-dispatch —
-// both evaluations are the same pure function, keep whichever landed).
-func (d *dispatch) deliver(g int, rows []experiments.CellRow) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+// deliverLocked records one group's rows; the first delivery wins (a
+// worker presumed dead may still get its result through after a
+// re-dispatch — both evaluations are the same pure function, keep
+// whichever landed). Returns whether the delivery was fresh. Callers hold
+// d.mu.
+func (d *dispatch) deliverLocked(g int, rows []experiments.CellRow) bool {
 	if g < 0 || g >= len(d.results) || d.results[g] != nil {
-		return
+		return false
 	}
 	d.results[g] = rows
 	d.left--
+	d.delivered++
 	if d.left == 0 {
 		d.cond.Broadcast()
+	}
+	return true
+}
+
+// checkpointLocked snapshots the delivered groups. Callers hold d.mu; the
+// row slices are immutable once delivered, so sharing them is safe.
+func (d *dispatch) checkpointLocked() *Checkpoint {
+	cp := &Checkpoint{Version: checkpointVersion, CfgSum: d.cfgSum, NumGroups: len(d.results)}
+	for g, rows := range d.results {
+		if rows != nil {
+			cp.Groups = append(cp.Groups, CheckpointGroup{Group: g, Rows: rows})
+		}
+	}
+	return cp
+}
+
+// deliver is the coordinator-level delivery path: record the rows, then
+// apply the checkpoint cadence and the injected kill point.
+func (c *Coordinator) deliver(d *dispatch, g int, rows []experiments.CellRow) {
+	d.mu.Lock()
+	fresh := d.deliverLocked(g, rows)
+	delivered := d.delivered
+	var cp *Checkpoint
+	if fresh && c.CheckpointPath != "" {
+		every := c.CheckpointEvery
+		if every <= 0 {
+			every = 1
+		}
+		if delivered%every == 0 || d.left == 0 {
+			cp = d.checkpointLocked()
+		}
+	}
+	kill := fresh && c.KillAfter > 0 && delivered >= c.KillAfter
+	d.mu.Unlock()
+	if cp != nil {
+		d.cpMu.Lock()
+		if delivered > d.cpWritten {
+			if err := writeCheckpoint(c.fs(), c.CheckpointPath, cp); err != nil {
+				c.logf("distsweep: checkpoint: %v", err)
+			} else {
+				d.cpWritten = delivered
+			}
+		}
+		d.cpMu.Unlock()
+	}
+	if kill {
+		d.abort(ErrKilled)
 	}
 }
 
@@ -141,6 +219,13 @@ func (c *Coordinator) logf(format string, args ...any) {
 	}
 }
 
+func (c *Coordinator) fs() journal.FS {
+	if c.FS != nil {
+		return c.FS
+	}
+	return journal.OSFS{}
+}
+
 // RunGroups implements experiments.Distributor: fan the groups out,
 // tolerate worker deaths by re-dispatching, and return the rows indexed
 // by group. An error means the sweep could not complete — a group failed
@@ -157,6 +242,30 @@ func (c *Coordinator) RunGroups(kind experiments.SweepKind, cfg experiments.Conf
 		}
 	}
 	d := newDispatch(numGroups)
+	if c.CheckpointPath != "" {
+		d.cfgSum = sweepSum(kind, cfg, numGroups)
+		cp, err := loadCheckpoint(c.fs(), c.CheckpointPath, d.cfgSum, numGroups)
+		if err != nil {
+			return nil, err
+		}
+		if cp != nil {
+			for _, g := range cp.Groups {
+				if d.results[g.Group] == nil {
+					d.results[g.Group] = g.Rows
+					d.left--
+				}
+			}
+			pend := d.pending[:0]
+			for _, g := range d.pending {
+				if d.results[g] == nil {
+					pend = append(pend, g)
+				}
+			}
+			d.pending = pend
+			c.logf("distsweep: resumed %d/%d group(s) from checkpoint %s",
+				numGroups-d.left, numGroups, c.CheckpointPath)
+		}
+	}
 	var wg sync.WaitGroup
 	for i, conn := range c.Conns {
 		wg.Add(1)
@@ -238,8 +347,8 @@ func (c *Coordinator) runWorker(d *dispatch, id int, conn Conn, kind experiments
 				// Liveness only; the deadline resets on the next read.
 			case frameRows:
 				if !outstanding[f.Group] {
-					// Duplicate or stale delivery — harmless, see deliver.
-					d.deliver(f.Group, f.Rows)
+					// Duplicate or stale delivery — harmless, see deliverLocked.
+					c.deliver(d, f.Group, f.Rows)
 					continue
 				}
 				if len(f.Rows) != experiments.RowsPerGroup() {
@@ -248,7 +357,7 @@ func (c *Coordinator) runWorker(d *dispatch, id int, conn Conn, kind experiments
 						id, f.Group, len(f.Rows), experiments.RowsPerGroup())
 				}
 				delete(outstanding, f.Group)
-				d.deliver(f.Group, f.Rows)
+				c.deliver(d, f.Group, f.Rows)
 			case frameError:
 				d.abort(fmt.Errorf("distsweep: worker %d: %s", id, f.Err))
 				return nil

@@ -2,14 +2,17 @@ package distsweep
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"cosched/internal/experiments"
+	"cosched/internal/journal"
 	"cosched/internal/proto"
 )
 
@@ -275,5 +278,98 @@ func TestNoWorkersRejected(t *testing.T) {
 	co := &Coordinator{}
 	if _, err := co.RunGroups(experiments.KindLoad, testCfg(), 1); err == nil {
 		t.Fatal("empty worker set accepted")
+	}
+}
+
+// TestCheckpointResumeAfterKillMatchesLocal is the coordinator
+// crash-recovery acceptance test: a coordinator killed mid-sweep
+// (KillAfter, the campaign's SIGKILL stand-in) leaves a checkpoint; a
+// fresh coordinator pointed at the same file resumes, recomputes only the
+// missing groups, and the merged table is byte-identical to the
+// in-process oracle.
+func TestCheckpointResumeAfterKillMatchesLocal(t *testing.T) {
+	cfg := testCfg()
+	want := rowsJSON(t, localRows(t, experiments.KindLoad, cfg))
+	n, err := experiments.NumGroups(experiments.KindLoad, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 2 {
+		t.Fatalf("numGroups = %d; the kill point needs at least 2", n)
+	}
+	cpPath := filepath.Join(t.TempDir(), "sweep.ckpt")
+
+	// First incarnation: killed after one delivery.
+	h1 := newHarness(t, 2, WorkerOptions{Heartbeat: 20 * time.Millisecond})
+	co1 := &Coordinator{
+		Conns: h1.conns, Heartbeat: 20 * time.Millisecond, Batch: 1,
+		CheckpointPath: cpPath, KillAfter: 1, Logf: t.Logf,
+	}
+	if _, err := co1.RunGroups(experiments.KindLoad, cfg, n); !errors.Is(err, ErrKilled) {
+		t.Fatalf("killed run returned %v, want ErrKilled", err)
+	}
+	h1.wg.Wait()
+	for range h1.conns {
+		<-h1.errs // workers die with the coordinator; their errors are expected
+	}
+
+	cp, err := loadCheckpoint(journal.OSFS{}, cpPath, sweepSum(experiments.KindLoad, cfg, n), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp == nil || len(cp.Groups) == 0 {
+		t.Fatal("kill left no checkpointed groups")
+	}
+	if len(cp.Groups) >= n {
+		t.Fatalf("checkpoint already complete (%d/%d groups): the kill fired too late", len(cp.Groups), n)
+	}
+
+	// Second incarnation: fresh workers, same checkpoint path.
+	h2 := newHarness(t, 2, WorkerOptions{Heartbeat: 20 * time.Millisecond})
+	co2 := &Coordinator{
+		Conns: h2.conns, Heartbeat: 20 * time.Millisecond, Batch: 1,
+		CheckpointPath: cpPath, Logf: t.Logf,
+	}
+	got, err := co2.RunGroups(experiments.KindLoad, cfg, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2.wg.Wait()
+	if gotJSON := rowsJSON(t, got); gotJSON != want {
+		t.Fatalf("resumed rows differ from local oracle:\n got: %s\nwant: %s", gotJSON, want)
+	}
+	for range h2.conns {
+		if err := <-h2.errs; err != nil {
+			t.Fatalf("worker error after resume: %v", err)
+		}
+	}
+}
+
+// TestCheckpointRefusesForeignSweep: a checkpoint written under one
+// config must not silently merge into a different sweep.
+func TestCheckpointRefusesForeignSweep(t *testing.T) {
+	cfg := testCfg()
+	n, err := experiments.NumGroups(experiments.KindLoad, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpPath := filepath.Join(t.TempDir(), "sweep.ckpt")
+	if err := writeCheckpoint(journal.OSFS{}, cpPath, &Checkpoint{
+		Version: checkpointVersion, CfgSum: "deadbeefdeadbeef", NumGroups: n,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	h := newHarness(t, 1, WorkerOptions{Heartbeat: 20 * time.Millisecond})
+	co := &Coordinator{Conns: h.conns, Heartbeat: 20 * time.Millisecond, CheckpointPath: cpPath}
+	_, err = co.RunGroups(experiments.KindLoad, cfg, n)
+	if err == nil || !strings.Contains(err.Error(), "different sweep") {
+		t.Fatalf("foreign checkpoint accepted: %v", err)
+	}
+	for _, c := range h.conns {
+		c.Close()
+	}
+	h.wg.Wait()
+	for range h.conns {
+		<-h.errs
 	}
 }

@@ -1,0 +1,246 @@
+package faultplan
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"sync"
+	"syscall"
+
+	"cosched/internal/journal"
+)
+
+// ErrCrashed is returned for every operation after a torn-tail fault: the
+// process notionally died with half a frame on disk, so nothing later may
+// touch the filesystem.
+var ErrCrashed = errors.New("faultplan: crashed after torn write")
+
+// FaultFS implements journal.FS over an inner filesystem, replaying the
+// journal-seam faults of one Plan. Scheduling is op-indexed per operation
+// type: write faults fire on the Nth Write (across all files the store
+// opens, WAL and snapshot alike), fsync faults on the Nth Sync, rename
+// faults on the Nth Rename — so a schedule replays identically regardless
+// of timing. Safe for concurrent use; the store serializes operations
+// under its own lock anyway.
+type FaultFS struct {
+	inner journal.FS
+
+	mu      sync.Mutex
+	writes  map[int]Fault // write index -> fault
+	syncs   map[int]Fault
+	renames map[int]Fault
+	nWrite  int
+	nSync   int
+	nRename int
+	crashed bool
+	fired   []Fault
+}
+
+// NewFaultFS builds a FaultFS replaying plan's journal faults over inner
+// (nil inner uses the real disk).
+func NewFaultFS(plan *Plan, inner journal.FS) *FaultFS {
+	if inner == nil {
+		inner = journal.OSFS{}
+	}
+	f := &FaultFS{
+		inner:   inner,
+		writes:  map[int]Fault{},
+		syncs:   map[int]Fault{},
+		renames: map[int]Fault{},
+	}
+	for _, ft := range plan.ForSeam(SeamJournal) {
+		switch ft.Kind {
+		case KindShortWrite, KindWriteEIO, KindDiskFull, KindTornTail:
+			f.writes[ft.At] = ft
+		case KindFsyncEIO:
+			f.syncs[ft.At] = ft
+		case KindRenameEIO:
+			f.renames[ft.At] = ft
+		}
+	}
+	return f
+}
+
+// Fired returns the faults that actually triggered, in firing order. A
+// scheduled fault whose op index the workload never reached does not
+// appear.
+func (f *FaultFS) Fired() []Fault {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]Fault(nil), f.fired...)
+}
+
+// Crashed reports whether a torn-tail fault has fired; the harness treats
+// it as the crash point and reopens the journal from disk.
+func (f *FaultFS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+func (f *FaultFS) fire(ft Fault) { f.fired = append(f.fired, ft) }
+
+func (f *FaultFS) MkdirAll(dir string, perm fs.FileMode) error {
+	f.mu.Lock()
+	crashed := f.crashed
+	f.mu.Unlock()
+	if crashed {
+		return ErrCrashed
+	}
+	return f.inner.MkdirAll(dir, perm)
+}
+
+func (f *FaultFS) ReadFile(path string) ([]byte, error) {
+	f.mu.Lock()
+	crashed := f.crashed
+	f.mu.Unlock()
+	if crashed {
+		return nil, ErrCrashed
+	}
+	return f.inner.ReadFile(path)
+}
+
+func (f *FaultFS) OpenFile(path string, flag int, perm fs.FileMode) (journal.File, error) {
+	f.mu.Lock()
+	crashed := f.crashed
+	f.mu.Unlock()
+	if crashed {
+		return nil, ErrCrashed
+	}
+	inner, err := f.inner.OpenFile(path, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: inner}, nil
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	f.mu.Lock()
+	if f.crashed {
+		f.mu.Unlock()
+		return ErrCrashed
+	}
+	ft, hit := f.renames[f.nRename]
+	f.nRename++
+	if hit {
+		f.fire(ft)
+	}
+	f.mu.Unlock()
+	if hit {
+		return fmt.Errorf("faultplan: injected rename failure %s: %w", ft, syscall.EIO)
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Truncate(path string, size int64) error {
+	f.mu.Lock()
+	crashed := f.crashed
+	f.mu.Unlock()
+	if crashed {
+		return ErrCrashed
+	}
+	return f.inner.Truncate(path, size)
+}
+
+func (f *FaultFS) SyncDir(dir string) error {
+	f.mu.Lock()
+	crashed := f.crashed
+	f.mu.Unlock()
+	if crashed {
+		return ErrCrashed
+	}
+	return f.inner.SyncDir(dir)
+}
+
+var _ journal.FS = (*FaultFS)(nil)
+
+// faultFile interposes the per-handle faults. All handles share the FS's
+// op counters, so one plan addresses "the Nth write the store issues"
+// whichever file it lands on.
+type faultFile struct {
+	fs    *FaultFS
+	inner journal.File
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	if f.fs.crashed {
+		f.fs.mu.Unlock()
+		return 0, ErrCrashed
+	}
+	ft, hit := f.fs.writes[f.fs.nWrite]
+	f.fs.nWrite++
+	if hit {
+		f.fs.fire(ft)
+		if ft.Kind == KindTornTail {
+			f.fs.crashed = true
+		}
+	}
+	f.fs.mu.Unlock()
+	if !hit {
+		return f.inner.Write(p)
+	}
+	switch ft.Kind {
+	case KindShortWrite:
+		n := int(ft.Arg)
+		if n >= len(p) {
+			n = len(p) / 2
+		}
+		if wn, err := f.inner.Write(p[:n]); err != nil {
+			return wn, err
+		}
+		return n, fmt.Errorf("faultplan: injected short write %s: %w", ft, io.ErrShortWrite)
+	case KindDiskFull:
+		return 0, fmt.Errorf("faultplan: injected disk-full %s: %w", ft, syscall.ENOSPC)
+	case KindTornTail:
+		// Half the frame reaches disk and the write "succeeds" — the
+		// caller believes the record landed, then the process dies. The
+		// reopened store must truncate the torn tail away.
+		n := len(p) / 2
+		if n == 0 {
+			n = 1
+		}
+		if _, err := f.inner.Write(p[:n]); err != nil {
+			return 0, err
+		}
+		return len(p), nil
+	default: // KindWriteEIO
+		return 0, fmt.Errorf("faultplan: injected write failure %s: %w", ft, syscall.EIO)
+	}
+}
+
+func (f *faultFile) Sync() error {
+	f.fs.mu.Lock()
+	if f.fs.crashed {
+		f.fs.mu.Unlock()
+		return ErrCrashed
+	}
+	ft, hit := f.fs.syncs[f.fs.nSync]
+	f.fs.nSync++
+	if hit {
+		f.fs.fire(ft)
+	}
+	f.fs.mu.Unlock()
+	if hit {
+		return fmt.Errorf("faultplan: injected fsync failure %s: %w", ft, syscall.EIO)
+	}
+	return f.inner.Sync()
+}
+
+func (f *faultFile) Truncate(size int64) error {
+	f.fs.mu.Lock()
+	crashed := f.fs.crashed
+	f.fs.mu.Unlock()
+	if crashed {
+		return ErrCrashed
+	}
+	return f.inner.Truncate(size)
+}
+
+func (f *faultFile) Close() error {
+	// Close always reaches the real file: leaking descriptors would make
+	// the fault harness itself flaky, and close-after-crash models the
+	// kernel reaping a dead process's handles.
+	return f.inner.Close()
+}

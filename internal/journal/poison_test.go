@@ -1,0 +1,229 @@
+package journal
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+	"syscall"
+	"testing"
+)
+
+// flakyFS wraps the real disk and fails exactly the operations a test arms,
+// counting the real syncs and closes that get through — the instrument for
+// pinning the fsyncgate contract (a failed fsync is never retried).
+type flakyFS struct {
+	OSFS
+
+	mu          sync.Mutex
+	failWrite   error // next file write fails with this, then disarms
+	failSync    error // next file fsync fails with this, then disarms
+	failSyncDir error // next directory fsync fails with this, then disarms
+	syncs       int   // fsyncs that reached the real file
+	closes      int   // closes that reached the real file
+}
+
+func (f *flakyFS) OpenFile(path string, flag int, perm fs.FileMode) (File, error) {
+	inner, err := f.OSFS.OpenFile(path, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &flakyFile{fs: f, inner: inner}, nil
+}
+
+func (f *flakyFS) SyncDir(dir string) error {
+	f.mu.Lock()
+	err := f.failSyncDir
+	f.failSyncDir = nil
+	f.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return f.OSFS.SyncDir(dir)
+}
+
+func (f *flakyFS) realSyncs() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.syncs
+}
+
+func (f *flakyFS) realCloses() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.closes
+}
+
+func (f *flakyFS) arm(set func(*flakyFS)) {
+	f.mu.Lock()
+	set(f)
+	f.mu.Unlock()
+}
+
+type flakyFile struct {
+	fs    *flakyFS
+	inner File
+}
+
+func (f *flakyFile) Write(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	err := f.fs.failWrite
+	f.fs.failWrite = nil
+	f.fs.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	return f.inner.Write(p)
+}
+
+func (f *flakyFile) Sync() error {
+	f.fs.mu.Lock()
+	err := f.fs.failSync
+	f.fs.failSync = nil
+	if err == nil {
+		f.fs.syncs++
+	}
+	f.fs.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return f.inner.Sync()
+}
+
+func (f *flakyFile) Truncate(size int64) error { return f.inner.Truncate(size) }
+
+func (f *flakyFile) Close() error {
+	f.fs.mu.Lock()
+	f.fs.closes++
+	f.fs.mu.Unlock()
+	return f.inner.Close()
+}
+
+// TestFsyncFailurePoisonsForever pins the fsyncgate contract: one failed
+// fsync latches the store permanently; the failed flush is never retried,
+// even though a retry would "succeed".
+func TestFsyncFailurePoisonsForever(t *testing.T) {
+	ffs := &flakyFS{}
+	s, err := Open(t.TempDir(), Options{FS: ffs}) // FsyncInterval 0: sync per append
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(&Entry{Op: OpHold, Job: 1}); err != nil {
+		t.Fatalf("healthy append: %v", err)
+	}
+	healthySyncs := ffs.realSyncs()
+
+	ffs.arm(func(f *flakyFS) { f.failSync = syscall.EIO })
+	err = s.Append(&Entry{Op: OpHold, Job: 1})
+	if err == nil || !errors.Is(err, syscall.EIO) {
+		t.Fatalf("append over failed fsync = %v, want EIO", err)
+	}
+
+	// The failure is latched: every later durability operation reports
+	// ErrPoisoned without touching the file, even though the disk is
+	// "healthy" again (failSync disarmed itself).
+	for name, op := range map[string]func() error{
+		"Append":  func() error { return s.Append(&Entry{Op: OpHold, Job: 1}) },
+		"Sync":    func() error { return s.Sync() },
+		"Compact": func() error { return s.Compact(Snapshot{}) },
+	} {
+		if err := op(); !errors.Is(err, ErrPoisoned) {
+			t.Fatalf("%s on poisoned store = %v, want ErrPoisoned", name, err)
+		}
+	}
+	if got := ffs.realSyncs(); got != healthySyncs {
+		t.Fatalf("real fsyncs after poison = %d, want %d: a failed fsync must never be retried", got, healthySyncs)
+	}
+	if perr := s.Poisoned(); !errors.Is(perr, ErrPoisoned) || !errors.Is(perr, syscall.EIO) {
+		t.Fatalf("Poisoned() = %v, want ErrPoisoned wrapping EIO", perr)
+	}
+
+	st := s.Stats()
+	if st.FsyncFailures != 1 || !st.Poisoned {
+		t.Fatalf("stats = %+v, want FsyncFailures=1 Poisoned=true", st)
+	}
+
+	// Close still releases the descriptor but reports the poison — a drain
+	// path must not mistake a degraded journal for a clean shutdown.
+	if err := s.Close(); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("Close on poisoned store = %v, want ErrPoisoned", err)
+	}
+	if ffs.realCloses() != 1 {
+		t.Fatalf("real closes = %d, want 1 (poisoned close must still release the fd)", ffs.realCloses())
+	}
+}
+
+// TestDiskFullPoisonsAndStaysClassifiable: an ENOSPC write poisons the
+// store, and the root cause survives the ErrPoisoned wrapping so the
+// daemon's degradation controller can tell disk-full from EIO.
+func TestDiskFullPoisonsAndStaysClassifiable(t *testing.T) {
+	ffs := &flakyFS{}
+	s, err := Open(t.TempDir(), Options{FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	ffs.arm(func(f *flakyFS) { f.failWrite = syscall.ENOSPC })
+	if err := s.Append(&Entry{Op: OpHold, Job: 1}); !IsDiskFull(err) {
+		t.Fatalf("append on full disk = %v, want ENOSPC", err)
+	}
+	// The latched error keeps both the sentinel and the classification.
+	err = s.Append(&Entry{Op: OpHold, Job: 1})
+	if !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("append after disk-full = %v, want ErrPoisoned", err)
+	}
+	if !IsDiskFull(err) {
+		t.Fatalf("append after disk-full = %v, want IsDiskFull to survive the poisoning wrap", err)
+	}
+	if !IsDiskFull(s.Poisoned()) {
+		t.Fatalf("Poisoned() = %v, want IsDiskFull", s.Poisoned())
+	}
+}
+
+// TestCompactDirFsyncFailureKeepsWAL: if the directory fsync after the
+// snapshot rename fails, Compact must report it and must NOT truncate the
+// WAL — the rename's durability is unknown, and the WAL is the only copy
+// guaranteed to be on disk.
+func TestCompactDirFsyncFailureKeepsWAL(t *testing.T) {
+	dir := t.TempDir()
+	ffs := &flakyFS{}
+	s, err := Open(dir, Options{FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := s.Append(&Entry{Op: OpHold, Job: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ffs.arm(func(f *flakyFS) { f.failSyncDir = syscall.EIO })
+	if err := s.Compact(Snapshot{}); err == nil || !errors.Is(err, syscall.EIO) {
+		t.Fatalf("Compact over failed dir fsync = %v, want EIO", err)
+	}
+	fi, err := os.Stat(filepath.Join(dir, walName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() == 0 {
+		t.Fatal("WAL truncated despite failed directory fsync: entries lost if the rename never hit disk")
+	}
+	// A dir-fsync failure is a failed compact, not WAL corruption: the
+	// store stays healthy and the retried compact succeeds.
+	if err := s.Compact(Snapshot{}); err != nil {
+		t.Fatalf("retried Compact: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if snap, entries := re.Recovered(); snap == nil || len(entries) != 0 {
+		t.Fatalf("recovered snap=%v entries=%d, want snapshot and empty WAL", snap, len(entries))
+	}
+}

@@ -1,6 +1,8 @@
 package journal
 
 import (
+	"sync/atomic"
+
 	"cosched/internal/job"
 	"cosched/internal/resmgr"
 	"cosched/internal/sim"
@@ -18,6 +20,11 @@ type Recorder struct {
 	store *Store
 	src   func() Snapshot
 	onErr func(error)
+
+	// detached latches when the owner gives up on the journal (store
+	// poisoned, disk full): every later callback is dropped instead of
+	// grinding each transition through a dead WAL.
+	detached atomic.Bool
 }
 
 // Compile-time interface checks: the recorder hears every transition the
@@ -40,8 +47,19 @@ func NewRecorder(store *Store, src func() Snapshot, onErr func(error)) *Recorder
 	return &Recorder{store: store, src: src, onErr: onErr}
 }
 
+// Detach permanently stops the recorder: later observer callbacks become
+// no-ops. The daemon's degradation controller calls this when the store
+// poisons, switching the domain to loud journal-less operation.
+func (r *Recorder) Detach() { r.detached.Store(true) }
+
+// Detached reports whether Detach has been called.
+func (r *Recorder) Detached() bool { return r.detached.Load() }
+
 // append writes one entry, then compacts when the cadence is reached.
 func (r *Recorder) append(e *Entry) {
+	if r.detached.Load() {
+		return
+	}
 	if err := r.store.Append(e); err != nil {
 		r.onErr(err)
 		return

@@ -20,6 +20,16 @@ const (
 // ErrClosed is returned by operations on a closed Store.
 var ErrClosed = errors.New("journal: store closed")
 
+// ErrPoisoned is returned by every durability operation after a WAL write
+// or fsync has failed. The store never retries a failed fsync as if it
+// could succeed: the kernel may already have dropped the dirty pages, so a
+// later "successful" fsync would report durability for data that never
+// reached disk (the fsyncgate failure mode). Once poisoned, the store
+// stays poisoned for its lifetime; the owner must degrade loudly (see
+// cmd/coschedd's journal-less mode) or crash, never continue as if the
+// journal were intact.
+var ErrPoisoned = errors.New("journal: store poisoned by storage failure")
+
 // Options configures a Store.
 type Options struct {
 	// FsyncInterval batches fsyncs: an append syncs only when this much
@@ -32,6 +42,9 @@ type Options struct {
 	// Now overrides the fsync-batching clock (tests). nil reads the wall
 	// clock — batching paces real disk writes, never simulation time.
 	Now func() time.Time
+	// FS overrides the filesystem (fault-injection harnesses). nil uses
+	// the real disk (OSFS).
+	FS FS
 }
 
 // Store owns one journal directory: the append handle on the write-ahead
@@ -42,6 +55,7 @@ type Options struct {
 type Store struct {
 	dir string
 	opt Options
+	fs  FS
 
 	// Recovery results, stashed at Open for the caller.
 	snap    *Snapshot
@@ -49,18 +63,20 @@ type Store struct {
 	torn    *TornTail
 
 	mu       sync.Mutex
-	f        *os.File
+	f        File
 	buf      []byte
 	seq      uint64
 	appended uint64 // entries since open/compact; drives snapshot cadence
 	dirty    bool   // unsynced bytes in the WAL
 	lastSync time.Time
 	closed   bool
+	poisoned error // first WAL write/fsync failure; sticky for the lifetime
 
 	// Lifetime counters for /metrics: unlike appended, these never reset.
-	appends  uint64 // entries written to the WAL since Open
-	fsyncs   uint64 // actual fsync(2) calls issued (batching skips count 0)
-	compacts uint64 // snapshots taken
+	appends    uint64 // entries written to the WAL since Open
+	fsyncs     uint64 // actual fsync(2) calls issued (batching skips count 0)
+	fsyncFails uint64 // fsync(2) calls that failed (each one poisons)
+	compacts   uint64 // snapshots taken
 }
 
 // Open opens (creating if needed) the journal directory and recovers its
@@ -76,12 +92,16 @@ func Open(dir string, opt Options) (*Store, error) {
 	if opt.SnapshotEvery <= 0 {
 		opt.SnapshotEvery = 1024
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	vfs := opt.FS
+	if vfs == nil {
+		vfs = OSFS{}
+	}
+	if err := vfs.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("journal: create dir: %w", err)
 	}
-	s := &Store{dir: dir, opt: opt}
+	s := &Store{dir: dir, opt: opt, fs: vfs}
 
-	if data, err := os.ReadFile(filepath.Join(dir, snapName)); err == nil {
+	if data, err := vfs.ReadFile(filepath.Join(dir, snapName)); err == nil {
 		var snap Snapshot
 		if err := json.Unmarshal(data, &snap); err != nil {
 			return nil, fmt.Errorf("journal: corrupt snapshot %s: %w", snapName, err)
@@ -93,14 +113,14 @@ func Open(dir string, opt Options) (*Store, error) {
 	}
 
 	walPath := filepath.Join(dir, walName)
-	data, err := os.ReadFile(walPath)
+	data, err := vfs.ReadFile(walPath)
 	if err != nil && !errors.Is(err, os.ErrNotExist) {
 		return nil, fmt.Errorf("journal: read wal: %w", err)
 	}
 	entries, valid, torn := DecodeEntries(data)
 	s.entries, s.torn = entries, torn
 	if torn != nil {
-		if err := os.Truncate(walPath, valid); err != nil {
+		if err := vfs.Truncate(walPath, valid); err != nil {
 			return nil, fmt.Errorf("journal: truncate torn wal: %w", err)
 		}
 	}
@@ -108,7 +128,7 @@ func Open(dir string, opt Options) (*Store, error) {
 		s.seq = entries[n-1].Seq
 	}
 
-	f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	f, err := vfs.OpenFile(walPath, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("journal: open wal: %w", err)
 	}
@@ -140,6 +160,33 @@ func (s *Store) now() time.Time {
 	return time.Now()
 }
 
+// poisonLocked records the first WAL durability failure. Callers hold
+// s.mu and return the original error; every later operation returns
+// ErrPoisoned wrapping that cause.
+func (s *Store) poisonLocked(cause error) {
+	if s.poisoned == nil {
+		s.poisoned = cause
+	}
+}
+
+// poisonedErrLocked builds the sticky failure. Both ErrPoisoned and the
+// original cause survive errors.Is/As, so callers can still classify the
+// root fault (e.g. IsDiskFull) after the store has latched.
+func (s *Store) poisonedErrLocked() error {
+	return fmt.Errorf("%w: %w", ErrPoisoned, s.poisoned)
+}
+
+// Poisoned returns the first WAL write/fsync failure, or nil while the
+// store is healthy. Once non-nil it never resets.
+func (s *Store) Poisoned() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.poisoned == nil {
+		return nil
+	}
+	return s.poisonedErrLocked()
+}
+
 // Append assigns the next sequence number to e and appends its framed
 // encoding to the WAL, syncing per the fsync-batching policy.
 func (s *Store) Append(e *Entry) error {
@@ -148,6 +195,9 @@ func (s *Store) Append(e *Entry) error {
 	if s.closed {
 		return ErrClosed
 	}
+	if s.poisoned != nil {
+		return s.poisonedErrLocked()
+	}
 	e.Seq = s.seq + 1
 	buf, err := AppendRecord(s.buf[:0], e)
 	if err != nil {
@@ -155,6 +205,10 @@ func (s *Store) Append(e *Entry) error {
 	}
 	s.buf = buf
 	if _, err := s.f.Write(buf); err != nil {
+		// A failed or short WAL write leaves a partial frame on disk;
+		// anything appended after it would sit beyond the tear and be
+		// dropped by recovery. Poison rather than write into the void.
+		s.poisonLocked(err)
 		return fmt.Errorf("journal: append: %w", err)
 	}
 	s.seq++
@@ -168,10 +222,19 @@ func (s *Store) Append(e *Entry) error {
 }
 
 func (s *Store) syncLocked(now time.Time) error {
+	if s.poisoned != nil {
+		return s.poisonedErrLocked()
+	}
 	if !s.dirty {
 		return nil
 	}
 	if err := s.f.Sync(); err != nil {
+		// fsyncgate semantics: after a failed fsync the kernel may have
+		// discarded the dirty pages, so retrying and succeeding would
+		// falsely report durability for lost bytes. Latch the failure;
+		// s.dirty intentionally stays true and is never re-flushed.
+		s.fsyncFails++
+		s.poisonLocked(err)
 		return fmt.Errorf("journal: fsync: %w", err)
 	}
 	s.fsyncs++
@@ -201,14 +264,21 @@ func (s *Store) AppendedSinceCompact() uint64 {
 // Compact makes snap the new durable checkpoint and truncates the WAL.
 // The ordering is the crash-safety argument: the snapshot (stamped with
 // the current WAL sequence) is written to a temp file, synced, and renamed
-// over the old one — only then is the WAL truncated. A crash before the
-// rename leaves the old snapshot + full WAL; a crash after it leaves the
-// new snapshot + a WAL whose entries are all ≤ Seq and thus skipped.
+// over the old one, and the rename is made durable with a directory fsync
+// — only then is the WAL truncated. A crash before the directory sync
+// leaves the old snapshot + full WAL; a crash after it leaves the new
+// snapshot + a WAL whose entries are all ≤ Seq and thus skipped. Without
+// the directory sync there would be a window where the truncate is on disk
+// but the rename is not, which loses the entries the snapshot was supposed
+// to cover.
 func (s *Store) Compact(snap Snapshot) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return ErrClosed
+	}
+	if s.poisoned != nil {
+		return s.poisonedErrLocked()
 	}
 	// The snapshot must cover every durable entry it supersedes.
 	if err := s.syncLocked(s.now()); err != nil {
@@ -220,7 +290,7 @@ func (s *Store) Compact(snap Snapshot) error {
 		return fmt.Errorf("journal: marshal snapshot: %w", err)
 	}
 	tmp := filepath.Join(s.dir, snapTmpName)
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := s.fs.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("journal: snapshot tmp: %w", err)
 	}
@@ -235,8 +305,11 @@ func (s *Store) Compact(snap Snapshot) error {
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("journal: snapshot close: %w", err)
 	}
-	if err := os.Rename(tmp, filepath.Join(s.dir, snapName)); err != nil {
+	if err := s.fs.Rename(tmp, filepath.Join(s.dir, snapName)); err != nil {
 		return fmt.Errorf("journal: snapshot rename: %w", err)
+	}
+	if err := s.fs.SyncDir(s.dir); err != nil {
+		return fmt.Errorf("journal: snapshot dir fsync: %w", err)
 	}
 	if err := s.f.Truncate(0); err != nil {
 		return fmt.Errorf("journal: wal truncate: %w", err)
@@ -247,14 +320,16 @@ func (s *Store) Compact(snap Snapshot) error {
 }
 
 // Stats is a point-in-time view of the store's lifetime counters, exposed
-// on the daemon's /metrics endpoint. All fields are monotonically
-// non-decreasing for the life of the Store.
+// on the daemon's /metrics endpoint. All fields except Pending are
+// monotonically non-decreasing for the life of the Store.
 type Stats struct {
-	Appends  uint64 // WAL entries appended since Open
-	Fsyncs   uint64 // fsync(2) calls actually issued
-	Compacts uint64 // compacting snapshots taken
-	Pending  uint64 // entries appended since the last compact (resets)
-	Seq      uint64 // last assigned sequence number
+	Appends       uint64 // WAL entries appended since Open
+	Fsyncs        uint64 // fsync(2) calls actually issued
+	FsyncFailures uint64 // fsync(2) calls that failed; any nonzero ⇒ Poisoned
+	Compacts      uint64 // compacting snapshots taken
+	Pending       uint64 // entries appended since the last compact (resets)
+	Seq           uint64 // last assigned sequence number
+	Poisoned      bool   // a WAL write or fsync failed; the store is latched
 }
 
 // Stats captures the store's counters.
@@ -262,15 +337,19 @@ func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Stats{
-		Appends:  s.appends,
-		Fsyncs:   s.fsyncs,
-		Compacts: s.compacts,
-		Pending:  s.appended,
-		Seq:      s.seq,
+		Appends:       s.appends,
+		Fsyncs:        s.fsyncs,
+		FsyncFailures: s.fsyncFails,
+		Compacts:      s.compacts,
+		Pending:       s.appended,
+		Seq:           s.seq,
+		Poisoned:      s.poisoned != nil,
 	}
 }
 
-// Close syncs and closes the WAL handle.
+// Close syncs and closes the WAL handle. Closing a poisoned store still
+// closes the file descriptor but reports the poison, so a drain path
+// cannot mistake a degraded journal for a clean shutdown.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -1,0 +1,78 @@
+package journal
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"syscall"
+)
+
+// FS abstracts the file operations a Store performs against its journal
+// directory, so fault-injection harnesses (internal/faultplan) can
+// interpose short writes, EIO, and disk-full between the store and the
+// disk. The production implementation is OSFS; method contracts mirror the
+// os package. Every method and every File method is durability-critical:
+// simlint R7 flags discarded errors from them exactly as it does for the
+// os-level calls they stand in for.
+type FS interface {
+	MkdirAll(dir string, perm fs.FileMode) error
+	ReadFile(path string) ([]byte, error)
+	OpenFile(path string, flag int, perm fs.FileMode) (File, error)
+	Rename(oldpath, newpath string) error
+	Truncate(path string, size int64) error
+	// SyncDir fsyncs the directory itself: the durability point for a
+	// preceding rename. Implementations on filesystems that cannot sync
+	// directories report nil rather than failing the compaction.
+	SyncDir(dir string) error
+}
+
+// File is the open-handle subset the store uses.
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Truncate(size int64) error
+	Close() error
+}
+
+// OSFS is the production FS: thin forwarding to the os package.
+type OSFS struct{}
+
+func (OSFS) MkdirAll(dir string, perm fs.FileMode) error { return os.MkdirAll(dir, perm) }
+
+func (OSFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+func (OSFS) OpenFile(path string, flag int, perm fs.FileMode) (File, error) {
+	f, err := os.OpenFile(path, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (OSFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (OSFS) Truncate(path string, size int64) error { return os.Truncate(path, size) }
+
+// SyncDir makes a rename in dir durable by fsyncing the directory entry.
+// Filesystems that reject directory fsync (some network and FAT variants)
+// report EINVAL/ENOTSUP; those are treated as "nothing to sync" rather
+// than poisoning an otherwise-healthy compaction.
+func (OSFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil && (errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.ENOTSUP)) {
+		return nil
+	}
+	return err
+}
+
+// IsDiskFull reports whether err is an out-of-space condition (ENOSPC) —
+// the fault class that flips a live daemon into degraded journal-less
+// mode instead of crash-looping against a full disk.
+func IsDiskFull(err error) bool { return errors.Is(err, syscall.ENOSPC) }

@@ -279,7 +279,9 @@ func (fc *factCollector) recordCall(s *FuncSummary, call *ast.CallExpr) {
 		case namedAs(recv, "os/exec", "Cmd") &&
 			(name == "Wait" || name == "Run" || name == "Output" || name == "CombinedOutput"):
 			s.Blocks = true
-		case namedAs(recv, "cosched/internal/journal", "Store") && durableStoreMethods[name]:
+		case namedAs(recv, "cosched/internal/journal", "Store") && durableStoreMethods[name],
+			namedAs(recv, "cosched/internal/journal", "File") && durableFileMethods[name],
+			namedAs(recv, "cosched/internal/journal", "FS") && durableFSMethods[name]:
 			s.Durable = true
 		}
 	}
@@ -296,6 +298,22 @@ var durableStoreMethods = map[string]bool{
 	"Append": true, "Compact": true, "Close": true, "Sync": true,
 }
 
+// durableFileMethods are the journal.File handle operations on the WAL's
+// crash-safe ordering path. Every write the store makes flows through
+// this interface (the fault-injection seam), so a swallowed error here is
+// exactly a swallowed injected fault.
+var durableFileMethods = map[string]bool{
+	"Write": true, "Sync": true, "Truncate": true, "Close": true,
+}
+
+// durableFSMethods are the journal.FS operations whose failure breaks the
+// append → fsync → rename → syncdir compaction ordering. MkdirAll /
+// OpenFile / ReadFile are setup reads whose errors already fail loudly at
+// open time.
+var durableFSMethods = map[string]bool{
+	"Rename": true, "Truncate": true, "SyncDir": true,
+}
+
 // blockingIOReceiver: a Read/Write on an interface value (io.Reader,
 // net.Conn, ...) or on a concrete connection type (has SetReadDeadline)
 // may block on the network. *os.File also has deadline methods but file
@@ -306,7 +324,11 @@ func blockingIOReceiver(recv types.Type) bool {
 			t = ptr.Elem()
 		}
 		if _, ok := t.Underlying().(*types.Interface); ok {
-			return true
+			// The journal's VFS handles are file I/O behind an interface
+			// (so the fault seam can wrap them); like *os.File, they are
+			// outside R8's network-stall contract — R7 owns their errors.
+			return !namedAs(t, "cosched/internal/journal", "File") &&
+				!namedAs(t, "cosched/internal/journal", "FS")
 		}
 	}
 	return connLikeType(recv)

@@ -67,8 +67,19 @@ func (p *Pass) durableCall(call *ast.CallExpr) (string, bool) {
 			if namedAs(recv, "cosched/internal/journal", "Store") && durableStoreMethods[fn.Name()] {
 				return "journal.Store." + fn.Name(), true
 			}
+			// The WAL's syscall seam is the journal.FS / journal.File
+			// pair (PR 10): every fault-injection campaign rides through
+			// these interfaces, so a dropped error here hides the exact
+			// faults the campaign exists to surface. Module-wide, like
+			// Store — the handle is durability-critical wherever it flows.
+			if namedAs(recv, "cosched/internal/journal", "File") && durableFileMethods[fn.Name()] {
+				return "journal.File." + fn.Name(), true
+			}
+			if namedAs(recv, "cosched/internal/journal", "FS") && durableFSMethods[fn.Name()] {
+				return "journal.FS." + fn.Name(), true
+			}
 			if durabilityFilePackage(p.Path) && namedAs(recv, "os", "File") &&
-				(fn.Name() == "Sync" || fn.Name() == "Close" || fn.Name() == "Write") {
+				(fn.Name() == "Sync" || fn.Name() == "Close" || fn.Name() == "Write" || fn.Name() == "Truncate") {
 				return "os.File." + fn.Name(), true
 			}
 		}

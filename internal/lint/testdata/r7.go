@@ -33,6 +33,41 @@ func renameDropped() {
 	_ = os.Rename("wal.tmp", "wal") // want "R7"
 }
 
+func truncateDropped(f *os.File) {
+	f.Truncate(0) // want "R7"
+}
+
+// The VFS seam: journal.FS / journal.File is where fault injection lands,
+// so a dropped error here hides exactly the faults a campaign injects.
+func vfsSyncDropped(f journal.File) {
+	_ = f.Sync() // want "R7"
+}
+
+func vfsTruncateDeferred(f journal.File) {
+	defer f.Truncate(0) // want "R7"
+}
+
+func vfsRenameDropped(fs journal.FS) {
+	_ = fs.Rename("wal.tmp", "wal") // want "R7"
+}
+
+func vfsSyncDirBare(fs journal.FS) {
+	fs.SyncDir("journal") // want "R7"
+}
+
+// vfsOpenChecked: FS setup calls (OpenFile et al) are not on the ordering
+// path; only the blank error on a durable method is flagged.
+func vfsOpenChecked(fs journal.FS) (journal.File, error) {
+	return fs.OpenFile("wal", os.O_RDWR, 0o644)
+}
+
+// vfsLaundered wraps a VFS fsync in a helper: the helper's summary is
+// durable, so discarding its error is the same bug one frame up.
+func vfsLaundered(f journal.File) {
+	flush := func() error { return f.Sync() }
+	_ = flush() // want "R7"
+}
+
 // launderedWrite wraps the frame write in a closure: the closure's
 // summary is durable, so discarding *its* error is the same bug.
 func launderedWrite(w io.Writer, v any) {

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"cosched/internal/job"
+	"cosched/internal/journal"
 	"cosched/internal/obs"
 	"cosched/internal/peerlink"
 	"cosched/internal/resmgr"
@@ -41,6 +42,10 @@ type StatusSnapshot struct {
 	// Recovery describes the most recent crash recovery, if this daemon
 	// booted from a journal. Absent on a fresh start.
 	Recovery *RecoveryInfo `json:"recovery,omitempty"`
+	// Degraded is non-empty while the daemon runs journal-less after a
+	// storage fault: the reason the journal was abandoned plus the hold
+	// budget now in force. Absent in healthy operation.
+	Degraded string `json:"degraded,omitempty"`
 }
 
 // RecoveryInfo summarizes a daemon's boot-time recovery for the status
@@ -82,6 +87,7 @@ type StatusServer struct {
 
 	recMu    sync.Mutex
 	recovery *RecoveryInfo
+	degraded string
 }
 
 // SetRecovery publishes (or updates, as reconciliation progresses) the
@@ -89,6 +95,15 @@ type StatusServer struct {
 func (s *StatusServer) SetRecovery(info RecoveryInfo) {
 	s.recMu.Lock()
 	s.recovery = &info
+	s.recMu.Unlock()
+}
+
+// SetDegraded publishes the daemon's degraded-mode banner: the status
+// page shows it loudly and /metrics flips cosched_journal_degraded to 1.
+// Safe to call from any goroutine.
+func (s *StatusServer) SetDegraded(reason string) {
+	s.recMu.Lock()
+	s.degraded = reason
 	s.recMu.Unlock()
 }
 
@@ -108,6 +123,28 @@ func (s *StatusServer) Metrics() *obs.Registry { return s.reg }
 // every status snapshot. Call before Listen.
 func (s *StatusServer) WatchPeers(links ...*peerlink.Link) {
 	s.links = append(s.links, links...)
+}
+
+// WatchJournal exports the journal durability series on /metrics from a
+// stats callback (normally journal.Store.Stats). The callback takes only
+// the store's own lock, so a stalled disk can slow a scrape but never
+// deadlock it against the driver. Call before Listen.
+func (s *StatusServer) WatchJournal(stats func() journal.Stats) {
+	d := s.mgr.Name()
+	s.reg.Collect(func(e *obs.Emitter) {
+		st := stats()
+		e.Counter("cosched_journal_appends_total", "WAL entries appended since boot", float64(st.Appends), "domain", d)
+		e.Counter("cosched_journal_fsyncs_total", "WAL fsyncs issued since boot", float64(st.Fsyncs), "domain", d)
+		e.Counter("cosched_journal_compactions_total", "compacting snapshots taken since boot", float64(st.Compacts), "domain", d)
+		e.Gauge("cosched_journal_entries_pending_compact", "WAL entries appended since the last compact", float64(st.Pending), "domain", d)
+		e.Gauge("cosched_journal_seq", "last assigned journal sequence number", float64(st.Seq), "domain", d)
+		e.Counter(obs.MetricFsyncFailures, "journal fsync failures; any failure poisons the store permanently", float64(st.FsyncFailures), "domain", d)
+		poisoned := 0.0
+		if st.Poisoned {
+			poisoned = 1
+		}
+		e.Gauge("cosched_journal_poisoned", "1 once the journal store has latched a storage fault", poisoned, "domain", d)
+	})
 }
 
 // snapshot collects daemon state under the driver lock.
@@ -148,6 +185,7 @@ func (s *StatusServer) snapshot() StatusSnapshot {
 		info := *s.recovery
 		snap.Recovery = &info
 	}
+	snap.Degraded = s.degraded
 	s.recMu.Unlock()
 	return snap
 }
@@ -172,13 +210,21 @@ func (s *StatusServer) collectMetrics(e *obs.Emitter) {
 
 	// Counters the snapshot does not carry: cheap manager reads, taken
 	// under the driver lock like everything else.
-	var cancelled, iterations float64
+	var cancelled, iterations, refused float64
 	s.driver.Do(func() {
 		cancelled = float64(s.mgr.CancelledCount())
 		iterations = float64(s.mgr.Iterations())
+		refused = float64(s.mgr.HoldsRefused())
 	})
 	e.Counter("cosched_jobs_cancelled_total", "jobs cancelled since boot", cancelled, "domain", d)
 	e.Counter("cosched_scheduler_iterations_total", "scheduler Iterate passes since boot", iterations, "domain", d)
+	e.Counter(obs.MetricHoldsRefused, "Hold decisions downgraded to Yield by the degraded-mode hold budget", refused, "domain", d)
+
+	degraded := 0.0
+	if snap.Degraded != "" {
+		degraded = 1
+	}
+	e.Gauge(obs.MetricJournalDegraded, "1 while the daemon runs journal-less after a storage fault", degraded, "domain", d)
 
 	for _, p := range snap.Peers {
 		connected := 0.0
@@ -218,6 +264,8 @@ td,th{border:1px solid #e4e3df;padding:.3rem .7rem;text-align:left}
 th{background:#f3f2ef}.k{color:#52514e}
 </style></head><body>
 <h1>coschedd — domain {{.Domain}}</h1>
+{{if .Degraded}}<p style="background:#b00020;color:#fff;padding:.5rem .8rem;font-weight:600">
+DEGRADED — {{.Degraded}}</p>{{end}}
 <p class="k">virtual t={{.VirtualNow}}s · nodes {{.Free}}/{{.Nodes}} free,
 {{.Running}} running, {{.Held}} held · {{.Queued}} queued / {{.Holding}} holding /
 {{.Completed}} completed jobs · <a href="/status.json">JSON</a></p>

@@ -135,6 +135,13 @@ type Config struct {
 	// (default 10s), scaled by deterministic jitter in [0.5, 1).
 	BackoffBase time.Duration
 	BackoffMax  time.Duration
+	// MinHealthy is how long a connection must stay up before the dial
+	// backoff window resets (default 1s; negative resets immediately on
+	// any successful dial). Without it, a flapping peer that accepts the
+	// TCP connect and dies on the first call would clear the accumulated
+	// backoff exponent on every dial, collapsing the schedule back to
+	// BackoffBase and turning the gate into a tight redial loop.
+	MinHealthy time.Duration
 	// Seed seeds the jitter stream (splitmix64), making backoff schedules
 	// reproducible.
 	Seed uint64
@@ -167,6 +174,7 @@ type Link struct {
 	consecFails int       // transport failures since the last success
 	dialFails   int       // consecutive dial failures (backoff exponent)
 	nextDialAt  time.Time // backoff gate; zero = no gate
+	connectedAt time.Time // when the current connection was dialed; zero = none
 	reopenAt    time.Time // when Open may admit a half-open probe
 	probing     bool      // a half-open probe call is in flight
 	dialing     bool      // a dial is in flight
@@ -208,6 +216,9 @@ func New(cfg Config) *Link {
 	}
 	if cfg.BackoffMax <= 0 {
 		cfg.BackoffMax = 10 * time.Second
+	}
+	if cfg.MinHealthy == 0 {
+		cfg.MinHealthy = time.Second
 	}
 	return &Link{cfg: cfg, rng: cfg.Seed}
 }
@@ -298,12 +309,26 @@ func (l *Link) recordFailureLocked(err error) func() {
 	return nil
 }
 
+// maybeResetBackoffLocked clears the dial-backoff window once the current
+// connection has proven itself healthy for MinHealthy. Callers hold l.mu.
+func (l *Link) maybeResetBackoffLocked(now time.Time) {
+	if l.client == nil || l.dialFails == 0 {
+		return
+	}
+	if l.cfg.MinHealthy > 0 && now.Sub(l.connectedAt) < l.cfg.MinHealthy {
+		return
+	}
+	l.dialFails = 0
+	l.nextDialAt = time.Time{}
+}
+
 // acquire returns a connected transport (dialing if necessary) or fails
 // fast. The returned generation identifies the connection for the
 // stale-failure guard in discard.
 func (l *Link) acquire() (Transport, uint64, error) {
 	l.mu.Lock()
 	now := l.now()
+	l.maybeResetBackoffLocked(now)
 	var probed func() // Open -> HalfOpen notification, fired in order
 	switch l.state {
 	case Open:
@@ -369,8 +394,16 @@ func (l *Link) acquire() (Transport, uint64, error) {
 	l.gen++
 	gen := l.gen
 	l.client = t
-	l.dialFails = 0
-	l.nextDialAt = time.Time{}
+	l.connectedAt = l.now()
+	if l.cfg.MinHealthy < 0 {
+		l.dialFails = 0
+		l.nextDialAt = time.Time{}
+	}
+	// With MinHealthy active, the accumulated backoff exponent survives
+	// the successful dial; maybeResetBackoffLocked clears it only once
+	// the connection has stayed up for the minimum healthy duration. A
+	// peer that accepts connects and dies on the first call therefore
+	// keeps climbing the schedule instead of resetting to BackoffBase.
 	logger := l.cfg.Logger
 	l.mu.Unlock()
 	fire(probed)
@@ -407,6 +440,7 @@ func (l *Link) onSuccess() {
 	l.successes++
 	l.consecFails = 0
 	l.probing = false
+	l.maybeResetBackoffLocked(l.now())
 	f := l.setStateLocked(Closed, nil)
 	l.mu.Unlock()
 	fire(f)

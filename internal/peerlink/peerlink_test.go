@@ -553,3 +553,100 @@ func TestPeerNameIsConfigured(t *testing.T) {
 		t.Fatalf("PeerName = %q", l.PeerName())
 	}
 }
+
+// TestBackoffSurvivesFlappyDialUntilMinHealthy pins the satellite-bug fix:
+// the old acquire path reset dialFails to zero the moment a dial succeeded,
+// so a flapping peer (accepts the TCP connect, dies on the first call)
+// collapsed the exponential schedule back to BackoffBase on every flap and
+// the link hammered it at the minimum interval forever. The backoff
+// exponent must survive a successful dial until the connection has stayed
+// healthy for MinHealthy.
+func TestBackoffSurvivesFlappyDialUntilMinHealthy(t *testing.T) {
+	h := newHarness()
+	h.setDialErr(errors.New("connection refused"))
+	l := newTestLink(h, func(cfg *peerlink.Config) {
+		cfg.FailThreshold = 100 // keep the breaker out of the way
+		// MinHealthy left at its 1s default: that is the behavior under test.
+	})
+
+	// Accumulate three dial failures; the exponent is now 3.
+	for i := 0; i < 3; i++ {
+		if _, err := l.GetMateStatus(1); err == nil {
+			t.Fatalf("call %d against dead peer succeeded", i)
+		}
+		h.advance(2 * time.Second) // beyond any backoff gate
+	}
+	if h.dialCount() != 3 {
+		t.Fatalf("dials = %d, want 3", h.dialCount())
+	}
+
+	// The peer flaps: the dial succeeds, then the connection dies on the
+	// very first call. (The write-stage failure is retried once on a fresh
+	// conn, which also dies — two dials, both short-lived.)
+	h.setDialErr(nil)
+	h.onConn = func(c *fakeConn, method string) error {
+		return &proto.TransportError{Method: method, Stage: proto.StageWrite,
+			Err: errors.New("connection reset by peer")}
+	}
+	if _, err := l.GetMateStatus(1); err == nil {
+		t.Fatal("call on flapping peer succeeded")
+	}
+	if h.dialCount() != 5 {
+		t.Fatalf("dials = %d, want 5 (flap + one retry on a fresh conn)", h.dialCount())
+	}
+
+	// Peer back to refusing outright. Neither flap connection lived
+	// MinHealthy, so this failure must continue the old schedule at
+	// exponent 4 — a gate of at least base*2^3/2 = 400ms even at minimum
+	// jitter — not restart it at backoff(1) < 100ms as the old code did.
+	h.setDialErr(errors.New("connection refused"))
+	h.onConn = nil
+	if _, err := l.GetMateStatus(1); err == nil {
+		t.Fatal("call against dead peer succeeded")
+	}
+	h.advance(150 * time.Millisecond) // past backoff(1), far short of backoff(4)
+	dials := h.dialCount()
+	if _, err := l.GetMateStatus(1); !errors.Is(err, peerlink.ErrDialBackoff) {
+		t.Fatalf("error after flap = %v, want ErrDialBackoff (exponent must survive the flap)", err)
+	}
+	if h.dialCount() != dials {
+		t.Fatal("gated call dialed anyway")
+	}
+
+	// The gate still expires: one more failure at the continued exponent.
+	h.advance(time.Second)
+	if _, err := l.GetMateStatus(1); err == nil {
+		t.Fatal("call against dead peer succeeded")
+	}
+	if h.dialCount() != dials+1 {
+		t.Fatalf("dials = %d, want %d (gate should have expired)", h.dialCount(), dials+1)
+	}
+
+	// Now the peer genuinely recovers. The first successful dial does NOT
+	// clear the window; only MinHealthy of proven uptime does.
+	h.setDialErr(nil)
+	h.advance(2 * time.Second) // past the accumulated gate
+	if _, err := l.GetMateStatus(1); err != nil {
+		t.Fatalf("call on recovered peer failed: %v", err)
+	}
+	h.advance(1500 * time.Millisecond) // > MinHealthy of uptime
+	if _, err := l.GetMateStatus(1); err != nil {
+		t.Fatalf("call on recovered peer failed: %v", err)
+	}
+
+	// With the window reset, a fresh outage restarts the schedule at
+	// backoff(1) < 100ms: a failure followed by a 150ms wait must redial.
+	l.BreakConn()
+	h.setDialErr(errors.New("connection refused"))
+	if _, err := l.GetMateStatus(1); err == nil {
+		t.Fatal("call against dead peer succeeded")
+	}
+	h.advance(150 * time.Millisecond)
+	dials = h.dialCount()
+	if _, err := l.GetMateStatus(1); err == nil {
+		t.Fatal("call against dead peer succeeded")
+	}
+	if h.dialCount() != dials+1 {
+		t.Fatalf("dials = %d, want %d (reset window should gate at backoff(1) < 150ms)", h.dialCount(), dials+1)
+	}
+}

@@ -14,6 +14,31 @@ import (
 // ErrInjected is the error surfaced by a FaultInjector on a failed call.
 var ErrInjected = errors.New("proto: injected fault")
 
+// CallDirective tells a FaultInjector what to do with one intercepted
+// call. The zero value forwards the call untouched.
+type CallDirective struct {
+	// Delay sleeps before forwarding (slow link).
+	Delay time.Duration
+	// Drop invokes the injector's dropper (WithDrops) so the forwarded
+	// call hits a dead connection.
+	Drop bool
+	// Duplicate forwards the call a second time after the first and
+	// discards the duplicate's result — at-least-once delivery; the peer
+	// must tolerate the repeat without corrupting state.
+	Duplicate bool
+	// Fail fails the call outright with ErrInjected (one-way partition:
+	// only this direction's injector is scripted).
+	Fail bool
+}
+
+// CallScript supplies a scheduled directive per intercepted call, in call
+// order — the deterministic, replayable alternative to the probabilistic
+// With* modes (internal/faultplan implements it from a seeded plan).
+// NextCall is invoked under the injector's lock, exactly once per call.
+type CallScript interface {
+	NextCall() CallDirective
+}
+
 // FaultInjector wraps a Peer and injects a deterministic, seeded stream of
 // chaos — the middleware used to exercise Algorithm 1's fault-tolerance
 // path ("status unknown ⇒ start normally") under partial failures, without
@@ -30,9 +55,14 @@ var ErrInjected = errors.New("proto: injected fault")
 //  3. injected failure (the NewFaultInjector rate): fail the call outright
 //     with ErrInjected.
 //
+// A scheduled CallScript (WithScript) composes on top: its directive is
+// consulted first and merged with the probabilistic draws, which happen in
+// the same fixed order whether or not a script is present, so rate-only
+// injectors reproduce their historical streams exactly.
+//
 // Safe for concurrent use once configured: live daemons call peers from
-// several goroutines. Configuration (WithLatency, WithDrops) must finish
-// before the first call.
+// several goroutines. Configuration (WithLatency, WithDrops, WithScript)
+// must finish before the first call.
 type FaultInjector struct {
 	inner cosched.Peer
 	// rate is the failure probability per call, in [0, 1].
@@ -44,16 +74,19 @@ type FaultInjector struct {
 	// the wire.
 	dropRate float64
 	dropper  func()
+	// script, if set, supplies one scheduled directive per call.
+	script CallScript
 
 	mu sync.Mutex
 	// state is a splitmix64 stream (kept local to avoid importing the
 	// workload package from the protocol layer).
 	state uint64
 
-	calls   int
-	failed  int
-	delayed int
-	dropped int
+	calls      int
+	failed     int
+	delayed    int
+	dropped    int
+	duplicated int
 }
 
 // NewFaultInjector wraps inner, failing each call with the given
@@ -91,6 +124,15 @@ func (f *FaultInjector) WithDrops(rate float64, dropper func()) *FaultInjector {
 	return f
 }
 
+// WithScript adds a scheduled fault script: every call consults
+// script.NextCall and merges the directive with the probabilistic modes.
+// A Drop directive requires a dropper (set via WithDrops; the drop *rate*
+// may be zero). Returns f for chaining. Configure before the first call.
+func (f *FaultInjector) WithScript(script CallScript) *FaultInjector {
+	f.script = script
+	return f
+}
+
 // Calls returns the number of intercepted calls.
 func (f *FaultInjector) Calls() int {
 	f.mu.Lock()
@@ -119,6 +161,13 @@ func (f *FaultInjector) Dropped() int {
 	return f.dropped
 }
 
+// Duplicated returns how many calls were delivered twice.
+func (f *FaultInjector) Duplicated() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.duplicated
+}
+
 // next draws a uniform value in [0, 1). Callers hold f.mu.
 func (f *FaultInjector) next() float64 {
 	f.state += 0x9e3779b97f4a7c15
@@ -129,38 +178,61 @@ func (f *FaultInjector) next() float64 {
 	return float64(z>>11) / float64(1<<53)
 }
 
-// intercept applies the configured chaos to one call: latency, then a
-// connection drop, then an injected failure. A non-nil return is the error
-// to surface without forwarding. Draws happen in a fixed order under the
-// lock (and only for enabled modes, so rate-only injectors reproduce the
-// exact historical stream); the sleep and the drop run outside it.
-func (f *FaultInjector) intercept() error {
+// outcome is intercept's decision for one call: an error to surface
+// without forwarding, or a duplicate-delivery flag the wrapper methods
+// honor after the first forward.
+type outcome struct {
+	err error
+	dup bool
+}
+
+// intercept applies the configured chaos to one call: the scheduled
+// script's directive (if any) merged with the probabilistic modes —
+// latency, then a connection drop, then an injected failure. Draws happen
+// in a fixed order under the lock (and only for enabled modes, so
+// rate-only injectors reproduce the exact historical stream); the sleep
+// and the drop run outside it.
+func (f *FaultInjector) intercept() outcome {
 	f.mu.Lock()
 	f.calls++
-	var delay time.Duration
-	var drop func()
-	if f.latencyRate > 0 && f.next() < f.latencyRate {
-		f.delayed++
-		delay = f.latency
+	var d CallDirective
+	if f.script != nil {
+		d = f.script.NextCall()
+	}
+	if f.latencyRate > 0 && f.next() < f.latencyRate && f.latency > d.Delay {
+		d.Delay = f.latency
 	}
 	if f.dropRate > 0 && f.next() < f.dropRate {
+		d.Drop = true
+	}
+	if f.rate > 0 && f.next() < f.rate {
+		d.Fail = true
+	}
+	if d.Delay > 0 {
+		f.delayed++
+	}
+	drop := d.Drop && f.dropper != nil
+	if drop {
 		f.dropped++
-		drop = f.dropper
 	}
 	var err error
-	if f.rate > 0 && f.next() < f.rate {
+	if d.Fail {
 		f.failed++
 		err = fmt.Errorf("%w (call %d)", ErrInjected, f.calls)
 	}
+	dup := d.Duplicate && err == nil // a failed call never reached the peer, so nothing to duplicate
+	if dup {
+		f.duplicated++
+	}
 	f.mu.Unlock()
-	if delay > 0 {
+	if d.Delay > 0 {
 		//simlint:allow R2 injected wire latency for the live chaos harness; the sim-pure harnesses configure no latency
-		time.Sleep(delay)
+		time.Sleep(d.Delay)
 	}
-	if drop != nil {
-		drop()
+	if drop {
+		f.dropper()
 	}
-	return err
+	return outcome{err: err, dup: dup}
 }
 
 var _ cosched.Peer = (*FaultInjector)(nil)
@@ -170,42 +242,71 @@ func (f *FaultInjector) PeerName() string { return f.inner.PeerName() }
 
 // GetMateJob implements cosched.Peer.
 func (f *FaultInjector) GetMateJob(id job.ID) (bool, error) {
-	if err := f.intercept(); err != nil {
-		return false, err
+	o := f.intercept()
+	if o.err != nil {
+		return false, o.err
 	}
-	return f.inner.GetMateJob(id)
+	known, err := f.inner.GetMateJob(id)
+	if o.dup {
+		f.inner.GetMateJob(id) // duplicate delivery: response discarded
+	}
+	return known, err
 }
 
 // GetMateStatus implements cosched.Peer.
 func (f *FaultInjector) GetMateStatus(id job.ID) (cosched.MateStatus, error) {
-	if err := f.intercept(); err != nil {
-		return cosched.StatusUnknown, err
+	o := f.intercept()
+	if o.err != nil {
+		return cosched.StatusUnknown, o.err
 	}
-	return f.inner.GetMateStatus(id)
+	st, err := f.inner.GetMateStatus(id)
+	if o.dup {
+		f.inner.GetMateStatus(id) // duplicate delivery: response discarded
+	}
+	return st, err
 }
 
 // CanStartMate implements cosched.Peer.
 func (f *FaultInjector) CanStartMate(id job.ID) (bool, error) {
-	if err := f.intercept(); err != nil {
-		return false, err
+	o := f.intercept()
+	if o.err != nil {
+		return false, o.err
 	}
-	return f.inner.CanStartMate(id)
+	ok, err := f.inner.CanStartMate(id)
+	if o.dup {
+		f.inner.CanStartMate(id) // duplicate delivery: response discarded
+	}
+	return ok, err
 }
 
 // TryStartMate implements cosched.Peer.
 func (f *FaultInjector) TryStartMate(id job.ID) (bool, error) {
-	if err := f.intercept(); err != nil {
-		return false, err
+	o := f.intercept()
+	if o.err != nil {
+		return false, o.err
 	}
-	return f.inner.TryStartMate(id)
+	ok, err := f.inner.TryStartMate(id)
+	if o.dup {
+		// At-least-once delivery of a state-changing request: the repeat
+		// must be absorbed (an already-running mate reports started
+		// without re-starting), which is exactly what the chaos campaign
+		// verifies.
+		f.inner.TryStartMate(id)
+	}
+	return ok, err
 }
 
 // StartMate implements cosched.Peer.
 func (f *FaultInjector) StartMate(id job.ID) error {
-	if err := f.intercept(); err != nil {
-		return err
+	o := f.intercept()
+	if o.err != nil {
+		return o.err
 	}
-	return f.inner.StartMate(id)
+	err := f.inner.StartMate(id)
+	if o.dup {
+		f.inner.StartMate(id) // duplicate delivery: response discarded
+	}
+	return err
 }
 
 var (
@@ -218,22 +319,34 @@ var (
 // peer leaves historical seed streams untouched. A plain-Peer inner degrades
 // to the instant-free call.
 func (f *FaultInjector) TryStartMateAt(id job.ID, at sim.Time) (bool, error) {
-	if err := f.intercept(); err != nil {
-		return false, err
+	o := f.intercept()
+	if o.err != nil {
+		return false, o.err
 	}
 	if cs, ok := f.inner.(cosched.CoStarter); ok {
-		return cs.TryStartMateAt(id, at)
+		started, err := cs.TryStartMateAt(id, at)
+		if o.dup {
+			// The duplicate proposes the same co-start instant; a started
+			// mate absorbs it as "already running".
+			cs.TryStartMateAt(id, at)
+		}
+		return started, err
 	}
 	return f.inner.TryStartMate(id)
 }
 
 // StartMateAt implements cosched.CoStarter.
 func (f *FaultInjector) StartMateAt(id job.ID, at sim.Time) error {
-	if err := f.intercept(); err != nil {
-		return err
+	o := f.intercept()
+	if o.err != nil {
+		return o.err
 	}
 	if cs, ok := f.inner.(cosched.CoStarter); ok {
-		return cs.StartMateAt(id, at)
+		err := cs.StartMateAt(id, at)
+		if o.dup {
+			cs.StartMateAt(id, at) // duplicate delivery: response discarded
+		}
+		return err
 	}
 	return f.inner.StartMate(id)
 }
@@ -241,12 +354,17 @@ func (f *FaultInjector) StartMateAt(id job.ID, at sim.Time) error {
 // ReconcileMates implements cosched.Reconciler with one chaos draw, like
 // every other intercepted call.
 func (f *FaultInjector) ReconcileMates(from string, views []cosched.MateView) ([]cosched.MateView, error) {
-	if err := f.intercept(); err != nil {
-		return nil, err
+	o := f.intercept()
+	if o.err != nil {
+		return nil, o.err
 	}
 	r, ok := f.inner.(cosched.Reconciler)
 	if !ok {
 		return nil, fmt.Errorf("proto: inner peer %T does not support reconciliation", f.inner)
 	}
-	return r.ReconcileMates(from, views)
+	views2, err := r.ReconcileMates(from, views)
+	if o.dup {
+		r.ReconcileMates(from, views) // duplicate delivery: the exchange is idempotent by contract
+	}
+	return views2, err
 }

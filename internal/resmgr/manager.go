@@ -198,6 +198,12 @@ type Manager struct {
 	cancelled   int
 	iterations  uint64
 
+	// holdBudget caps concurrent holds when the daemon degrades to
+	// journal-less mode (-1 = no cap); holdsRefused counts the holds the
+	// budget downgraded to yields. See SetHoldBudget.
+	holdBudget   int
+	holdsRefused uint64
+
 	// ord, releasesBuf, eligBuf, and planBuf are reusable per-iteration
 	// buffers; Iterate runs on every queue/pool change, so allocating them
 	// fresh each time is a measurable share of a simulation's allocation
@@ -348,6 +354,7 @@ func New(eng *sim.Engine, opt Options) *Manager {
 		demoted:     make(map[job.ID]bool),
 		lastYieldAt: make(map[job.ID]sim.Time),
 		core:        opt.Core,
+		holdBudget:  -1,
 	}
 	m.boostFn = m.boost
 	m.estFn = m.est.Estimate
@@ -597,6 +604,20 @@ func (m *Manager) RunningCount() int { return len(m.running) }
 
 // HoldingCount returns the number of holding jobs.
 func (m *Manager) HoldingCount() int { return len(m.holding) }
+
+// SetHoldBudget caps how many jobs may hold concurrently; a hold that
+// would exceed the cap is downgraded to a yield (counted by
+// HoldsRefused). Negative removes the cap. The daemon's degradation
+// controller sets this when the journal is lost: without durability the
+// held-job table cannot survive a crash, so a degraded daemon keeps its
+// exposure bounded rather than refusing service outright.
+func (m *Manager) SetHoldBudget(n int) { m.holdBudget = n }
+
+// HoldBudget returns the current hold cap (-1 = none).
+func (m *Manager) HoldBudget() int { return m.holdBudget }
+
+// HoldsRefused returns how many holds the budget downgraded to yields.
+func (m *Manager) HoldsRefused() uint64 { return m.holdsRefused }
 
 // CompletedCount returns the number of completed jobs.
 func (m *Manager) CompletedCount() int { return m.completed }
@@ -929,6 +950,14 @@ func (m *Manager) holdOrYield(j *job.Job, now sim.Time, holdSafe bool) {
 		if frac > maxFrac {
 			scheme = cosched.Yield
 		}
+	}
+	// Degraded-mode hold budget: a journal-less daemon refuses holds
+	// beyond the ceiling — holds are exactly the state that cannot be
+	// rebuilt after a crash without a journal, so the budget bounds the
+	// blast radius while durability is gone. Refused holds yield.
+	if scheme == cosched.Hold && m.holdBudget >= 0 && len(m.holding) >= m.holdBudget {
+		m.holdsRefused++
+		scheme = cosched.Yield
 	}
 
 	if scheme == cosched.Hold {

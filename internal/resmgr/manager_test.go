@@ -480,3 +480,39 @@ func TestIterationsCounted(t *testing.T) {
 		t.Fatal("no scheduling iterations recorded")
 	}
 }
+
+func TestHoldBudgetRefusesExcessHolds(t *testing.T) {
+	cfg := cosched.DefaultConfig(cosched.Hold)
+	cfg.ReleaseInterval = 0 // keep holds pinned so the budget stays binding
+	eng, a, b := pairDomains(t, 100, 100, cfg, cfg)
+	a.SetHoldBudget(1) // degraded mode: at most one concurrent hold
+	// Three small paired jobs on A whose mates are far away: all three
+	// would hold under the scheme, but only the first fits the budget.
+	var jas []*job.Job
+	for i := job.ID(1); i <= 3; i++ {
+		ja := job.New(i, 10, 0, 600, 600)
+		jb := job.New(i, 10, 50000, 600, 600)
+		pairJobs(ja, jb)
+		submitAll(t, a, ja)
+		submitAll(t, b, jb)
+		jas = append(jas, ja)
+	}
+	eng.Run()
+	if jas[0].HoldCount == 0 {
+		t.Fatal("first job never held: the budget must allow holds up to the cap")
+	}
+	for _, ja := range jas[1:] {
+		if ja.HoldCount != 0 {
+			t.Fatalf("job %d held despite the budget of 1", ja.ID)
+		}
+		if ja.YieldCount == 0 {
+			t.Fatalf("job %d never yielded; refused holds must degrade to yields", ja.ID)
+		}
+	}
+	if a.HoldsRefused() == 0 {
+		t.Fatal("HoldsRefused = 0, want the budget's refusals counted")
+	}
+	if b.HoldsRefused() != 0 {
+		t.Fatalf("B refused %d holds with no budget set", b.HoldsRefused())
+	}
+}

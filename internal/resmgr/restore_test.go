@@ -1,6 +1,7 @@
 package resmgr
 
 import (
+	"fmt"
 	"testing"
 
 	"cosched/internal/cosched"
@@ -274,5 +275,98 @@ func TestRestoreRunningJobPastDeadlineCompletesImmediately(t *testing.T) {
 	}
 	if j.EndTime != 1000 {
 		t.Fatalf("end = %d, want 1000 (completed at restart, not rewound)", j.EndTime)
+	}
+}
+
+// TestReconcileBothDaemonsRestartSimultaneously models the coupled-outage
+// recovery: both daemons come back from their journals at once and each
+// initiates reconciliation with the other (the order is a race). Whatever
+// the order, the pass that runs first settles every pair and the reverse
+// pass must be a pure no-op, and the co-start instants recorded on the two
+// sides must be byte-identical — run both orderings on identical worlds
+// and compare the full tables.
+func TestReconcileBothDaemonsRestartSimultaneously(t *testing.T) {
+	type world struct {
+		eng  *sim.Engine
+		a, b *Manager
+	}
+	build := func() world {
+		cfg := cosched.DefaultConfig(cosched.Hold)
+		eng, a, b := pairDomains(t, 100, 100, cfg, cfg)
+		// A mixed restored state: pair 1 both holding, pair 2 holding
+		// against a still-queued mate, pair 3 holding against a mate the
+		// other journal lost.
+		restoreAll(t, a, held(1, 10, "B", 1, 0), held(2, 10, "B", 2, 10), held(3, 10, "B", 3, 20))
+		jb1 := held(1, 10, "A", 1, 30)
+		jb2 := job.New(2, 10, 0, 600, 600)
+		jb2.Mates = []job.MateRef{{Domain: "A", Job: 2}}
+		restoreAll(t, b, jb1, jb2)
+		eng.RunUntil(100)
+		return world{eng, a, b}
+	}
+
+	run := func(w world, aFirst bool) {
+		t.Helper()
+		order := []func() (ReconcileReport, error){
+			func() (ReconcileReport, error) { return w.a.ReconcileWith("B", w.b) },
+			func() (ReconcileReport, error) { return w.b.ReconcileWith("A", w.a) },
+		}
+		if !aFirst {
+			order[0], order[1] = order[1], order[0]
+		}
+		first, err := order[0]()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Pair 1 co-starts on the first pass whoever initiates. (Pair 3's
+		// release lands on the caller side in one order and the callee
+		// side in the other, so it is asserted on final state below.)
+		if first.CoStarts != 1 {
+			t.Fatalf("first pass report: %+v, want 1 co-start (pair 1)", first)
+		}
+		second, err := order[1]()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if second.CoStarts != 0 || second.Released != 0 || second.Adopted != 0 {
+			t.Fatalf("reverse pass changed state: %+v", second)
+		}
+	}
+
+	snapshot := func(w world) string {
+		var s string
+		for _, m := range []*Manager{w.a, w.b} {
+			for _, j := range m.JobsOrdered() {
+				s += fmt.Sprintf("%s/%d:%s@%d;", m.Name(), j.ID, j.State, j.StartTime)
+			}
+		}
+		return s
+	}
+
+	w1, w2 := build(), build()
+	run(w1, true)
+	run(w2, false)
+
+	// The settled pair co-started at one instant on both sides.
+	for _, w := range []world{w1, w2} {
+		ja, _ := w.a.Job(1)
+		jb, _ := w.b.Job(1)
+		if ja.State != job.Running || jb.State != job.Running || ja.StartTime != jb.StartTime {
+			t.Fatalf("pair 1: %s@%d / %s@%d, want both running at one instant",
+				ja.State, ja.StartTime, jb.State, jb.StartTime)
+		}
+		// Pair 2's mate is still queued: the hold survives reconciliation.
+		if j, _ := w.a.Job(2); j.State != job.Holding {
+			t.Fatalf("pair 2 on A: %s, want still holding", j.State)
+		}
+		// Pair 3's mate is gone from B's journal: the hold is released.
+		if j, _ := w.a.Job(3); j.State != job.Queued {
+			t.Fatalf("pair 3 on A: %s, want released back to queuing", j.State)
+		}
+	}
+
+	// Initiation order must not change a single byte of the tables.
+	if s1, s2 := snapshot(w1), snapshot(w2); s1 != s2 {
+		t.Fatalf("tables diverge with initiation order:\nA-first: %s\nB-first: %s", s1, s2)
 	}
 }
